@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the Reed–Solomon codec: encode and
+//! reconstruct throughput across block geometries, plus the GF(2^8)
+//! multiply-accumulate kernel they are built on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use uno_erasure::{gf256, ReedSolomon};
+
+fn shards(x: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..x)
+        .map(|i| (0..len).map(|j| (i * 31 + j * 7 + 1) as u8).collect())
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_encode");
+    for &(x, y) in &[(8usize, 2usize), (8, 4), (4, 2)] {
+        let shard_len = 4096;
+        let rs = ReedSolomon::new(x, y);
+        let data = shards(x, shard_len);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        g.throughput(Throughput::Bytes((x * shard_len) as u64));
+        g.bench_with_input(BenchmarkId::new("geometry", format!("{x}+{y}")), &refs, |b, refs| {
+            b.iter(|| rs.encode(black_box(refs)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_reconstruct");
+    let shard_len = 4096;
+    for &(x, y, erasures) in &[(8usize, 2usize, 2usize), (8, 4, 4), (4, 2, 2)] {
+        let rs = ReedSolomon::new(x, y);
+        let data = shards(x, shard_len);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        g.throughput(Throughput::Bytes((x * shard_len) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("erasures", format!("{x}+{y}_lose{erasures}")),
+            &full,
+            |b, full| {
+                b.iter(|| {
+                    let mut rx: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                    for s in rx.iter_mut().take(erasures) {
+                        *s = None;
+                    }
+                    rs.reconstruct(black_box(&mut rx)).unwrap();
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_gf_kernel(c: &mut Criterion) {
+    let src = vec![0xA7u8; 4096];
+    let mut dst = vec![0x13u8; 4096];
+    let mut g = c.benchmark_group("gf256_mul_acc");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("c_generic", |b| {
+        b.iter(|| gf256::mul_acc(black_box(&mut dst), black_box(&src), 0x57));
+    });
+    g.bench_function("c_one_xor", |b| {
+        b.iter(|| gf256::mul_acc(black_box(&mut dst), black_box(&src), 1));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_reconstruct, bench_gf_kernel);
+criterion_main!(benches);

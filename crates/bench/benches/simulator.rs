@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the simulation substrate: end-to-end event
+//! throughput, the ECMP hash, RED queue operations, and CDF sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uno::sim::{ecmp_pick, Packet, PortQueue, RedParams, SECONDS};
+use uno::{Experiment, ExperimentConfig, SchemeSpec};
+use uno_workloads::{Cdf, FlowSpec};
+
+/// A small but complete scenario: 4-flow mixed incast on the k=4 topology.
+fn run_scenario(seed: u64) -> u64 {
+    let mut exp = Experiment::new(ExperimentConfig::quick(SchemeSpec::uno(), seed));
+    for i in 0..2u32 {
+        exp.add_spec(&FlowSpec {
+            src_dc: 0,
+            src_idx: 4 + i,
+            dst_dc: 0,
+            dst_idx: 0,
+            size: 1 << 20,
+            start: 0,
+        });
+        exp.add_spec(&FlowSpec {
+            src_dc: 1,
+            src_idx: i,
+            dst_dc: 0,
+            dst_idx: 0,
+            size: 1 << 20,
+            start: 0,
+        });
+    }
+    let events_before = exp.sim.events_processed;
+    exp.sim.run_to_completion(SECONDS);
+    exp.sim.events_processed - events_before
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // Calibrate the event count once for the throughput denominator.
+    let events = run_scenario(1);
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(events));
+    g.sample_size(10);
+    g.bench_function("mixed_incast_4x1MiB", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_scenario(seed))
+        });
+    });
+    g.finish();
+}
+
+fn bench_ecmp(c: &mut Criterion) {
+    c.bench_function("ecmp_pick", |b| {
+        let mut e = 0u16;
+        b.iter(|| {
+            e = e.wrapping_add(1);
+            black_box(ecmp_pick(7, e, 0x1234, 8))
+        });
+    });
+}
+
+fn bench_queue(c: &mut Criterion) {
+    c.bench_function("red_queue_enqueue_dequeue", |b| {
+        let mut q = PortQueue::new(1 << 20, RedParams::default());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pkt = Packet::data(uno::sim::FlowId(0), 0, 4096, uno::sim::NodeId(0), uno::sim::NodeId(1));
+        b.iter(|| {
+            let _ = q.try_enqueue(black_box(pkt), 0, &mut rng);
+            black_box(q.dequeue());
+        });
+    });
+}
+
+fn bench_cdf(c: &mut Criterion) {
+    let cdf = Cdf::websearch();
+    let mut rng = SmallRng::seed_from_u64(7);
+    c.bench_function("cdf_sample_websearch", |b| {
+        b.iter(|| black_box(cdf.sample(&mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_ecmp, bench_queue, bench_cdf);
+criterion_main!(benches);

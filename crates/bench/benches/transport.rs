@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the transport hot paths: the per-ACK cost of
+//! each congestion controller (the operation that runs once per delivered
+//! packet, millions of times per simulated second).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uno::sim::{MICROS, MILLIS};
+use uno_transport::{AckEvent, Bbr, CcAlgorithm, CcConfig, Gemini, Mprdma, UnoCc};
+
+fn intra_cfg() -> CcConfig {
+    CcConfig::paper_defaults(175_000.0, 14 * MICROS, 175_000.0, 14 * MICROS)
+}
+
+fn inter_cfg() -> CcConfig {
+    CcConfig::paper_defaults(25_000_000.0, 2 * MILLIS, 175_000.0, 14 * MICROS)
+}
+
+fn drive(c: &mut Criterion, name: &str, mut cc: Box<dyn CcAlgorithm>) {
+    c.bench_function(name, |b| {
+        let mut now = 14 * MICROS;
+        let mut delivered = 0u64;
+        b.iter(|| {
+            now += 300;
+            delivered += 4096;
+            let ev = AckEvent {
+                now,
+                bytes: 4096,
+                ecn: delivered % 5 == 0,
+                rtt: 14 * MICROS + (delivered % 7) * 100,
+                pkt_sent_at: now - 14 * MICROS,
+                delivered_at_send: delivered.saturating_sub(100_000),
+                delivered_now: delivered,
+                inflight: 120_000,
+            };
+            cc.on_ack(black_box(&ev));
+            black_box(cc.cwnd())
+        });
+    });
+}
+
+fn bench_cc_ack_path(c: &mut Criterion) {
+    drive(c, "unocc_on_ack", Box::new(UnoCc::new(intra_cfg())));
+    drive(c, "gemini_on_ack", Box::new(Gemini::new(intra_cfg(), false)));
+    drive(c, "mprdma_on_ack", Box::new(Mprdma::new(intra_cfg())));
+    drive(c, "bbr_on_ack", Box::new(Bbr::new(inter_cfg())));
+}
+
+criterion_group!(benches, bench_cc_ack_path);
+criterion_main!(benches);

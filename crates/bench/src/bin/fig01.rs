@@ -1,0 +1,55 @@
+//! Figure 1B — fraction of message completion time that is propagation
+//! delay, across message sizes and intra-/inter-DC RTTs (analytic).
+//!
+//! Reproduces the paper's motivation: for intra-DC RTTs (10–40 µs),
+//! messages above ~256 KiB become throughput-bound; for inter-DC RTTs
+//! (1–60 ms), even hundreds of megabytes stay latency-bound.
+
+use uno::analysis::{crossover_size, fig1_series};
+use uno::sim::{Time, GBPS, MICROS, MILLIS};
+use uno_bench::{fmt_bytes, HarnessArgs};
+
+fn main() {
+    let _args = HarnessArgs::parse();
+    let bps = 100 * GBPS;
+    let rtts: Vec<(Time, &str)> = vec![
+        (10 * MICROS, "10us (intra)"),
+        (40 * MICROS, "40us (intra)"),
+        (MILLIS, "1ms (inter)"),
+        (20 * MILLIS, "20ms (inter)"),
+        (60 * MILLIS, "60ms (inter)"),
+    ];
+    let min_size = 512u64;
+    let max_size = 4 << 30;
+
+    println!("Figure 1B: propagation share of completion time (link = 100 Gbps)");
+    println!();
+    print!("{:>10}", "size");
+    for (_, label) in &rtts {
+        print!("  {label:>13}");
+    }
+    println!();
+
+    let series = fig1_series(
+        &rtts.iter().map(|&(r, _)| r).collect::<Vec<_>>(),
+        bps,
+        min_size,
+        max_size,
+    );
+    let per_rtt = series.len() / rtts.len();
+    for i in 0..per_rtt {
+        let size = series[i].size;
+        print!("{:>10}", fmt_bytes(size));
+        for (j, _) in rtts.iter().enumerate() {
+            let p = series[j * per_rtt + i].propagation_fraction;
+            print!("  {:>12.1}%", 100.0 * p);
+        }
+        println!();
+    }
+
+    println!();
+    println!("latency/throughput crossover (one BDP):");
+    for (rtt, label) in &rtts {
+        println!("  {label:>13}: {}", fmt_bytes(crossover_size(*rtt, bps)));
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 9 — permutation workload.
+//!
+//! Every host sends one message to a distinct random host (possibly in the
+//! other DC). Two provisioning regimes: the paper topology as-is (8 border
+//! links = oversubscribed WAN) and a fully provisioned inter-DC
+//! interconnect. Compared: Uno (UnoLB), Uno+ECMP, Gemini, MPRDMA+BBR.
+
+use uno::metrics::{FctTable, TextTable};
+use uno::sim::{FlowClass, SECONDS};
+use uno_bench::{run_experiment, HarnessArgs};
+use uno_workloads::permutation;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let base_topo = args.topo();
+    let size = (256u64 << 20) / args.size_scale();
+    let hosts = base_topo.hosts_per_dc() as u32;
+
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(args.seed);
+    let specs = permutation(hosts, 2, size, &mut rng);
+    let inter = specs.iter().filter(|s| s.is_inter()).count();
+    println!(
+        "Figure 9: permutation workload, {} hosts x {} ({} inter-DC flows)",
+        specs.len(),
+        uno_bench::fmt_bytes(size),
+        inter
+    );
+    println!();
+
+    for provisioned in [false, true] {
+        let mut topo = base_topo.clone();
+        if provisioned {
+            // Enough border links that the WAN is never the bottleneck.
+            topo.border_links = topo.hosts_per_dc();
+        }
+        println!(
+            "== inter-DC provisioning: {} border links ({}) ==",
+            topo.border_links,
+            if provisioned { "fully provisioned" } else { "as-is" },
+        );
+        let mut table = TextTable::new([
+            "scheme",
+            "mean (ms)",
+            "p99 (ms)",
+            "intra mean (ms)",
+            "inter mean (ms)",
+            "done",
+        ]);
+        for scheme in uno_bench::main_schemes() {
+            let name = scheme.name;
+            let r = run_experiment(scheme, topo.clone(), &specs, args.seed, false, 60 * SECONDS);
+            let done = format!("{}/{}", r.fcts.len(), r.flows);
+            let t = FctTable::new(r.fcts);
+            let all = t.summary();
+            let ia = t.summary_class(FlowClass::Intra);
+            let ie = t.summary_class(FlowClass::Inter);
+            table.row([
+                name.to_string(),
+                format!("{:.3}", all.mean_s * 1e3),
+                format!("{:.3}", all.p99_s * 1e3),
+                format!("{:.3}", ia.mean_s * 1e3),
+                format!("{:.3}", ie.mean_s * 1e3),
+                done,
+            ]);
+        }
+        print!("{table}");
+        println!();
+    }
+}

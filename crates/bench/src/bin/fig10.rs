@@ -1,0 +1,88 @@
+//! Figure 10 — realistic mixed workloads under different network loads.
+//!
+//! Intra-DC flows drawn from the Google web-search size distribution,
+//! inter-DC flows from the Alibaba regional-WAN distribution, 4:1
+//! intra:inter, Poisson arrivals scaled to 20/40/60 % load. For every
+//! scheme, mean and p99 FCT split by flow class.
+
+use uno::metrics::{FctTable, TextTable};
+use uno::sim::{FlowClass, MILLIS, SECONDS, Time};
+use uno_bench::{run_experiment, HarnessArgs};
+use uno_workloads::{poisson_mix, Cdf, PoissonMixParams};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    if args.params_only {
+        uno_bench::print_table2(&args.topo());
+        return;
+    }
+    let topo = args.topo();
+    let duration: Time = if args.full { 200 * MILLIS } else { 25 * MILLIS };
+    // The WAN is intentionally oversubscribed by this workload (the paper's
+    // Fig. 10 runs for ~24 h); bound the drain phase and report completion
+    // counts instead of waiting out every straggler.
+    let drain: Time = if args.full { 4 * SECONDS } else { 300 * MILLIS };
+    let loads = [0.2, 0.4, 0.6];
+
+    println!("Figure 10: realistic workload (websearch intra + Alibaba WAN inter, 4:1)");
+    println!(
+        "duration {} ms on k={} topology",
+        duration / MILLIS,
+        topo.k
+    );
+    println!();
+
+    for load in loads {
+        let p = PoissonMixParams {
+            hosts_per_dc: topo.hosts_per_dc() as u32,
+            dcs: 2,
+            host_bps: topo.link_bps,
+            load,
+            inter_fraction: 0.2,
+            duration,
+        };
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(args.seed);
+        let specs = poisson_mix(&p, &Cdf::websearch(), &Cdf::alibaba_wan(), &mut rng);
+        println!(
+            "== load {:.0}%: {} flows ({} inter) ==",
+            load * 100.0,
+            specs.len(),
+            specs.iter().filter(|s| s.is_inter()).count()
+        );
+        let mut table = TextTable::new([
+            "scheme",
+            "intra mean(ms)",
+            "intra p99(ms)",
+            "inter mean(ms)",
+            "inter p99(ms)",
+            "all mean(ms)",
+            "done",
+        ]);
+        for scheme in uno_bench::main_schemes() {
+            let name = scheme.name;
+            let r = run_experiment(scheme, topo.clone(), &specs, args.seed, false, duration + drain);
+            let done = format!("{}/{}", r.fcts.len(), r.flows);
+            // Unfinished flows enter as FCT lower bounds (end = horizon):
+            // dropping them would flatter slow schemes.
+            let mut fcts = r.fcts;
+            fcts.extend(r.censored.iter().cloned());
+            let t = FctTable::new(fcts);
+            let ia = t.summary_class(FlowClass::Intra);
+            let ie = t.summary_class(FlowClass::Inter);
+            let all = t.summary();
+            table.row([
+                name.to_string(),
+                format!("{:.3}", ia.mean_s * 1e3),
+                format!("{:.3}", ia.p99_s * 1e3),
+                format!("{:.3}", ie.mean_s * 1e3),
+                format!("{:.3}", ie.p99_s * 1e3),
+                format!("{:.3}", all.mean_s * 1e3),
+                done,
+            ]);
+        }
+        print!("{table}");
+        println!();
+    }
+    println!("(paper @40%: Uno cuts tail FCT 4.4x/1.7x [intra/inter] vs MPRDMA+BBR");
+    println!(" and 5.3x/2.1x vs Gemini; UnoCC alone improves means 30-37%)");
+}

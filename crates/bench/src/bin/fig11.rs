@@ -1,0 +1,79 @@
+//! Figure 11 — sensitivity to the inter/intra RTT gap.
+//!
+//! The realistic 40 %-load workload of Fig. 10, repeated while the inter-DC
+//! propagation delay scales the RTT ratio from 8x to 512x the intra-DC RTT
+//! (intra stays at 14 µs). The paper reports FCT *slowdowns* (measured FCT /
+//! unloaded ideal FCT); Uno's advantage grows with the gap — at 512x its
+//! tail slowdown is ~5x lower than both baselines.
+
+use uno::metrics::{percentile, TextTable};
+use uno::sim::{FlowClass, MILLIS, SECONDS, Time};
+use uno::{ideal_fct, sim::time::as_secs_f64};
+use uno_bench::{run_experiment, HarnessArgs};
+use uno_workloads::{poisson_mix, Cdf, PoissonMixParams};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let base = args.topo();
+    let duration: Time = if args.full { 100 * MILLIS } else { 20 * MILLIS };
+    let drain: Time = if args.full { 4 * SECONDS } else { 300 * MILLIS };
+    let ratios: &[u64] = if args.full {
+        &[8, 32, 128, 512]
+    } else {
+        &[8, 64, 512]
+    };
+
+    println!("Figure 11: FCT slowdown vs inter/intra RTT ratio (load 40%)");
+    println!();
+
+    for &ratio in ratios {
+        let mut topo = base.clone();
+        topo.inter_rtt = topo.intra_rtt * ratio;
+        let p = PoissonMixParams {
+            hosts_per_dc: topo.hosts_per_dc() as u32,
+            dcs: 2,
+            host_bps: topo.link_bps,
+            load: 0.4,
+            inter_fraction: 0.2,
+            duration,
+        };
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(args.seed);
+        let specs = poisson_mix(&p, &Cdf::websearch(), &Cdf::alibaba_wan(), &mut rng);
+        println!(
+            "== RTT ratio {ratio} (inter RTT = {:.2} ms), {} flows ==",
+            topo.inter_rtt as f64 / 1e6,
+            specs.len()
+        );
+        let mut table = TextTable::new(["scheme", "mean slowdown", "p99 slowdown", "done"]);
+        for scheme in uno_bench::main_schemes() {
+            let name = scheme.name;
+            let r = run_experiment(scheme, topo.clone(), &specs, args.seed, false, duration + drain);
+            let done = format!("{}/{}", r.fcts.len(), r.flows);
+            // Unfinished flows enter as slowdown lower bounds.
+            let mut fcts = r.fcts;
+            fcts.extend(r.censored.iter().cloned());
+            let slowdowns: Vec<f64> = fcts
+                .iter()
+                .map(|f| {
+                    let rtt = if f.class == FlowClass::Inter {
+                        topo.inter_rtt
+                    } else {
+                        topo.intra_rtt
+                    };
+                    let ideal = ideal_fct(f.size, rtt, topo.link_bps);
+                    as_secs_f64(f.fct()) / as_secs_f64(ideal)
+                })
+                .collect();
+            let mean = uno::metrics::mean(&slowdowns);
+            let p99 = percentile(&slowdowns, 0.99);
+            table.row([
+                name.to_string(),
+                format!("{mean:.2}"),
+                format!("{p99:.2}"),
+                done,
+            ]);
+        }
+        print!("{table}");
+        println!();
+    }
+}

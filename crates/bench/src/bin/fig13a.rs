@@ -1,0 +1,80 @@
+//! Figure 13A — border-link failure.
+//!
+//! Latency-sensitive 5 MiB inter-DC flows saturate the WAN; one of the
+//! border links fails mid-transfer. Each (scheme x seed) run records the
+//! mean FCT; the distribution over seeds is reported as violin statistics
+//! (the paper re-runs 100 times because a single run depends heavily on
+//! the initial path selection).
+
+use uno::metrics::ViolinSummary;
+use uno::sim::{MILLIS, SECONDS};
+use uno::{Experiment, ExperimentConfig};
+use uno_bench::{run_seeds_parallel, HarnessArgs};
+use uno_workloads::FlowSpec;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let topo = args.topo();
+    let runs: u64 = if args.full { 100 } else { 20 };
+    let size = 5u64 << 20;
+    // Enough flows to saturate the inter-DC links.
+    let n_flows = 2 * topo.border_links as u32;
+    let hosts = topo.hosts_per_dc() as u32;
+
+    println!(
+        "Figure 13A: one failed border link, {n_flows} x 5 MiB inter-DC flows, {runs} runs"
+    );
+    println!("{:>9} | FCT across runs (ms)", "scheme");
+    println!("----------+--------------------------------------------");
+
+    for scheme in uno::SchemeSpec::fig13_matrix() {
+        let name = scheme.name;
+        let seeds: Vec<u64> = (0..runs).map(|i| args.seed + i).collect();
+        let means: Vec<f64> = run_seeds_parallel(&seeds, |seed| {
+            let mut cfg = ExperimentConfig::quick(scheme.clone(), seed);
+            cfg.topo = topo.clone();
+            let mut exp = Experiment::new(cfg);
+            for i in 0..n_flows {
+                exp.add_spec(&FlowSpec {
+                    src_dc: 0,
+                    src_idx: (i * hosts / n_flows) % hosts,
+                    dst_dc: 1,
+                    dst_idx: ((i + 3) * hosts / n_flows) % hosts,
+                    size,
+                    start: 0,
+                });
+            }
+            // Fail a seed-chosen border link shortly after start.
+            let victim = exp.sim.topo.border_forward[(seed as usize) % exp.sim.topo.border_forward.len()];
+            exp.sim.schedule_link_down(victim, MILLIS / 2);
+            let r = exp.run(30 * SECONDS);
+            let fcts: Vec<f64> = r.fcts.iter().map(|f| f.fct() as f64 / 1e6).collect();
+            if r.all_completed {
+                uno::metrics::mean(&fcts)
+            } else {
+                f64::NAN
+            }
+        });
+        let ok: Vec<f64> = means.iter().copied().filter(|m| m.is_finite()).collect();
+        let v = ViolinSummary::of(&ok);
+        let failed = means.len() - ok.len();
+        println!(
+            "{name:>9} | min {:7.2}  p25 {:7.2}  med {:7.2}  p75 {:7.2}  max {:7.2}  mean {:7.2}{}",
+            v.min,
+            v.p25,
+            v.p50,
+            v.p75,
+            v.max,
+            v.mean,
+            if failed > 0 {
+                format!("  ({failed} runs incomplete)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!();
+    println!("(paper: UnoLB+EC beats spraying and PLB with and without EC — up to");
+    println!(" 3x vs no-EC, 2x vs RPS, 6x vs PLB — by avoiding the failed link");
+    println!(" and spreading each block across subflows)");
+}

@@ -1,0 +1,56 @@
+//! Table 1 — per-block packet-loss statistics.
+//!
+//! The paper measured 320 M 2 KiB packets between cloud VM pairs and
+//! counted, within consecutive 10-packet chunks, how many chunks lost
+//! >= 1, 2, 3 packets. The raw data is provider-internal, so this harness
+//! validates our Gilbert–Elliott substitution: it replays the fitted model
+//! and prints model-vs-paper rows.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uno::sim::{ChunkLossStats, GilbertElliott};
+use uno_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let packets: u64 = if args.full { 320_000_000 } else { 40_000_000 };
+
+    // Paper rows: (losses-within-block, setup1 rate, setup2 rate).
+    let paper = [
+        (1usize, 3.0e-4, 4.0e-5),
+        (2, 7.5e-5, 2.3e-5),
+        (3, 1.6e-5, 4.9e-6),
+    ];
+
+    println!("Table 1: per-chunk loss statistics ({packets} packets, 10-packet chunks)");
+    println!();
+    for (label, mut model, aggregate_paper) in [
+        ("Setup 1 (65 ms RTT)", GilbertElliott::table1_setup1(), 5.01e-5),
+        ("Setup 2 (33 ms RTT)", GilbertElliott::table1_setup2(), 1.22e-5),
+    ] {
+        let mut rng = SmallRng::seed_from_u64(args.seed);
+        let stats = ChunkLossStats::measure(&mut model, packets, 10, &mut rng);
+        println!("== {label} ==");
+        println!(
+            "aggregate loss rate: model {:.2e} | paper {:.2e}",
+            stats.loss_rate(),
+            aggregate_paper
+        );
+        println!("{:>22} {:>12} {:>12} {:>12}", "losses within block", "model drops", "model rate", "paper rate");
+        let setup1 = label.starts_with("Setup 1");
+        for &(k, s1, s2) in &paper {
+            let rate = stats.rate_at_least(k);
+            let drops: u64 = stats
+                .chunks_with_losses
+                .iter()
+                .skip(k)
+                .sum();
+            let paper_rate = if setup1 { s1 } else { s2 };
+            println!("{k:>22} {drops:>12} {rate:>12.2e} {paper_rate:>12.2e}");
+        }
+        println!();
+    }
+    println!("(the model preserves the paper's headline: losses are link-correlated —");
+    println!(" multi-loss chunks occur orders of magnitude above the independent-loss");
+    println!(" baseline, which motivates MDS coding plus subflow spreading)");
+}

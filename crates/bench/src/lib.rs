@@ -1,0 +1,220 @@
+//! # uno-bench — experiment harness for the Uno reproduction
+//!
+//! One binary per paper figure/table (`fig01` … `fig13c`, `table1`, plus
+//! ablations). Each prints the same rows/series the paper reports, on a
+//! quick (scaled-down) preset by default or the paper-scale configuration
+//! with `--full`. Shared plumbing lives here.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use uno::sim::{Time, TopologyParams, GBPS, SECONDS};
+use uno::{Experiment, ExperimentConfig, SchemeSpec};
+use uno_workloads::FlowSpec;
+
+/// Common command-line options for the figure binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Run at paper scale (k=8, full flow counts) instead of the quick preset.
+    pub full: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Print the Table 2 parameter set and exit.
+    pub params_only: bool,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args` (flags: `--full`, `--seed N`, `--params`).
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs {
+            full: false,
+            seed: 1,
+            params_only: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => args.full = true,
+                "--quick" => args.full = false,
+                "--params" => args.params_only = true,
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                other => panic!("unknown flag {other} (use --full/--quick/--seed N/--params)"),
+            }
+        }
+        args
+    }
+
+    /// Topology for this run: the paper's k=8 dual fat-tree under `--full`,
+    /// otherwise the k=4 quick preset (identical RTTs and buffer rules).
+    pub fn topo(&self) -> TopologyParams {
+        if self.full {
+            TopologyParams::default()
+        } else {
+            TopologyParams::small()
+        }
+    }
+
+    /// Flow-size divisor: quick runs shrink the paper's 1 GiB-class
+    /// messages to keep each figure under a few minutes of wall clock.
+    pub fn size_scale(&self) -> u64 {
+        if self.full {
+            1
+        } else {
+            8
+        }
+    }
+}
+
+/// Print the Table 2 parameter set (used by `--params`).
+pub fn print_table2(topo: &TopologyParams) {
+    println!("Table 2: parameter defaults");
+    println!("  alpha (UnoCC AI factor)      = 0.001 x BDP");
+    println!("  beta (UnoCC QA factor)       = 0.5");
+    println!("  K (UnoCC MD constant)        = 1/7 x intra-DC BDP");
+    println!(
+        "  intra-DC RTT                 = {} us",
+        topo.intra_rtt / 1_000
+    );
+    println!(
+        "  inter-DC RTT                 = {} ms",
+        topo.inter_rtt / 1_000_000
+    );
+    println!("  phantom queue drain rate     = 0.9 x line rate");
+    println!(
+        "  link bandwidth               = {} Gbps",
+        topo.link_bps / GBPS
+    );
+    println!(
+        "  switch buffer per port       = {} KiB",
+        topo.queue_bytes >> 10
+    );
+    println!("  MTU                          = {} B", topo.mtu);
+    println!("  ECN RED thresholds           = 25% / 75% of queue capacity");
+    println!("  EC scheme                    = (8, 2)");
+}
+
+/// The paper's headline scheme set (Figs. 8–12).
+pub fn main_schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::uno(),
+        SchemeSpec::uno_ecmp(),
+        SchemeSpec::gemini(),
+        SchemeSpec::mprdma_bbr(),
+    ]
+}
+
+/// Run one experiment over `specs` to completion, timing the wall clock.
+pub fn run_experiment(
+    scheme: SchemeSpec,
+    topo: TopologyParams,
+    specs: &[FlowSpec],
+    seed: u64,
+    record_progress: bool,
+    horizon: Time,
+) -> uno::ExperimentResults {
+    let started = Instant::now();
+    let name = scheme.name;
+    let mut cfg = ExperimentConfig::quick(scheme, seed);
+    cfg.topo = topo;
+    cfg.record_progress = record_progress;
+    let mut exp = Experiment::new(cfg);
+    exp.add_specs(specs);
+    let r = exp.run(horizon);
+    eprintln!(
+        "[{}] {} flows, sim {:.3}s, wall {:.1}s{}",
+        name,
+        r.flows,
+        r.sim_time as f64 / SECONDS as f64,
+        started.elapsed().as_secs_f64(),
+        if r.all_completed {
+            ""
+        } else {
+            " (horizon hit before completion)"
+        },
+    );
+    r
+}
+
+/// Run `f(seed)` for each seed on a small thread pool, preserving order.
+/// Independent simulation runs are embarrassingly parallel; the simulator
+/// itself stays single-threaded for determinism.
+pub fn run_seeds_parallel<T, F>(seeds: &[u64], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<T>>> =
+        seeds.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                let v = f(seeds[i]);
+                *results[i].lock() = Some(v);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|c| c.into_inner().expect("all seeds ran"))
+        .collect()
+}
+
+/// Human-readable bytes.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Milliseconds with 3 decimals from a [`Time`].
+pub fn fmt_ms(t: Time) -> String {
+    format!("{:.3}", t as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_seed_runner_preserves_order() {
+        let seeds: Vec<u64> = (0..16).collect();
+        let out = run_seeds_parallel(&seeds, |s| s * 10);
+        assert_eq!(out, (0..16).map(|s| s * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
+        assert_eq!(fmt_bytes(1 << 30), "1.0 GiB");
+    }
+
+    #[test]
+    fn main_schemes_cover_paper_baselines() {
+        let names: Vec<&str> = main_schemes().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["Uno", "Uno+ECMP", "Gemini", "MPRDMA+BBR"]);
+    }
+}

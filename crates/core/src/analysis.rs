@@ -1,0 +1,102 @@
+//! Analytic models from the paper's motivation (§1, Fig. 1B): how much of a
+//! message's completion time is propagation delay versus sending throughput.
+
+use serde::{Deserialize, Serialize};
+use uno_sim::{Bps, Time};
+
+/// Fraction of a message's unloaded completion time attributable to
+/// propagation delay (the paper's Fig. 1B y-axis).
+///
+/// Completion time of a `size`-byte message over an `rtt` path at `bps`:
+/// `rtt + size·8/bps` (first packet to last ACK, no queuing); the
+/// propagation share is `rtt / (rtt + ser)`.
+pub fn propagation_fraction(size: u64, rtt: Time, bps: Bps) -> f64 {
+    let ser = uno_sim::time::serialization_time(size, bps);
+    rtt as f64 / (rtt + ser) as f64
+}
+
+/// Message size at which the completion time transitions from latency-bound
+/// to throughput-bound (propagation fraction = 0.5): `size = rtt·bps/8`
+/// — exactly one BDP.
+pub fn crossover_size(rtt: Time, bps: Bps) -> u64 {
+    uno_sim::time::bdp_bytes(bps, rtt)
+}
+
+/// One row of the Fig. 1B dataset.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Fig1Point {
+    /// Path RTT in nanoseconds.
+    pub rtt: Time,
+    /// Message size in bytes.
+    pub size: u64,
+    /// Fraction of completion time due to propagation.
+    pub propagation_fraction: f64,
+}
+
+/// Generate the Fig. 1B series: for each RTT, sweep message sizes (powers
+/// of two from `min_size` to `max_size`) at the given link bandwidth.
+pub fn fig1_series(rtts: &[Time], bps: Bps, min_size: u64, max_size: u64) -> Vec<Fig1Point> {
+    let mut out = Vec::new();
+    for &rtt in rtts {
+        let mut size = min_size;
+        while size <= max_size {
+            out.push(Fig1Point {
+                rtt,
+                size,
+                propagation_fraction: propagation_fraction(size, rtt, bps),
+            });
+            size *= 2;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uno_sim::{GBPS, MICROS, MILLIS};
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        // 4 KiB over 20 ms at 100 Gbps: propagation dominates utterly.
+        let f = propagation_fraction(4096, 20 * MILLIS, 100 * GBPS);
+        assert!(f > 0.999, "{f}");
+    }
+
+    #[test]
+    fn large_messages_are_throughput_bound_intra_dc() {
+        // Paper: for intra RTTs, sizes > 256 KiB become throughput-bound.
+        let f = propagation_fraction(1 << 20, 10 * MICROS, 100 * GBPS);
+        assert!(f < 0.15, "{f}");
+    }
+
+    #[test]
+    fn paper_20ms_1gib_claim() {
+        // Paper §1: at 20 ms inter-DC RTT, completion is dominated by
+        // propagation for messages smaller than ~1 GiB (100 Gbps links).
+        let below = propagation_fraction(128 << 20, 20 * MILLIS, 100 * GBPS);
+        assert!(below > 0.5, "128 MiB should still be latency-bound: {below}");
+        let above = propagation_fraction(4 << 30, 20 * MILLIS, 100 * GBPS);
+        assert!(above < 0.5, "4 GiB should be throughput-bound: {above}");
+    }
+
+    #[test]
+    fn crossover_is_one_bdp() {
+        let c = crossover_size(20 * MILLIS, 100 * GBPS);
+        assert_eq!(c, 250_000_000);
+        let f = propagation_fraction(c, 20 * MILLIS, 100 * GBPS);
+        assert!((f - 0.5).abs() < 0.01, "{f}");
+    }
+
+    #[test]
+    fn series_covers_grid() {
+        let s = fig1_series(&[10 * MICROS, 20 * MILLIS], GBPS, 1024, 1 << 20);
+        assert_eq!(s.len(), 2 * 11);
+        // Fractions are monotonically decreasing in size for fixed RTT.
+        for w in s.windows(2) {
+            if w[0].rtt == w[1].rtt {
+                assert!(w[0].propagation_fraction >= w[1].propagation_fraction);
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! `uno-scenario` — run a simulation scenario described by a JSON file.
+//!
+//! ```text
+//! cargo run --release -p uno --bin uno-scenario -- scenario.json
+//! cargo run --release -p uno --bin uno-scenario -- --print-template
+//! ```
+//!
+//! The scenario file selects a topology preset, a scheme, a workload and
+//! optional failure/loss injection; results (per-flow FCTs plus aggregate
+//! statistics) are printed as JSON on stdout, ready for plotting.
+
+use serde::{Deserialize, Serialize};
+use uno::sim::{GilbertElliott, Time, TopologyParams, MILLIS, SECONDS};
+use uno::{Experiment, ExperimentConfig, SchemeSpec};
+use uno_erasure::EcParams;
+use uno_transport::{LbMode, PlbParams};
+use uno_workloads::{incast, permutation, poisson_mix, Cdf, FlowSpec, PoissonMixParams};
+
+/// Scheme selector.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+enum SchemeSel {
+    Uno,
+    UnoEcmp,
+    Gemini,
+    MprdmaBbr,
+    /// UnoCC with a custom load balancer and optional EC.
+    Custom {
+        lb: LbSel,
+        ec: Option<(u8, u8)>,
+    },
+}
+
+/// Load-balancer selector.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+enum LbSel {
+    Ecmp,
+    Spray,
+    Plb,
+    UnoLb { subflows: usize },
+}
+
+impl LbSel {
+    fn to_mode(self) -> LbMode {
+        match self {
+            LbSel::Ecmp => LbMode::Ecmp,
+            LbSel::Spray => LbMode::Spray,
+            LbSel::Plb => LbMode::Plb(PlbParams::default()),
+            LbSel::UnoLb { subflows } => LbMode::UnoLb { subflows },
+        }
+    }
+}
+
+/// Workload selector.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+enum WorkloadSel {
+    /// Explicit flow list.
+    Flows(Vec<FlowSpec>),
+    /// N intra + M inter senders to one receiver.
+    Incast {
+        intra: usize,
+        inter: usize,
+        size: u64,
+    },
+    /// Random permutation, every host sends `size` bytes.
+    Permutation { size: u64 },
+    /// Poisson mix of websearch (intra) and Alibaba WAN (inter) flows.
+    PoissonMix {
+        load: f64,
+        inter_fraction: f64,
+        duration_ms: u64,
+    },
+}
+
+/// A complete scenario description.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Scenario {
+    /// Fat-tree arity (4 = quick preset, 8 = paper topology).
+    #[serde(default = "default_k")]
+    k: usize,
+    scheme: SchemeSel,
+    workload: WorkloadSel,
+    #[serde(default = "default_seed")]
+    seed: u64,
+    /// Simulation horizon in milliseconds.
+    #[serde(default = "default_horizon")]
+    horizon_ms: u64,
+    /// Fail this many border links at t = 1 ms.
+    #[serde(default)]
+    fail_border_links: usize,
+    /// Apply a uniform per-packet loss rate to all border links.
+    #[serde(default)]
+    border_loss: f64,
+}
+
+fn default_k() -> usize {
+    4
+}
+fn default_seed() -> u64 {
+    1
+}
+fn default_horizon() -> u64 {
+    10_000
+}
+
+/// JSON output shape.
+#[derive(Serialize)]
+struct Output {
+    scheme: String,
+    flows: usize,
+    completed: usize,
+    sim_time_ms: f64,
+    mean_fct_ms: f64,
+    p99_fct_ms: f64,
+    fcts_ms: Vec<f64>,
+    ecn_marks: u64,
+    queue_drops: u64,
+    link_losses: u64,
+}
+
+fn template() -> Scenario {
+    Scenario {
+        k: 4,
+        scheme: SchemeSel::Uno,
+        workload: WorkloadSel::Incast {
+            intra: 4,
+            inter: 4,
+            size: 16 << 20,
+        },
+        seed: 1,
+        horizon_ms: 10_000,
+        fail_border_links: 0,
+        border_loss: 0.0,
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg == "--print-template" || arg.is_empty() {
+        println!("{}", serde_json::to_string_pretty(&template()).unwrap());
+        if arg.is_empty() {
+            eprintln!("usage: uno-scenario <scenario.json> | --print-template");
+            std::process::exit(2);
+        }
+        return;
+    }
+    let text = std::fs::read_to_string(&arg)
+        .unwrap_or_else(|e| panic!("cannot read scenario file {arg}: {e}"));
+    let sc: Scenario = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("invalid scenario JSON: {e}"));
+    let out = run_scenario(&sc);
+    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+}
+
+fn run_scenario(sc: &Scenario) -> Output {
+    let topo = if sc.k == 8 {
+        TopologyParams::default()
+    } else {
+        TopologyParams {
+            k: sc.k,
+            border_links: sc.k,
+            ..TopologyParams::default()
+        }
+    };
+    let scheme = match &sc.scheme {
+        SchemeSel::Uno => SchemeSpec::uno(),
+        SchemeSel::UnoEcmp => SchemeSpec::uno_ecmp(),
+        SchemeSel::Gemini => SchemeSpec::gemini(),
+        SchemeSel::MprdmaBbr => SchemeSpec::mprdma_bbr(),
+        SchemeSel::Custom { lb, ec } => SchemeSpec::unocc_with(
+            "custom",
+            lb.to_mode(),
+            ec.map(|(data, parity)| EcParams { data, parity }),
+        ),
+    };
+    let hosts = topo.hosts_per_dc() as u32;
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(sc.seed);
+    let specs: Vec<FlowSpec> = match &sc.workload {
+        WorkloadSel::Flows(v) => v.clone(),
+        WorkloadSel::Incast { intra, inter, size } => incast(*intra, *inter, *size, hosts),
+        WorkloadSel::Permutation { size } => permutation(hosts, 2, *size, &mut rng),
+        WorkloadSel::PoissonMix {
+            load,
+            inter_fraction,
+            duration_ms,
+        } => poisson_mix(
+            &PoissonMixParams {
+                hosts_per_dc: hosts,
+                dcs: 2,
+                host_bps: topo.link_bps,
+                load: *load,
+                inter_fraction: *inter_fraction,
+                duration: duration_ms * MILLIS,
+            },
+            &Cdf::websearch(),
+            &Cdf::alibaba_wan(),
+            &mut rng,
+        ),
+    };
+
+    let mut cfg = ExperimentConfig::quick(scheme, sc.seed);
+    cfg.topo = topo;
+    let mut exp = Experiment::new(cfg);
+    exp.add_specs(&specs);
+    for i in 0..sc.fail_border_links.min(exp.sim.topo.border_forward.len()) {
+        let l = exp.sim.topo.border_forward[i];
+        exp.sim.schedule_link_down(l, MILLIS);
+    }
+    if sc.border_loss > 0.0 {
+        for l in exp
+            .sim
+            .topo
+            .border_forward
+            .clone()
+            .into_iter()
+            .chain(exp.sim.topo.border_reverse.clone())
+        {
+            exp.sim.set_link_loss(l, GilbertElliott::uniform(sc.border_loss));
+        }
+    }
+    let horizon: Time = sc.horizon_ms * MILLIS;
+    let r = exp.run(horizon.max(SECONDS / 100));
+
+    let fcts_ms: Vec<f64> = r.fcts.iter().map(|f| f.fct() as f64 / 1e6).collect();
+    Output {
+        scheme: r.scheme.clone(),
+        flows: r.flows,
+        completed: r.fcts.len(),
+        sim_time_ms: r.sim_time as f64 / 1e6,
+        mean_fct_ms: uno::metrics::mean(&fcts_ms),
+        p99_fct_ms: uno::metrics::percentile(&fcts_ms, 0.99),
+        fcts_ms,
+        ecn_marks: r.stats.ecn_marks,
+        queue_drops: r.stats.queue_drops,
+        link_losses: r.stats.link_losses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_round_trips() {
+        let t = template();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.k, 4);
+        assert!(matches!(back.workload, WorkloadSel::Incast { intra: 4, .. }));
+    }
+
+    #[test]
+    fn scenario_runs_end_to_end() {
+        let sc = Scenario {
+            k: 4,
+            scheme: SchemeSel::Uno,
+            workload: WorkloadSel::Incast {
+                intra: 2,
+                inter: 1,
+                size: 1 << 20,
+            },
+            seed: 3,
+            horizon_ms: 5_000,
+            fail_border_links: 0,
+            border_loss: 0.0,
+        };
+        let out = run_scenario(&sc);
+        assert_eq!(out.flows, 3);
+        assert_eq!(out.completed, 3);
+        assert!(out.mean_fct_ms > 0.0);
+    }
+
+    #[test]
+    fn scenario_with_failure_and_loss() {
+        let sc = Scenario {
+            k: 4,
+            scheme: SchemeSel::Custom {
+                lb: LbSel::UnoLb { subflows: 10 },
+                ec: Some((8, 2)),
+            },
+            workload: WorkloadSel::Flows(vec![FlowSpec {
+                src_dc: 0,
+                src_idx: 0,
+                dst_dc: 1,
+                dst_idx: 1,
+                size: 4 << 20,
+                start: 0,
+            }]),
+            seed: 5,
+            horizon_ms: 10_000,
+            fail_border_links: 1,
+            border_loss: 0.001,
+        };
+        let out = run_scenario(&sc);
+        assert_eq!(out.completed, 1);
+    }
+
+    #[test]
+    fn minimal_json_uses_defaults() {
+        let json = r#"{"scheme":"uno","workload":{"incast":{"intra":1,"inter":0,"size":65536}}}"#;
+        let sc: Scenario = serde_json::from_str(json).unwrap();
+        assert_eq!(sc.k, 4);
+        assert_eq!(sc.horizon_ms, 10_000);
+        assert_eq!(sc.fail_border_links, 0);
+    }
+}

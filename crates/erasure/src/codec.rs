@@ -1,0 +1,414 @@
+//! Systematic Reed–Solomon erasure codec.
+//!
+//! UnoRC (paper §4.2) divides each inter-DC message into *blocks* of
+//! `n = x + y` packets — `x` data packets plus `y` parity packets computed
+//! with an MDS code — so a block is recoverable from *any* `x` of its `n`
+//! packets. This module is the real byte-level codec; the simulator relies
+//! on its recoverability semantics.
+
+use crate::gf256 as gf;
+use crate::matrix::Matrix;
+
+/// Errors returned by the codec.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// Fewer than `x` shards were present.
+    NotEnoughShards {
+        /// Shards available.
+        have: usize,
+        /// Shards required (`x`).
+        need: usize,
+    },
+    /// Shards had inconsistent lengths.
+    ShardSizeMismatch,
+    /// Wrong number of shard slots passed (must be `x + y`).
+    WrongShardCount {
+        /// Slots passed.
+        got: usize,
+        /// Slots expected.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::NotEnoughShards { have, need } => {
+                write!(f, "not enough shards: have {have}, need {need}")
+            }
+            CodecError::ShardSizeMismatch => write!(f, "shard sizes differ"),
+            CodecError::WrongShardCount { got, expected } => {
+                write!(f, "expected {expected} shard slots, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A systematic `(x, y)` Reed–Solomon code: `x` data shards, `y` parity
+/// shards, tolerating any `y` erasures. The paper's default is `(8, 2)`
+/// (20 % overhead).
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    data_shards: usize,
+    parity_shards: usize,
+    /// The `y × x` Cauchy parity matrix.
+    parity_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Create an `(data_shards, parity_shards)` code.
+    ///
+    /// # Panics
+    /// If either count is zero or their sum exceeds 256.
+    pub fn new(data_shards: usize, parity_shards: usize) -> Self {
+        assert!(data_shards > 0, "need at least one data shard");
+        assert!(parity_shards > 0, "need at least one parity shard");
+        ReedSolomon {
+            data_shards,
+            parity_shards,
+            parity_matrix: Matrix::cauchy(parity_shards, data_shards),
+        }
+    }
+
+    /// Number of data shards (`x`).
+    pub fn data_shards(&self) -> usize {
+        self.data_shards
+    }
+
+    /// Number of parity shards (`y`).
+    pub fn parity_shards(&self) -> usize {
+        self.parity_shards
+    }
+
+    /// Total shards per block (`n = x + y`).
+    pub fn total_shards(&self) -> usize {
+        self.data_shards + self.parity_shards
+    }
+
+    /// Fractional wire overhead `y / x` (paper: 2/8 = 25 % extra packets,
+    /// i.e. parity is 20 % of the transmitted total).
+    pub fn overhead(&self) -> f64 {
+        self.parity_shards as f64 / self.data_shards as f64
+    }
+
+    /// Compute parity shards for `data` (all shards must be equal length).
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, CodecError> {
+        if data.len() != self.data_shards {
+            return Err(CodecError::WrongShardCount {
+                got: data.len(),
+                expected: self.data_shards,
+            });
+        }
+        let len = data[0].len();
+        if data.iter().any(|d| d.len() != len) {
+            return Err(CodecError::ShardSizeMismatch);
+        }
+        let mut parity = vec![vec![0u8; len]; self.parity_shards];
+        for (i, out) in parity.iter_mut().enumerate() {
+            for (j, shard) in data.iter().enumerate() {
+                gf::mul_acc(out, shard, self.parity_matrix[(i, j)]);
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Reconstruct missing shards in place.
+    ///
+    /// `shards` has `x + y` slots ordered data-then-parity; `None` marks an
+    /// erasure. On success every slot is `Some` and the first `x` slots hold
+    /// the original data.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodecError> {
+        let n = self.total_shards();
+        if shards.len() != n {
+            return Err(CodecError::WrongShardCount {
+                got: shards.len(),
+                expected: n,
+            });
+        }
+        let present: Vec<usize> = (0..n).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.data_shards {
+            return Err(CodecError::NotEnoughShards {
+                have: present.len(),
+                need: self.data_shards,
+            });
+        }
+        if present.len() == n {
+            return Ok(()); // nothing missing
+        }
+        let len = shards[present[0]].as_ref().unwrap().len();
+        if present
+            .iter()
+            .any(|&i| shards[i].as_ref().unwrap().len() != len)
+        {
+            return Err(CodecError::ShardSizeMismatch);
+        }
+
+        // Build the x×x submatrix of the generator corresponding to the
+        // first x present shards, invert it, and recover the data shards.
+        let rows: Vec<Vec<u8>> = present
+            .iter()
+            .take(self.data_shards)
+            .map(|&i| self.generator_row(i))
+            .collect();
+        let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        let sub = Matrix::from_rows(&row_refs);
+        let inv = sub
+            .inverse()
+            .expect("Cauchy generator submatrices are always invertible");
+
+        // data[j] = sum_k inv[j][k] * received[k].
+        let received: Vec<&Vec<u8>> = present
+            .iter()
+            .take(self.data_shards)
+            .map(|&i| shards[i].as_ref().unwrap())
+            .collect();
+        let mut recovered_data: Vec<Option<Vec<u8>>> = vec![None; self.data_shards];
+        for j in 0..self.data_shards {
+            if shards[j].is_some() {
+                continue; // data shard already present
+            }
+            let mut out = vec![0u8; len];
+            for (k, r) in received.iter().enumerate() {
+                gf::mul_acc(&mut out, r, inv[(j, k)]);
+            }
+            recovered_data[j] = Some(out);
+        }
+        for j in 0..self.data_shards {
+            if let Some(d) = recovered_data[j].take() {
+                shards[j] = Some(d);
+            }
+        }
+        // Re-encode any missing parity from the (now complete) data.
+        if shards[self.data_shards..].iter().any(|s| s.is_none()) {
+            let data_refs: Vec<&[u8]> = shards[..self.data_shards]
+                .iter()
+                .map(|s| s.as_ref().unwrap().as_slice())
+                .collect();
+            let parity = self.encode(&data_refs)?;
+            for (i, p) in parity.into_iter().enumerate() {
+                if shards[self.data_shards + i].is_none() {
+                    shards[self.data_shards + i] = Some(p);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Row `i` of the systematic generator `[I; C]`.
+    fn generator_row(&self, i: usize) -> Vec<u8> {
+        let mut row = vec![0u8; self.data_shards];
+        if i < self.data_shards {
+            row[i] = 1;
+        } else {
+            row.copy_from_slice(self.parity_matrix.row(i - self.data_shards));
+        }
+        row
+    }
+
+    /// Encode a contiguous message into `(x, y)` blocks of `shard_len`-byte
+    /// shards. The message is zero-padded to a whole number of blocks.
+    /// Returns, per block, the `x + y` shards.
+    pub fn encode_message(&self, msg: &[u8], shard_len: usize) -> Vec<Vec<Vec<u8>>> {
+        assert!(shard_len > 0);
+        let block_bytes = shard_len * self.data_shards;
+        let nblocks = msg.len().div_ceil(block_bytes).max(1);
+        let mut blocks = Vec::with_capacity(nblocks);
+        for b in 0..nblocks {
+            let mut shards: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
+            for s in 0..self.data_shards {
+                let start = b * block_bytes + s * shard_len;
+                let mut shard = vec![0u8; shard_len];
+                if start < msg.len() {
+                    let end = (start + shard_len).min(msg.len());
+                    shard[..end - start].copy_from_slice(&msg[start..end]);
+                }
+                shards.push(shard);
+            }
+            let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+            let parity = self.encode(&refs).expect("shards are uniform");
+            shards.extend(parity);
+            blocks.push(shards);
+        }
+        blocks
+    }
+
+    /// Reassemble a message of `msg_len` bytes from blocks of shard slots
+    /// (each block as produced by [`Self::encode_message`], with erasures).
+    pub fn decode_message(
+        &self,
+        blocks: &mut [Vec<Option<Vec<u8>>>],
+        msg_len: usize,
+    ) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::with_capacity(msg_len);
+        for block in blocks.iter_mut() {
+            self.reconstruct(block)?;
+            for shard in block.iter().take(self.data_shards) {
+                out.extend_from_slice(shard.as_ref().unwrap());
+            }
+        }
+        out.truncate(msg_len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(x: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..x)
+            .map(|i| (0..len).map(|j| (i * 131 + j * 7 + 3) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_no_loss() {
+        let rs = ReedSolomon::new(8, 2);
+        let data = sample_data(8, 64);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        assert_eq!(parity.len(), 2);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        rs.reconstruct(&mut shards).unwrap();
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(shards[i].as_ref().unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn recovers_any_two_erasures_in_8_2() {
+        let rs = ReedSolomon::new(8, 2);
+        let data = sample_data(8, 32);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let mut shards: Vec<Option<Vec<u8>>> =
+                    full.iter().cloned().map(Some).collect();
+                shards[a] = None;
+                shards[b] = None;
+                rs.reconstruct(&mut shards).unwrap();
+                for (i, s) in shards.iter().enumerate() {
+                    assert_eq!(s.as_ref().unwrap(), &full[i], "erased ({a},{b}), shard {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_erasures_fail_in_8_2() {
+        let rs = ReedSolomon::new(8, 2);
+        let data = sample_data(8, 16);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        shards[0] = None;
+        shards[3] = None;
+        shards[9] = None;
+        assert_eq!(
+            rs.reconstruct(&mut shards),
+            Err(CodecError::NotEnoughShards { have: 7, need: 8 })
+        );
+    }
+
+    #[test]
+    fn parity_only_reconstruction() {
+        // Lose y data shards; recover purely from remaining data + parity.
+        let rs = ReedSolomon::new(4, 4);
+        let data = sample_data(4, 24);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            vec![None, None, None, None]
+                .into_iter()
+                .chain(parity.into_iter().map(Some))
+                .collect();
+        rs.reconstruct(&mut shards).unwrap();
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(shards[i].as_ref().unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn mismatched_shard_sizes_rejected() {
+        let rs = ReedSolomon::new(2, 1);
+        let a = vec![1u8; 8];
+        let b = vec![2u8; 9];
+        assert_eq!(
+            rs.encode(&[&a, &b]),
+            Err(CodecError::ShardSizeMismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_shard_count_rejected() {
+        let rs = ReedSolomon::new(3, 2);
+        let a = vec![0u8; 4];
+        assert!(matches!(
+            rs.encode(&[&a]),
+            Err(CodecError::WrongShardCount { got: 1, expected: 3 })
+        ));
+        let mut shards: Vec<Option<Vec<u8>>> = vec![Some(a); 4];
+        assert!(matches!(
+            rs.reconstruct(&mut shards),
+            Err(CodecError::WrongShardCount { got: 4, expected: 5 })
+        ));
+    }
+
+    #[test]
+    fn message_round_trip_with_erasures() {
+        let rs = ReedSolomon::new(8, 2);
+        let msg: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let mut blocks: Vec<Vec<Option<Vec<u8>>>> = rs
+            .encode_message(&msg, 128)
+            .into_iter()
+            .map(|b| b.into_iter().map(Some).collect())
+            .collect();
+        // Knock out two shards per block.
+        for (bi, block) in blocks.iter_mut().enumerate() {
+            block[bi % 10] = None;
+            block[(bi + 5) % 10] = None;
+        }
+        let decoded = rs.decode_message(&mut blocks, msg.len()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn overhead_matches_paper_default() {
+        let rs = ReedSolomon::new(8, 2);
+        assert_eq!(rs.total_shards(), 10);
+        assert!((rs.overhead() - 0.25).abs() < 1e-12);
+        // Parity fraction of the wire total is 20% as stated in the paper.
+        let parity_frac = rs.parity_shards() as f64 / rs.total_shards() as f64;
+        assert!((parity_frac - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_message_pads() {
+        let rs = ReedSolomon::new(8, 2);
+        let msg = b"hello".to_vec();
+        let mut blocks: Vec<Vec<Option<Vec<u8>>>> = rs
+            .encode_message(&msg, 16)
+            .into_iter()
+            .map(|b| b.into_iter().map(Some).collect())
+            .collect();
+        assert_eq!(blocks.len(), 1);
+        blocks[0][0] = None; // erase the shard containing the payload
+        blocks[0][1] = None;
+        let decoded = rs.decode_message(&mut blocks, msg.len()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+}

@@ -1,0 +1,241 @@
+//! Dense matrices over GF(2^8): construction of Cauchy coding matrices and
+//! Gaussian-elimination inversion for decoding.
+
+use crate::gf256 as gf;
+
+/// A row-major matrix over GF(2^8).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Build from rows of equal length.
+    pub fn from_rows(rows: &[&[u8]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut m = Matrix::zero(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            m.row_mut(i).copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Cauchy parity matrix with `parity` rows and `data` columns:
+    /// element (i, j) = 1 / (x_i + y_j) with x_i = data + i, y_j = j.
+    ///
+    /// Any square submatrix of a Cauchy matrix is invertible, which makes
+    /// `[I; C]` an MDS generator: any `data` of the `data + parity` coded
+    /// symbols suffice to reconstruct. Requires `data + parity <= 256`.
+    pub fn cauchy(parity: usize, data: usize) -> Self {
+        assert!(
+            data + parity <= 256,
+            "GF(2^8) supports at most 256 total shards"
+        );
+        let mut m = Matrix::zero(parity, data);
+        for i in 0..parity {
+            for j in 0..data {
+                let x = (data + i) as u8;
+                let y = j as u8;
+                m[(i, j)] = gf::inv(gf::add(x, y));
+            }
+        }
+        m
+    }
+
+    /// Borrow row `i`.
+    pub fn row(&self, i: usize) -> &[u8] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [u8] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix product `self * other`.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows);
+        let mut out = Matrix::zero(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let prod = gf::mul(a, other[(k, j)]);
+                    out[(i, j)] = gf::add(out[(i, j)], prod);
+                }
+            }
+        }
+        out
+    }
+
+    /// Invert via Gauss–Jordan elimination. Returns `None` if singular.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find pivot.
+            let pivot = (col..n).find(|&r| a[(r, col)] != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Scale pivot row to 1.
+            let p = a[(col, col)];
+            if p != 1 {
+                let pinv = gf::inv(p);
+                for j in 0..n {
+                    a[(col, j)] = gf::mul(a[(col, j)], pinv);
+                    inv[(col, j)] = gf::mul(inv[(col, j)], pinv);
+                }
+            }
+            // Eliminate the column from every other row.
+            for r in 0..n {
+                if r == col || a[(r, col)] == 0 {
+                    continue;
+                }
+                let f = a[(r, col)];
+                for j in 0..n {
+                    let t = gf::mul(f, a[(col, j)]);
+                    a[(r, j)] = gf::add(a[(r, j)], t);
+                    let t = gf::mul(f, inv[(col, j)]);
+                    inv[(r, j)] = gf::add(inv[(r, j)], t);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * self.cols);
+        head[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = u8;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &u8 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut u8 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let m = Matrix::from_rows(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]);
+        let i = Matrix::identity(3);
+        assert_eq!(m.mul(&i), m);
+        assert_eq!(i.mul(&m), m);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let m = Matrix::from_rows(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 10]]);
+        let inv = m.inverse().expect("invertible");
+        assert_eq!(m.mul(&inv), Matrix::identity(3));
+        assert_eq!(inv.mul(&m), Matrix::identity(3));
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        // Row 2 = row 0 (GF addition of identical rows is zero).
+        let m = Matrix::from_rows(&[&[1, 2], &[1, 2]]);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn zero_matrix_is_singular() {
+        assert!(Matrix::zero(4, 4).inverse().is_none());
+    }
+
+    #[test]
+    fn cauchy_any_square_submatrix_invertible() {
+        // The MDS property: for an (8, 2) code, any 8 rows of [I8; C(2x8)]
+        // must form an invertible 8x8 matrix. Exhaustively drop every pair.
+        let x = 8;
+        let y = 2;
+        let c = Matrix::cauchy(y, x);
+        let mut gen = Matrix::zero(x + y, x);
+        for i in 0..x {
+            gen[(i, i)] = 1;
+        }
+        for i in 0..y {
+            for j in 0..x {
+                gen[(x + i, j)] = c[(i, j)];
+            }
+        }
+        let n = x + y;
+        for drop_a in 0..n {
+            for drop_b in (drop_a + 1)..n {
+                let rows: Vec<&[u8]> = (0..n)
+                    .filter(|&r| r != drop_a && r != drop_b)
+                    .map(|r| gen.row(r))
+                    .collect();
+                let sub = Matrix::from_rows(&rows);
+                assert!(
+                    sub.inverse().is_some(),
+                    "dropping rows {drop_a},{drop_b} must stay invertible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256")]
+    fn cauchy_rejects_oversized_field() {
+        let _ = Matrix::cauchy(200, 100);
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = Matrix::from_rows(&[&[1, 2], &[3, 4], &[5, 6]]);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[5, 6]);
+        assert_eq!(m.row(2), &[1, 2]);
+        m.swap_rows(1, 1);
+        assert_eq!(m.row(1), &[3, 4]);
+    }
+}

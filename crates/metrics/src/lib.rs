@@ -1,0 +1,18 @@
+//! # uno-metrics — measurement and statistics for the Uno reproduction
+//!
+//! Flow-completion-time statistics (mean / tail percentiles / slowdowns),
+//! send-rate time series derived from progress records, violin-plot summary
+//! statistics for multi-run experiments, and small text-table helpers used
+//! by the experiment harness.
+
+#![warn(missing_docs)]
+
+pub mod fct;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use fct::{FctSummary, FctTable};
+pub use series::{jain_fairness, rates_from_progress, RatePoint, TimeSeriesStats};
+pub use stats::{mean, percentile, percentile_of_sorted, ViolinSummary};
+pub use table::TextTable;

@@ -1,0 +1,138 @@
+//! Time-series utilities: deriving send-rate curves from cumulative progress
+//! records (paper Figs. 3 and 8 plot per-flow sending rates over time) and
+//! summarizing sampled queue occupancies (Fig. 4).
+
+use serde::{Deserialize, Serialize};
+use uno_sim::{Time, SECONDS};
+
+/// One point of a rate curve.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RatePoint {
+    /// Interval midpoint.
+    pub time: Time,
+    /// Goodput over the interval in bits/s.
+    pub rate_bps: f64,
+}
+
+/// Convert a cumulative (time, acked-bytes) progress series into a rate
+/// curve with fixed-width bins of `bin` nanoseconds over `[0, horizon)`.
+pub fn rates_from_progress(progress: &[(Time, u64)], bin: Time, horizon: Time) -> Vec<RatePoint> {
+    assert!(bin > 0);
+    let nbins = horizon.div_ceil(bin) as usize;
+    let mut out = Vec::with_capacity(nbins);
+    let mut idx = 0usize;
+    let mut last_bytes = 0u64;
+    for b in 0..nbins {
+        let end = (b as Time + 1) * bin;
+        // Advance to the last record at or before `end`.
+        let mut bytes_at_end = last_bytes;
+        while idx < progress.len() && progress[idx].0 <= end {
+            bytes_at_end = progress[idx].1;
+            idx += 1;
+        }
+        let delta = bytes_at_end.saturating_sub(last_bytes);
+        out.push(RatePoint {
+            time: end - bin / 2,
+            rate_bps: delta as f64 * 8.0 * (SECONDS as f64 / bin as f64),
+        });
+        last_bytes = bytes_at_end;
+    }
+    out
+}
+
+/// Summary statistics of a sampled (time, value) series.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TimeSeriesStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Mean value.
+    pub mean: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// 99th percentile value.
+    pub p99: f64,
+}
+
+impl TimeSeriesStats {
+    /// Summarize the value column of a sampled series.
+    pub fn of(series: &[(Time, u64)]) -> Self {
+        if series.is_empty() {
+            return TimeSeriesStats::default();
+        }
+        let vals: Vec<f64> = series.iter().map(|&(_, v)| v as f64).collect();
+        TimeSeriesStats {
+            n: vals.len(),
+            mean: crate::stats::mean(&vals),
+            max: vals.iter().fold(0.0f64, |a, &b| a.max(b)),
+            p99: crate::stats::percentile(&vals, 0.99),
+        }
+    }
+}
+
+/// Jain's fairness index of a set of rates: `(Σx)² / (n·Σx²)`, 1.0 = fair.
+pub fn jain_fairness(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sum_sq: f64 = rates.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (rates.len() as f64 * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uno_sim::MILLIS;
+
+    #[test]
+    fn constant_rate_recovered() {
+        // 1 MB/ms cumulative progress => 8 Gbps.
+        let progress: Vec<(Time, u64)> = (1..=10)
+            .map(|i| (i * MILLIS, i * 1_000_000))
+            .collect();
+        let rates = rates_from_progress(&progress, MILLIS, 10 * MILLIS);
+        assert_eq!(rates.len(), 10);
+        for r in &rates {
+            assert!((r.rate_bps - 8e9).abs() < 1e6, "{}", r.rate_bps);
+        }
+    }
+
+    #[test]
+    fn idle_bins_have_zero_rate() {
+        let progress = vec![(1 * MILLIS, 1000u64)];
+        let rates = rates_from_progress(&progress, MILLIS, 3 * MILLIS);
+        assert!(rates[0].rate_bps > 0.0);
+        assert_eq!(rates[1].rate_bps, 0.0);
+        assert_eq!(rates[2].rate_bps, 0.0);
+    }
+
+    #[test]
+    fn empty_progress_is_all_zero() {
+        let rates = rates_from_progress(&[], MILLIS, 2 * MILLIS);
+        assert_eq!(rates.len(), 2);
+        assert!(rates.iter().all(|r| r.rate_bps == 0.0));
+    }
+
+    #[test]
+    fn series_stats() {
+        let s: Vec<(Time, u64)> = vec![(0, 10), (1, 20), (2, 30)];
+        let st = TimeSeriesStats::of(&s);
+        assert_eq!(st.n, 3);
+        assert_eq!(st.mean, 20.0);
+        assert_eq!(st.max, 30.0);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One flow hogging: index -> 1/n.
+        let j = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Basic statistics: mean, percentiles, violin summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; 0.0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Percentile `q ∈ [0, 1]` with linear interpolation between order
+/// statistics (sorts a copy). 0.0 for empty input.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_of_sorted(&v, q)
+}
+
+/// Percentile of an already-sorted slice.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Five-number summary plus mean, the statistics behind the paper's violin
+/// plots (Fig. 13).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ViolinSummary {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// Third quartile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl ViolinSummary {
+    /// Summarize `xs` (empty input yields all zeros).
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return ViolinSummary::default();
+        }
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in violin input"));
+        ViolinSummary {
+            min: v[0],
+            p25: percentile_of_sorted(&v, 0.25),
+            p50: percentile_of_sorted(&v, 0.50),
+            p75: percentile_of_sorted(&v, 0.75),
+            max: *v.last().unwrap(),
+            mean: mean(&v),
+            n: v.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for ViolinSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min={:.3} p25={:.3} p50={:.3} p75={:.3} max={:.3} mean={:.3} (n={})",
+            self.min, self.p25, self.p50, self.p75, self.max, self.mean, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        // p99 of a uniform 0..=100 grid is ~99.
+        let grid: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert!((percentile(&grid, 0.99) - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let xs = [5.0, 6.0];
+        assert_eq!(percentile(&xs, -0.5), 5.0);
+        assert_eq!(percentile(&xs, 1.5), 6.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&xs, 0.5), 5.0);
+    }
+
+    #[test]
+    fn percentile_empty() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn violin_summary_values() {
+        let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let v = ViolinSummary::of(&xs);
+        assert_eq!(v.min, 1.0);
+        assert_eq!(v.p50, 5.0);
+        assert_eq!(v.max, 9.0);
+        assert_eq!(v.mean, 5.0);
+        assert_eq!(v.n, 9);
+        assert_eq!(v.p25, 3.0);
+        assert_eq!(v.p75, 7.0);
+    }
+
+    #[test]
+    fn violin_empty_is_zeroed() {
+        let v = ViolinSummary::of(&[]);
+        assert_eq!(v.n, 0);
+        assert_eq!(v.max, 0.0);
+    }
+}

@@ -1,0 +1,771 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the topology and a set of flows. Flow behaviour (transport
+//! protocols, erasure coding, load balancing) is injected through the
+//! [`FlowLogic`] trait: the engine calls back on packet delivery and timer
+//! expiry, and the logic responds with [`Action`]s (send a packet, arm a
+//! timer, report progress, declare completion). This inversion keeps the
+//! engine free of protocol knowledge and the protocols free of borrow
+//! entanglement with engine internals.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventQueue};
+use crate::ids::{FlowId, LinkId, NodeId};
+use crate::loss::GilbertElliott;
+use crate::packet::Packet;
+use crate::queue::EnqueueOutcome;
+use crate::time::{serialization_time, Time};
+use crate::topology::Topology;
+
+/// Whether a flow stays within one DC or crosses the WAN.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FlowClass {
+    /// Both endpoints in the same datacenter.
+    Intra,
+    /// Endpoints in different datacenters.
+    Inter,
+}
+
+/// Static description of a flow, used for bookkeeping and FCT records.
+#[derive(Clone, Debug)]
+pub struct FlowMeta {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Application bytes to transfer.
+    pub size: u64,
+    /// Absolute start time.
+    pub start: Time,
+    /// Intra- or inter-DC.
+    pub class: FlowClass,
+}
+
+/// Completion record for a finished flow.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FctRecord {
+    /// The flow.
+    pub flow: FlowId,
+    /// Application bytes transferred.
+    pub size: u64,
+    /// Start time.
+    pub start: Time,
+    /// Completion time (last needed ACK at the sender).
+    pub end: Time,
+    /// Intra or inter.
+    pub class: FlowClass,
+}
+
+impl FctRecord {
+    /// Flow completion time.
+    pub fn fct(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+/// Actions a flow emits from its callbacks.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Inject a packet at its source host's NIC.
+    Send(Packet),
+    /// Arm a timer that fires [`FlowLogic::on_timer`] with `token`.
+    Timer {
+        /// Absolute fire time.
+        at: Time,
+        /// Opaque token returned to the flow.
+        token: u64,
+    },
+    /// Declare the flow complete (records the FCT).
+    Complete,
+    /// Report cumulative acknowledged bytes (rate time-series).
+    Progress(u64),
+}
+
+/// Callback context handed to [`FlowLogic`] methods.
+pub struct Ctx<'a> {
+    /// Current simulation time.
+    pub now: Time,
+    /// Id of the flow being called.
+    pub flow: FlowId,
+    /// Deterministic simulation RNG.
+    pub rng: &'a mut SmallRng,
+    /// Read access to the topology.
+    pub topo: &'a Topology,
+    actions: &'a mut Vec<Action>,
+}
+
+impl Ctx<'_> {
+    /// Send `pkt` (injected at `pkt.src`'s NIC uplink).
+    pub fn send(&mut self, pkt: Packet) {
+        self.actions.push(Action::Send(pkt));
+    }
+
+    /// Arm a timer `delay` from now.
+    pub fn set_timer(&mut self, delay: Time, token: u64) {
+        self.actions.push(Action::Timer {
+            at: self.now + delay,
+            token,
+        });
+    }
+
+    /// Declare the flow complete.
+    pub fn complete(&mut self) {
+        self.actions.push(Action::Complete);
+    }
+
+    /// Report cumulative acked bytes (recorded only when the flow was added
+    /// with progress recording enabled).
+    pub fn progress(&mut self, cumulative_bytes: u64) {
+        self.actions.push(Action::Progress(cumulative_bytes));
+    }
+
+    /// A uniformly random path-entropy value.
+    pub fn random_entropy(&mut self) -> u16 {
+        self.rng.gen()
+    }
+}
+
+/// Protocol logic driven by the engine.
+pub trait FlowLogic {
+    /// Called once at the flow's start time.
+    fn on_start(&mut self, ctx: &mut Ctx);
+    /// Called when a packet addressed to one of the flow's endpoints arrives.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx);
+    /// Called when a timer armed via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx);
+}
+
+struct FlowSlot {
+    meta: FlowMeta,
+    logic: Option<Box<dyn FlowLogic>>,
+    done: bool,
+    record_progress: bool,
+}
+
+/// Periodic sampler of a link queue's physical (and phantom) occupancy.
+#[derive(Clone, Debug)]
+pub struct QueueSampler {
+    /// Sampled link.
+    pub link: LinkId,
+    /// Sampling period.
+    pub interval: Time,
+    /// (time, physical bytes) samples.
+    pub samples: Vec<(Time, u64)>,
+    /// (time, phantom bytes) samples (empty when no phantom queue).
+    pub phantom_samples: Vec<(Time, u64)>,
+}
+
+/// Aggregate drop/mark/transmit statistics over all links.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Packets dropped at full queues.
+    pub queue_drops: u64,
+    /// Packets ECN-marked.
+    pub ecn_marks: u64,
+    /// Packets lost to loss processes or failed links.
+    pub link_losses: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+}
+
+/// The simulator: topology + event queue + flows.
+pub struct Simulator {
+    /// The network.
+    pub topo: Topology,
+    events: EventQueue,
+    now: Time,
+    rng: SmallRng,
+    flows: Vec<FlowSlot>,
+    completed_flows: usize,
+    /// Completion records, in completion order.
+    pub fcts: Vec<FctRecord>,
+    /// Registered queue samplers.
+    pub samplers: Vec<QueueSampler>,
+    /// Per-flow progress time-series (empty unless enabled per flow).
+    pub progress: Vec<Vec<(Time, u64)>>,
+    action_buf: Vec<Action>,
+    /// Total events processed (for engine benchmarking).
+    pub events_processed: u64,
+}
+
+impl Simulator {
+    /// Create a simulator over `topo` with a deterministic RNG `seed`.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        Simulator {
+            topo,
+            events: EventQueue::new(),
+            now: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            flows: Vec::new(),
+            completed_flows: 0,
+            fcts: Vec::new(),
+            samplers: Vec::new(),
+            progress: Vec::new(),
+            action_buf: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of registered flows.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of completed flows.
+    pub fn num_completed(&self) -> usize {
+        self.completed_flows
+    }
+
+    /// Register a flow; its [`FlowLogic::on_start`] runs at `meta.start`.
+    pub fn add_flow(&mut self, meta: FlowMeta, logic: Box<dyn FlowLogic>) -> FlowId {
+        self.add_flow_recorded(meta, logic, false)
+    }
+
+    /// Like [`Self::add_flow`], optionally recording progress reports.
+    pub fn add_flow_recorded(
+        &mut self,
+        meta: FlowMeta,
+        logic: Box<dyn FlowLogic>,
+        record_progress: bool,
+    ) -> FlowId {
+        let id = FlowId::from(self.flows.len());
+        self.events.push(meta.start, Event::FlowStart(id));
+        self.flows.push(FlowSlot {
+            meta,
+            logic: Some(logic),
+            done: false,
+            record_progress,
+        });
+        self.progress.push(Vec::new());
+        id
+    }
+
+    /// Metadata of flow `id`.
+    pub fn flow_meta(&self, id: FlowId) -> &FlowMeta {
+        &self.flows[id.index()].meta
+    }
+
+    /// Records for flows that have **not** completed, with `end` set to the
+    /// current time — i.e. FCT lower bounds. Reporting these alongside the
+    /// real completions avoids censoring bias when a run hits its horizon
+    /// (dropping unfinished flows makes slow schemes look *better*).
+    pub fn censored_fcts(&self) -> Vec<FctRecord> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.done && s.meta.start < self.now)
+            .map(|(i, s)| FctRecord {
+                flow: FlowId::from(i),
+                size: s.meta.size,
+                start: s.meta.start,
+                end: self.now,
+                class: s.meta.class,
+            })
+            .collect()
+    }
+
+    /// Attach a stochastic loss process to a link.
+    pub fn set_link_loss(&mut self, link: LinkId, model: GilbertElliott) {
+        self.topo.links[link.index()].loss = Some(model);
+    }
+
+    /// Schedule a link failure at absolute time `t`.
+    pub fn schedule_link_down(&mut self, link: LinkId, t: Time) {
+        self.events.push(t, Event::LinkDown(link));
+    }
+
+    /// Schedule a link recovery at absolute time `t`.
+    pub fn schedule_link_up(&mut self, link: LinkId, t: Time) {
+        self.events.push(t, Event::LinkUp(link));
+    }
+
+    /// Register a periodic occupancy sampler on `link`, starting at `start`.
+    pub fn add_queue_sampler(&mut self, link: LinkId, interval: Time, start: Time) -> usize {
+        let idx = self.samplers.len();
+        self.samplers.push(QueueSampler {
+            link,
+            interval,
+            samples: Vec::new(),
+            phantom_samples: Vec::new(),
+        });
+        self.events.push(start, Event::Sample(idx as u32));
+        idx
+    }
+
+    /// Aggregate network statistics.
+    pub fn network_stats(&self) -> NetworkStats {
+        let mut s = NetworkStats::default();
+        for l in &self.topo.links {
+            s.queue_drops += l.queue.drops;
+            s.ecn_marks += l.queue.marks;
+            s.link_losses += l.lost_packets;
+            s.tx_packets += l.tx_packets;
+            s.tx_bytes += l.tx_bytes;
+        }
+        s
+    }
+
+    /// Process events until simulated time exceeds `end` (which becomes the
+    /// new `now`), the event queue drains, or all flows complete.
+    pub fn run_until(&mut self, end: Time) {
+        while let Some(t) = self.events.peek_time() {
+            if t > end {
+                break;
+            }
+            let (t, ev) = self.events.pop().unwrap();
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatch(ev);
+            self.events_processed += 1;
+            if !self.flows.is_empty() && self.completed_flows == self.flows.len() {
+                return;
+            }
+        }
+        self.now = self.now.max(end);
+    }
+
+    /// Run until every registered flow completes or `hard_limit` is reached.
+    /// Returns true when all flows completed.
+    pub fn run_to_completion(&mut self, hard_limit: Time) -> bool {
+        self.run_until(hard_limit);
+        self.completed_flows == self.flows.len()
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Arrive(link, pkt) => self.handle_arrive(link, pkt),
+            Event::LinkFree(link) => {
+                let l = &mut self.topo.links[link.index()];
+                l.busy = false;
+                if l.up && !l.queue.is_empty() {
+                    self.start_transmit(link);
+                }
+            }
+            Event::FlowTimer { flow, token } => self.call_flow(flow, |logic, ctx| {
+                logic.on_timer(token, ctx);
+            }),
+            Event::FlowStart(flow) => self.call_flow(flow, |logic, ctx| {
+                logic.on_start(ctx);
+            }),
+            Event::LinkDown(link) => {
+                let l = &mut self.topo.links[link.index()];
+                l.up = false;
+                let dropped = l.queue.clear();
+                l.lost_packets += dropped as u64;
+            }
+            Event::LinkUp(link) => {
+                let l = &mut self.topo.links[link.index()];
+                l.up = true;
+                if !l.busy && !l.queue.is_empty() {
+                    self.start_transmit(link);
+                }
+            }
+            Event::Sample(idx) => {
+                let s = &mut self.samplers[idx as usize];
+                let link = &mut self.topo.links[s.link.index()];
+                s.samples.push((self.now, link.queue.bytes()));
+                if let Some(ph) = &mut link.queue.phantom {
+                    s.phantom_samples.push((self.now, ph.occupancy(self.now)));
+                }
+                let interval = s.interval;
+                self.events.push(self.now + interval, Event::Sample(idx));
+            }
+        }
+    }
+
+    fn handle_arrive(&mut self, link: LinkId, pkt: Packet) {
+        let l = &mut self.topo.links[link.index()];
+        if !l.up {
+            l.lost_packets += 1;
+            return;
+        }
+        if let Some(loss) = &mut l.loss {
+            if loss.drops(&mut self.rng) {
+                l.lost_packets += 1;
+                return;
+            }
+        }
+        let node = l.to;
+        if self.topo.nodes[node.index()].kind.is_host() {
+            if pkt.dst == node {
+                let flow = pkt.flow;
+                self.call_flow(flow, |logic, ctx| logic.on_packet(pkt, ctx));
+            }
+            // Packets for other hosts are misrouted artifacts; drop silently.
+        } else {
+            match self.topo.route(node, &pkt) {
+                Some(out) => self.enqueue_on(out, pkt),
+                None => {}
+            }
+        }
+    }
+
+    /// Enqueue `pkt` on `link`'s egress queue, kicking transmission if idle.
+    fn enqueue_on(&mut self, link: LinkId, pkt: Packet) {
+        let l = &mut self.topo.links[link.index()];
+        if !l.up {
+            l.lost_packets += 1;
+            return;
+        }
+        match l.queue.try_enqueue(pkt, self.now, &mut self.rng) {
+            EnqueueOutcome::Enqueued => {
+                if !l.busy {
+                    self.start_transmit(link);
+                }
+            }
+            EnqueueOutcome::Dropped => {}
+        }
+    }
+
+    fn start_transmit(&mut self, link: LinkId) {
+        let l = &mut self.topo.links[link.index()];
+        debug_assert!(l.up);
+        let Some(pkt) = l.queue.dequeue() else {
+            return;
+        };
+        let ser = serialization_time(pkt.size as u64, l.bps);
+        l.busy = true;
+        l.tx_packets += 1;
+        l.tx_bytes += pkt.size as u64;
+        let delay = l.delay;
+        self.events.push(self.now + ser, Event::LinkFree(link));
+        self.events
+            .push(self.now + ser + delay, Event::Arrive(link, pkt));
+    }
+
+    fn call_flow<F>(&mut self, flow: FlowId, f: F)
+    where
+        F: FnOnce(&mut dyn FlowLogic, &mut Ctx),
+    {
+        let slot = &mut self.flows[flow.index()];
+        if slot.done {
+            return;
+        }
+        let Some(mut logic) = slot.logic.take() else {
+            return;
+        };
+        let mut actions = std::mem::take(&mut self.action_buf);
+        actions.clear();
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                flow,
+                rng: &mut self.rng,
+                topo: &self.topo,
+                actions: &mut actions,
+            };
+            f(logic.as_mut(), &mut ctx);
+        }
+        self.flows[flow.index()].logic = Some(logic);
+        // Apply actions (may recurse into enqueue but not into flows).
+        let drained: Vec<Action> = actions.drain(..).collect();
+        self.action_buf = actions;
+        for action in drained {
+            match action {
+                Action::Send(pkt) => {
+                    let uplink = self.topo.host_uplink(pkt.src);
+                    self.enqueue_on(uplink, pkt);
+                }
+                Action::Timer { at, token } => {
+                    self.events.push(at.max(self.now), Event::FlowTimer { flow, token });
+                }
+                Action::Complete => {
+                    let slot = &mut self.flows[flow.index()];
+                    if !slot.done {
+                        slot.done = true;
+                        self.completed_flows += 1;
+                        self.fcts.push(FctRecord {
+                            flow,
+                            size: slot.meta.size,
+                            start: slot.meta.start,
+                            end: self.now,
+                            class: slot.meta.class,
+                        });
+                    }
+                }
+                Action::Progress(bytes) => {
+                    if self.flows[flow.index()].record_progress {
+                        self.progress[flow.index()].push((self.now, bytes));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use crate::time::{GBPS, MICROS};
+    use crate::topology::TopologyParams;
+
+    /// Minimal test transport: fire-and-forget `n` packets, receiver ACKs
+    /// each, sender completes when all are acked.
+    struct Blaster {
+        src: NodeId,
+        dst: NodeId,
+        n: u64,
+        acked: u64,
+        mtu: u32,
+    }
+
+    impl FlowLogic for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for seq in 0..self.n {
+                let mut p = Packet::data(ctx.flow, seq, self.mtu, self.src, self.dst);
+                p.sent_at = ctx.now;
+                p.entropy = ctx.random_entropy();
+                ctx.send(p);
+            }
+        }
+
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+            match pkt.kind {
+                PacketKind::Data => {
+                    let e = ctx.random_entropy();
+                    ctx.send(Packet::ack_for(&pkt, 64, e));
+                }
+                PacketKind::Ack => {
+                    self.acked += 1;
+                    ctx.progress(self.acked * self.mtu as u64);
+                    if self.acked == self.n {
+                        ctx.complete();
+                    }
+                }
+                PacketKind::Nack => {}
+            }
+        }
+
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
+    }
+
+    fn small_sim(seed: u64) -> Simulator {
+        Simulator::new(Topology::build(TopologyParams::small()), seed)
+    }
+
+    #[test]
+    fn single_flow_delivers_and_completes() {
+        let mut sim = small_sim(1);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 15));
+        let meta = FlowMeta {
+            src,
+            dst,
+            size: 10 * 4096,
+            start: 0,
+            class: FlowClass::Intra,
+        };
+        let logic = Blaster {
+            src,
+            dst,
+            n: 10,
+            acked: 0,
+            mtu: 4096,
+        };
+        let id = sim.add_flow_recorded(meta, Box::new(logic), true);
+        assert!(sim.run_to_completion(crate::time::SECONDS));
+        assert_eq!(sim.fcts.len(), 1);
+        let fct = sim.fcts[0].fct();
+        // Must exceed the base RTT and be well under a millisecond.
+        assert!(fct > sim.topo.params.intra_rtt, "fct {fct}");
+        assert!(fct < 500 * MICROS, "fct {fct}");
+        assert_eq!(sim.progress[id.index()].len(), 10);
+    }
+
+    #[test]
+    fn inter_dc_flow_takes_at_least_inter_rtt() {
+        let mut sim = small_sim(2);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(1, 0));
+        let meta = FlowMeta {
+            src,
+            dst,
+            size: 4096,
+            start: 0,
+            class: FlowClass::Inter,
+        };
+        let logic = Blaster {
+            src,
+            dst,
+            n: 1,
+            acked: 0,
+            mtu: 4096,
+        };
+        sim.add_flow(meta, Box::new(logic));
+        assert!(sim.run_to_completion(crate::time::SECONDS));
+        assert!(sim.fcts[0].fct() >= sim.topo.params.inter_rtt);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let mut fcts = Vec::new();
+        for _ in 0..2 {
+            let mut sim = small_sim(77);
+            let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(1, 3));
+            sim.add_flow(
+                FlowMeta {
+                    src,
+                    dst,
+                    size: 50 * 4096,
+                    start: 0,
+                    class: FlowClass::Inter,
+                },
+                Box::new(Blaster {
+                    src,
+                    dst,
+                    n: 50,
+                    acked: 0,
+                    mtu: 4096,
+                }),
+            );
+            sim.run_to_completion(crate::time::SECONDS);
+            fcts.push(sim.fcts[0].fct());
+        }
+        assert_eq!(fcts[0], fcts[1]);
+    }
+
+    #[test]
+    fn failed_link_drops_packets() {
+        let mut sim = small_sim(3);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(1, 0));
+        // Fail all border links before the flow starts.
+        for l in sim.topo.border_forward.clone() {
+            sim.schedule_link_down(l, 0);
+        }
+        sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 5 * 4096,
+                start: 1000,
+                class: FlowClass::Inter,
+            },
+            Box::new(Blaster {
+                src,
+                dst,
+                n: 5,
+                acked: 0,
+                mtu: 4096,
+            }),
+        );
+        assert!(!sim.run_to_completion(50 * crate::time::MILLIS));
+        assert!(sim.network_stats().link_losses > 0 || sim.network_stats().queue_drops > 0);
+        assert_eq!(sim.fcts.len(), 0);
+    }
+
+    #[test]
+    fn link_recovery_allows_completion() {
+        let mut sim = small_sim(4);
+        let (src, dst) = (sim.topo.host(0, 1), sim.topo.host(0, 2));
+        let up = sim.topo.host_uplink(src);
+        sim.schedule_link_down(up, 0);
+        sim.schedule_link_up(up, 10 * MICROS);
+        // Start after recovery; must complete.
+        sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 4096,
+                start: 20 * MICROS,
+                class: FlowClass::Intra,
+            },
+            Box::new(Blaster {
+                src,
+                dst,
+                n: 1,
+                acked: 0,
+                mtu: 4096,
+            }),
+        );
+        assert!(sim.run_to_completion(crate::time::SECONDS));
+    }
+
+    #[test]
+    fn queue_sampler_records() {
+        let mut sim = small_sim(5);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 4));
+        let bottleneck = sim.topo.host_downlink(dst);
+        sim.add_queue_sampler(bottleneck, 10 * MICROS, 0);
+        sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 100 * 4096,
+                start: 0,
+                class: FlowClass::Intra,
+            },
+            Box::new(Blaster {
+                src,
+                dst,
+                n: 100,
+                acked: 0,
+                mtu: 4096,
+            }),
+        );
+        sim.run_until(200 * MICROS);
+        assert!(!sim.samplers[0].samples.is_empty());
+    }
+
+    #[test]
+    fn uniform_loss_prevents_unreliable_completion() {
+        let mut sim = small_sim(6);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 8));
+        let up = sim.topo.host_uplink(src);
+        sim.set_link_loss(up, GilbertElliott::uniform(0.5));
+        sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 200 * 4096,
+                start: 0,
+                class: FlowClass::Intra,
+            },
+            Box::new(Blaster {
+                src,
+                dst,
+                n: 200,
+                acked: 0,
+                mtu: 4096,
+            }),
+        );
+        // Blaster has no retransmission: with 50% loss it cannot finish.
+        assert!(!sim.run_to_completion(crate::time::SECONDS));
+        assert!(sim.network_stats().link_losses > 50);
+    }
+
+    #[test]
+    fn serialization_is_modelled() {
+        // 100 packets of 4096 B over a 100 Gbps bottleneck take at least
+        // 100 * 327 ns of serialization.
+        let mut sim = small_sim(7);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 1));
+        sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 100 * 4096,
+                start: 0,
+                class: FlowClass::Intra,
+            },
+            Box::new(Blaster {
+                src,
+                dst,
+                n: 100,
+                acked: 0,
+                mtu: 4096,
+            }),
+        );
+        sim.run_to_completion(crate::time::SECONDS);
+        let min_ser = 100 * serialization_time(4096, 100 * GBPS);
+        assert!(sim.fcts[0].fct() >= min_ser);
+    }
+}

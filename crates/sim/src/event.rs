@@ -1,0 +1,137 @@
+//! Discrete-event calendar queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ids::{FlowId, LinkId};
+use crate::packet::Packet;
+use crate::time::Time;
+
+/// Events processed by the simulation engine.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A link finished serializing a packet; start the next one if queued.
+    LinkFree(LinkId),
+    /// A packet reaches the far end of a link (post propagation).
+    Arrive(LinkId, Packet),
+    /// A flow-requested timer fires with an opaque token.
+    FlowTimer {
+        /// The flow whose timer fired.
+        flow: FlowId,
+        /// Opaque token passed back to [`crate::engine::FlowLogic::on_timer`].
+        token: u64,
+    },
+    /// A registered flow starts.
+    FlowStart(FlowId),
+    /// Fail a link.
+    LinkDown(LinkId),
+    /// Restore a failed link.
+    LinkUp(LinkId),
+    /// A periodic statistics sampler ticks.
+    Sample(u32),
+}
+
+#[derive(Debug)]
+struct Entry {
+    time: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Min-heap of timestamped events with FIFO tie-breaking for determinism.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    pub fn push(&mut self, time: Time, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::Sample(3));
+        q.push(10, Event::Sample(1));
+        q.push(20, Event::Sample(2));
+        let order: Vec<Time> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..5u32 {
+            q.push(100, Event::Sample(i));
+        }
+        for i in 0..5u32 {
+            match q.pop().unwrap().1 {
+                Event::Sample(s) => assert_eq!(s, i),
+                e => panic!("unexpected {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::Sample(0));
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

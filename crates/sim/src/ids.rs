@@ -1,0 +1,66 @@
+//! Dense integer identifiers for simulator entities.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index into the owning arena.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                debug_assert!(v <= u32::MAX as usize);
+                $name(v as u32)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a node (host or switch) in the topology.
+    NodeId
+);
+id_type!(
+    /// Identifier of a unidirectional link.
+    LinkId
+);
+id_type!(
+    /// Identifier of a flow registered with the simulator.
+    FlowId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip() {
+        let n: NodeId = 7usize.into();
+        assert_eq!(n.index(), 7);
+        assert_eq!(format!("{n}"), "NodeId(7)");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(LinkId(1) < LinkId(2));
+        assert_eq!(FlowId(3), FlowId(3));
+    }
+}

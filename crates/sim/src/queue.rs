@@ -1,0 +1,357 @@
+//! Output-port queues: byte-limited FIFO with RED ECN marking and an
+//! optional phantom queue (HULL-style virtual queue, paper §4.1.3).
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::packet::Packet;
+use crate::time::{Bps, Time, SECONDS};
+
+/// Random Early Detection marking thresholds, as fractions of capacity.
+///
+/// The paper (§5.1) never marks below `min_frac` of the queue capacity,
+/// always marks above `max_frac`, and marks with linearly increasing
+/// probability in between (25% / 75% by default).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RedParams {
+    /// Occupancy fraction below which packets are never marked.
+    pub min_frac: f64,
+    /// Occupancy fraction above which packets are always marked.
+    pub max_frac: f64,
+}
+
+impl Default for RedParams {
+    fn default() -> Self {
+        RedParams {
+            min_frac: 0.25,
+            max_frac: 0.75,
+        }
+    }
+}
+
+impl RedParams {
+    /// Marking probability for `occupancy` bytes in a queue of `capacity`.
+    #[inline]
+    pub fn mark_probability(&self, occupancy: u64, capacity: u64) -> f64 {
+        if capacity == 0 {
+            return 0.0;
+        }
+        let frac = occupancy as f64 / capacity as f64;
+        if frac < self.min_frac {
+            0.0
+        } else if frac >= self.max_frac {
+            1.0
+        } else {
+            (frac - self.min_frac) / (self.max_frac - self.min_frac)
+        }
+    }
+}
+
+/// A phantom queue: a counter that grows with every enqueued byte and drains
+/// at a constant rate slightly below the physical line rate (paper §4.1.3).
+///
+/// When present, ECN marking is driven by phantom occupancy against the
+/// phantom's (virtual, arbitrarily large) capacity, which lets the marking
+/// threshold match inter-DC BDPs regardless of physical buffer size.
+#[derive(Clone, Debug)]
+pub struct PhantomQueue {
+    /// Virtual occupancy in bytes (fractional to avoid drain rounding bias).
+    occupancy: f64,
+    /// Drain rate in bits per second (`drain_factor × line_rate`).
+    drain_bps: f64,
+    /// Virtual capacity in bytes used for RED marking decisions.
+    pub capacity: u64,
+    /// Marking thresholds applied to the virtual occupancy.
+    pub red: RedParams,
+    last_update: Time,
+}
+
+impl PhantomQueue {
+    /// Create a phantom queue draining at `drain_factor × line_rate_bps`.
+    pub fn new(line_rate_bps: Bps, drain_factor: f64, capacity: u64, red: RedParams) -> Self {
+        assert!(drain_factor > 0.0 && drain_factor <= 1.0);
+        PhantomQueue {
+            occupancy: 0.0,
+            drain_bps: line_rate_bps as f64 * drain_factor,
+            capacity,
+            red,
+            last_update: 0,
+        }
+    }
+
+    /// Lazily drain the counter up to `now`.
+    #[inline]
+    fn drain_to(&mut self, now: Time) {
+        if now > self.last_update {
+            let dt = (now - self.last_update) as f64 / SECONDS as f64;
+            self.occupancy = (self.occupancy - dt * self.drain_bps / 8.0).max(0.0);
+            self.last_update = now;
+        }
+    }
+
+    /// Account an enqueued packet and decide whether it should be marked.
+    pub fn on_enqueue<R: Rng>(&mut self, size: u32, now: Time, rng: &mut R) -> bool {
+        self.drain_to(now);
+        let p = self.red.mark_probability(self.occupancy as u64, self.capacity);
+        self.occupancy = (self.occupancy + size as f64).min(self.capacity as f64 * 4.0);
+        p > 0.0 && rng.gen::<f64>() < p
+    }
+
+    /// Current virtual occupancy (draining it up to `now` first).
+    pub fn occupancy(&mut self, now: Time) -> u64 {
+        self.drain_to(now);
+        self.occupancy as u64
+    }
+}
+
+/// Result of attempting to enqueue a packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnqueueOutcome {
+    /// Packet accepted (possibly ECN-marked in place).
+    Enqueued,
+    /// Packet dropped: the physical queue was full.
+    Dropped,
+}
+
+/// Byte-limited FIFO output queue with RED ECN marking and an optional
+/// phantom queue.
+#[derive(Clone, Debug)]
+pub struct PortQueue {
+    fifo: VecDeque<Packet>,
+    bytes: u64,
+    /// Physical capacity in bytes.
+    pub capacity: u64,
+    /// Physical RED marking thresholds.
+    pub red: RedParams,
+    /// Optional phantom queue; when present it drives ECN marking.
+    pub phantom: Option<PhantomQueue>,
+    /// Cumulative count of dropped packets.
+    pub drops: u64,
+    /// Cumulative count of ECN-marked packets.
+    pub marks: u64,
+    /// High-water mark of physical occupancy in bytes.
+    pub max_bytes_seen: u64,
+}
+
+impl PortQueue {
+    /// Create a queue with `capacity` bytes of physical buffering.
+    pub fn new(capacity: u64, red: RedParams) -> Self {
+        PortQueue {
+            fifo: VecDeque::new(),
+            bytes: 0,
+            capacity,
+            red,
+            phantom: None,
+            drops: 0,
+            marks: 0,
+            max_bytes_seen: 0,
+        }
+    }
+
+    /// Attach a phantom queue (marking will then be phantom-driven, with the
+    /// physical RED retained as a backstop for deep physical congestion).
+    pub fn with_phantom(mut self, phantom: PhantomQueue) -> Self {
+        self.phantom = Some(phantom);
+        self
+    }
+
+    /// Physical occupancy in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of queued packets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True when no packets are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Try to enqueue `pkt`, applying drop-tail and ECN marking.
+    ///
+    /// Control packets (ACK/NACK) are never ECN-marked but still consume
+    /// buffer space and can be dropped when the queue is full.
+    pub fn try_enqueue<R: Rng>(
+        &mut self,
+        mut pkt: Packet,
+        now: Time,
+        rng: &mut R,
+    ) -> EnqueueOutcome {
+        if self.bytes + pkt.size as u64 > self.capacity {
+            self.drops += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        if !pkt.is_control() {
+            let mut mark = false;
+            if let Some(ph) = &mut self.phantom {
+                mark |= ph.on_enqueue(pkt.size, now, rng);
+            }
+            // Physical RED is evaluated regardless: with a phantom queue it
+            // acts as a backstop signal for deep physical congestion.
+            let p = self.red.mark_probability(self.bytes, self.capacity);
+            if p > 0.0 && rng.gen::<f64>() < p {
+                mark = true;
+            }
+            if mark {
+                pkt.ecn = true;
+                self.marks += 1;
+            }
+        } else if let Some(ph) = &mut self.phantom {
+            // Control packets still add load to the virtual queue.
+            let _ = ph.on_enqueue(pkt.size, now, rng);
+        }
+        self.bytes += pkt.size as u64;
+        self.max_bytes_seen = self.max_bytes_seen.max(self.bytes);
+        self.fifo.push_back(pkt);
+        EnqueueOutcome::Enqueued
+    }
+
+    /// Dequeue the head-of-line packet, if any.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let pkt = self.fifo.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        Some(pkt)
+    }
+
+    /// Drop every queued packet (used when a link fails).
+    pub fn clear(&mut self) -> usize {
+        let n = self.fifo.len();
+        self.drops += n as u64;
+        self.fifo.clear();
+        self.bytes = 0;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FlowId, NodeId};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn pkt(size: u32) -> Packet {
+        Packet::data(FlowId(0), 0, size, NodeId(0), NodeId(1))
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn red_probability_regions() {
+        let red = RedParams::default();
+        assert_eq!(red.mark_probability(0, 1000), 0.0);
+        assert_eq!(red.mark_probability(249, 1000), 0.0);
+        assert_eq!(red.mark_probability(750, 1000), 1.0);
+        assert_eq!(red.mark_probability(1000, 1000), 1.0);
+        let mid = red.mark_probability(500, 1000);
+        assert!((mid - 0.5).abs() < 1e-9, "{mid}");
+    }
+
+    #[test]
+    fn red_zero_capacity_is_safe() {
+        let red = RedParams::default();
+        assert_eq!(red.mark_probability(10, 0), 0.0);
+    }
+
+    #[test]
+    fn fifo_order_and_byte_accounting() {
+        let mut q = PortQueue::new(10_000, RedParams::default());
+        let mut r = rng();
+        for i in 0..3 {
+            let mut p = pkt(1000);
+            p.seq = i;
+            assert_eq!(q.try_enqueue(p, 0, &mut r), EnqueueOutcome::Enqueued);
+        }
+        assert_eq!(q.bytes(), 3000);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dequeue().unwrap().seq, 0);
+        assert_eq!(q.dequeue().unwrap().seq, 1);
+        assert_eq!(q.bytes(), 1000);
+    }
+
+    #[test]
+    fn drop_tail_when_full() {
+        let mut q = PortQueue::new(2048, RedParams::default());
+        let mut r = rng();
+        assert_eq!(q.try_enqueue(pkt(2048), 0, &mut r), EnqueueOutcome::Enqueued);
+        assert_eq!(q.try_enqueue(pkt(1), 0, &mut r), EnqueueOutcome::Dropped);
+        assert_eq!(q.drops, 1);
+    }
+
+    #[test]
+    fn marks_above_max_threshold() {
+        let mut q = PortQueue::new(1000, RedParams::default());
+        let mut r = rng();
+        // Fill past 75%: subsequent packets must be marked.
+        assert_eq!(q.try_enqueue(pkt(800), 0, &mut r), EnqueueOutcome::Enqueued);
+        let _ = q.try_enqueue(pkt(100), 0, &mut r);
+        let marked = q.dequeue().unwrap(); // first packet: queue was empty, unmarked
+        assert!(!marked.ecn);
+        let second = q.dequeue().unwrap();
+        assert!(second.ecn, "occupancy 800/1000 > max_frac must mark");
+        assert_eq!(q.marks, 1);
+    }
+
+    #[test]
+    fn control_packets_never_marked() {
+        let mut q = PortQueue::new(1000, RedParams::default());
+        let mut r = rng();
+        let _ = q.try_enqueue(pkt(900), 0, &mut r);
+        let data = pkt(50);
+        let ack = Packet::ack_for(&data, 50, 0);
+        assert!(!ack.ecn);
+        let _ = q.try_enqueue(ack, 0, &mut r);
+        q.dequeue();
+        assert!(!q.dequeue().unwrap().ecn);
+    }
+
+    #[test]
+    fn phantom_drains_at_configured_rate() {
+        // 8 Gbps drain => 1 byte/ns.
+        let mut ph = PhantomQueue::new(8_000_000_000, 1.0, 1_000_000, RedParams::default());
+        let mut r = rng();
+        let _ = ph.on_enqueue(10_000, 0, &mut r);
+        assert_eq!(ph.occupancy(0), 10_000);
+        assert_eq!(ph.occupancy(4_000), 6_000);
+        assert_eq!(ph.occupancy(100_000), 0);
+    }
+
+    #[test]
+    fn phantom_marks_when_virtually_congested() {
+        // Tiny virtual capacity so a single packet exceeds max_frac.
+        let mut q = PortQueue::new(1 << 20, RedParams::default()).with_phantom(PhantomQueue::new(
+            100_000_000_000,
+            0.9,
+            1000,
+            RedParams::default(),
+        ));
+        let mut r = rng();
+        let _ = q.try_enqueue(pkt(900), 0, &mut r); // phantom occ 0 -> no mark
+        let _ = q.try_enqueue(pkt(900), 0, &mut r); // phantom occ 900/1000 -> mark
+        q.dequeue();
+        assert!(q.dequeue().unwrap().ecn);
+    }
+
+    #[test]
+    fn clear_counts_drops() {
+        let mut q = PortQueue::new(10_000, RedParams::default());
+        let mut r = rng();
+        for _ in 0..4 {
+            let _ = q.try_enqueue(pkt(100), 0, &mut r);
+        }
+        assert_eq!(q.clear(), 4);
+        assert_eq!(q.drops, 4);
+        assert!(q.is_empty());
+        assert_eq!(q.bytes(), 0);
+    }
+}

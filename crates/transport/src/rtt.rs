@@ -1,0 +1,130 @@
+//! RTT estimation and retransmission-timeout computation (RFC 6298 style).
+
+use uno_sim::Time;
+
+/// Exponentially weighted RTT estimator with variance tracking.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: f64,
+    rttvar: f64,
+    min_rtt: Time,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// New estimator with no samples.
+    pub fn new() -> Self {
+        RttEstimator {
+            srtt: 0.0,
+            rttvar: 0.0,
+            min_rtt: Time::MAX,
+            samples: 0,
+        }
+    }
+
+    /// Feed one RTT sample.
+    pub fn sample(&mut self, rtt: Time) {
+        let r = rtt as f64;
+        if self.samples == 0 {
+            self.srtt = r;
+            self.rttvar = r / 2.0;
+        } else {
+            // RFC 6298: alpha = 1/8, beta = 1/4.
+            self.rttvar = 0.75 * self.rttvar + 0.25 * (self.srtt - r).abs();
+            self.srtt = 0.875 * self.srtt + 0.125 * r;
+        }
+        self.min_rtt = self.min_rtt.min(rtt);
+        self.samples += 1;
+    }
+
+    /// Smoothed RTT (0 before the first sample).
+    pub fn srtt(&self) -> Time {
+        self.srtt as Time
+    }
+
+    /// Minimum RTT observed so far (`Time::MAX` before the first sample).
+    pub fn min_rtt(&self) -> Time {
+        self.min_rtt
+    }
+
+    /// Number of samples absorbed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Relative (queuing) delay of a sample against the observed floor.
+    pub fn relative_delay(&self, rtt: Time) -> Time {
+        rtt.saturating_sub(self.min_rtt.min(rtt))
+    }
+
+    /// Retransmission timeout: `srtt + 4·rttvar`, clamped to `min_rto` and
+    /// falling back to `fallback` before any samples exist.
+    pub fn rto(&self, min_rto: Time, fallback: Time) -> Time {
+        if self.samples == 0 {
+            return fallback.max(min_rto);
+        }
+        let rto = (self.srtt + 4.0 * self.rttvar) as Time;
+        rto.max(min_rto)
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uno_sim::{MICROS, MILLIS};
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new();
+        assert_eq!(e.rto(MILLIS, 10 * MILLIS), 10 * MILLIS);
+        e.sample(100 * MICROS);
+        assert_eq!(e.srtt(), 100 * MICROS);
+        assert_eq!(e.min_rtt(), 100 * MICROS);
+        // rto = srtt + 4*(srtt/2) = 3*srtt.
+        assert_eq!(e.rto(0, 0), 300 * MICROS);
+    }
+
+    #[test]
+    fn converges_to_stable_rtt() {
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.sample(500 * MICROS);
+        }
+        assert!((e.srtt() as i64 - (500 * MICROS) as i64).abs() < MICROS as i64);
+        // Variance decays toward zero, so RTO approaches srtt.
+        assert!(e.rto(0, 0) < 600 * MICROS);
+    }
+
+    #[test]
+    fn min_rtt_tracks_floor() {
+        let mut e = RttEstimator::new();
+        e.sample(200 * MICROS);
+        e.sample(150 * MICROS);
+        e.sample(400 * MICROS);
+        assert_eq!(e.min_rtt(), 150 * MICROS);
+        assert_eq!(e.relative_delay(400 * MICROS), 250 * MICROS);
+        assert_eq!(e.relative_delay(100 * MICROS), 0);
+    }
+
+    #[test]
+    fn rto_respects_min() {
+        let mut e = RttEstimator::new();
+        e.sample(10 * MICROS);
+        assert_eq!(e.rto(MILLIS, 0), MILLIS);
+    }
+
+    #[test]
+    fn variance_raises_rto_under_jitter() {
+        let mut e = RttEstimator::new();
+        for i in 0..50 {
+            e.sample(if i % 2 == 0 { 100 * MICROS } else { 900 * MICROS });
+        }
+        assert!(e.rto(0, 0) > 1500 * MICROS, "rto {}", e.rto(0, 0));
+    }
+}

@@ -1,0 +1,300 @@
+//! Traffic generators reproducing the paper's workloads (§5.1):
+//! incast microbenchmarks, permutation traffic, and Poisson-arrival mixes of
+//! intra-DC (web search) and inter-DC (Alibaba WAN) flows at a target load.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use uno_sim::{Bps, Time, SECONDS};
+
+use crate::cdf::Cdf;
+use crate::spec::FlowSpec;
+
+/// Incast microbenchmark (paper Figs. 3 and 8): `n_intra` senders in the
+/// destination's DC and `n_inter` senders in the remote DC, all sending
+/// `size` bytes to host 0 of DC 0 starting at t=0.
+///
+/// Senders are spread across distinct hosts (skipping the destination).
+pub fn incast(n_intra: usize, n_inter: usize, size: u64, hosts_per_dc: u32) -> Vec<FlowSpec> {
+    assert!(
+        (n_intra as u32) < hosts_per_dc && n_inter as u32 <= hosts_per_dc,
+        "not enough hosts for the requested incast"
+    );
+    let mut flows = Vec::with_capacity(n_intra + n_inter);
+    for i in 0..n_intra {
+        flows.push(FlowSpec {
+            src_dc: 0,
+            // Spread intra senders across the DC, away from the receiver.
+            src_idx: 1 + (i as u32 * (hosts_per_dc - 1) / n_intra.max(1) as u32),
+            dst_dc: 0,
+            dst_idx: 0,
+            size,
+            start: 0,
+        });
+    }
+    for i in 0..n_inter {
+        flows.push(FlowSpec {
+            src_dc: 1,
+            src_idx: i as u32 * hosts_per_dc / n_inter.max(1) as u32,
+            dst_dc: 0,
+            dst_idx: 0,
+            size,
+            start: 0,
+        });
+    }
+    flows
+}
+
+/// Permutation workload (paper Fig. 9): every host sends `size` bytes to a
+/// distinct randomly selected host (possibly in the other DC); no host
+/// receives more than one flow and nobody sends to themselves.
+pub fn permutation<R: Rng>(hosts_per_dc: u32, dcs: u8, size: u64, rng: &mut R) -> Vec<FlowSpec> {
+    let total = hosts_per_dc as usize * dcs as usize;
+    // Random derangement by retry (expected ~e tries).
+    let mut targets: Vec<usize> = (0..total).collect();
+    loop {
+        targets.shuffle(rng);
+        if targets.iter().enumerate().all(|(i, &t)| i != t) {
+            break;
+        }
+    }
+    (0..total)
+        .map(|i| FlowSpec {
+            src_dc: (i as u32 / hosts_per_dc) as u8,
+            src_idx: i as u32 % hosts_per_dc,
+            dst_dc: (targets[i] as u32 / hosts_per_dc) as u8,
+            dst_idx: targets[i] as u32 % hosts_per_dc,
+            size,
+            start: 0,
+        })
+        .collect()
+}
+
+/// Parameters for the realistic Poisson-arrival mixed workload
+/// (paper Figs. 10–12).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PoissonMixParams {
+    /// Hosts per datacenter in the target topology.
+    pub hosts_per_dc: u32,
+    /// Number of datacenters (2 for the paper's experiments).
+    pub dcs: u8,
+    /// Host link bandwidth (used to translate load into arrival rate).
+    pub host_bps: Bps,
+    /// Target average load as a fraction of aggregate host capacity.
+    pub load: f64,
+    /// Fraction of flows that cross datacenters (paper: DC:WAN = 4:1 → 0.2).
+    pub inter_fraction: f64,
+    /// Workload duration (arrivals occur in `[0, duration)`).
+    pub duration: Time,
+}
+
+/// Generate the realistic mixed workload: flows arrive per a Poisson process
+/// whose rate achieves `load`; sources and destinations are uniform random;
+/// intra-DC sizes come from `intra_cdf` (web search) and inter-DC sizes from
+/// `inter_cdf` (Alibaba WAN).
+pub fn poisson_mix<R: Rng>(
+    p: &PoissonMixParams,
+    intra_cdf: &Cdf,
+    inter_cdf: &Cdf,
+    rng: &mut R,
+) -> Vec<FlowSpec> {
+    assert!(p.load > 0.0 && p.load < 1.5, "implausible load {}", p.load);
+    assert!((0.0..=1.0).contains(&p.inter_fraction));
+    assert!(p.dcs == 2 || p.inter_fraction == 0.0);
+    let n_hosts = p.hosts_per_dc as f64 * p.dcs as f64;
+    let mean_size = (1.0 - p.inter_fraction) * intra_cdf.mean() + p.inter_fraction * inter_cdf.mean();
+    let capacity_bytes_per_sec = n_hosts * p.host_bps as f64 / 8.0;
+    let lambda = p.load * capacity_bytes_per_sec / mean_size; // flows/sec
+    let mut flows = Vec::new();
+    let mut t = 0.0f64; // seconds
+    let horizon = p.duration as f64 / SECONDS as f64;
+    loop {
+        // Exponential inter-arrival.
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        t += -u.ln() / lambda;
+        if t >= horizon {
+            break;
+        }
+        let inter = p.dcs > 1 && rng.gen::<f64>() < p.inter_fraction;
+        let src_dc = rng.gen_range(0..p.dcs);
+        let src_idx = rng.gen_range(0..p.hosts_per_dc);
+        let (dst_dc, dst_idx) = if inter {
+            ((src_dc + 1) % p.dcs, rng.gen_range(0..p.hosts_per_dc))
+        } else {
+            // Distinct destination within the same DC.
+            let mut d = rng.gen_range(0..p.hosts_per_dc);
+            while d == src_idx {
+                d = rng.gen_range(0..p.hosts_per_dc);
+            }
+            (src_dc, d)
+        };
+        let size = if inter {
+            inter_cdf.sample(rng)
+        } else {
+            intra_cdf.sample(rng)
+        };
+        flows.push(FlowSpec {
+            src_dc,
+            src_idx,
+            dst_dc,
+            dst_idx,
+            size,
+            start: (t * SECONDS as f64) as Time,
+        });
+    }
+    flows
+}
+
+/// One data-parallel Allreduce iteration across two datacenters
+/// (paper §5.1, Fig. 13C): after the backward pass each DC holds a gradient
+/// replica; synchronizing them moves the gradient volume across the WAN,
+/// split over `groups` concurrent channels in both directions.
+///
+/// `total_bytes` is the per-direction gradient volume (the paper's
+/// Llama-70B-style setup generates ~70–500 MiB bursts per iteration).
+pub fn allreduce_iteration<R: Rng>(
+    groups: u32,
+    total_bytes: u64,
+    hosts_per_dc: u32,
+    rng: &mut R,
+) -> Vec<FlowSpec> {
+    assert!(groups > 0 && groups <= hosts_per_dc);
+    let per_flow = total_bytes / groups as u64;
+    let mut flows = Vec::with_capacity(2 * groups as usize);
+    let offset = rng.gen_range(0..hosts_per_dc);
+    for g in 0..groups {
+        let a = (offset + g) % hosts_per_dc;
+        // dc0 -> dc1 and dc1 -> dc0 halves of the reduce-scatter/all-gather.
+        flows.push(FlowSpec {
+            src_dc: 0,
+            src_idx: a,
+            dst_dc: 1,
+            dst_idx: a,
+            size: per_flow,
+            start: 0,
+        });
+        flows.push(FlowSpec {
+            src_dc: 1,
+            src_idx: a,
+            dst_dc: 0,
+            dst_idx: a,
+            size: per_flow,
+            start: 0,
+        });
+    }
+    flows
+}
+
+/// Ideal (contention- and loss-free) completion time of an Allreduce
+/// iteration: the per-direction volume divided by the aggregate inter-DC
+/// bandwidth, plus one WAN RTT.
+pub fn allreduce_ideal_time(total_bytes: u64, inter_dc_bps: Bps, inter_rtt: Time) -> Time {
+    uno_sim::time::serialization_time(total_bytes, inter_dc_bps) + inter_rtt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use uno_sim::{GBPS, MILLIS};
+
+    #[test]
+    fn incast_targets_one_host() {
+        let flows = incast(4, 4, 1 << 30, 128);
+        assert_eq!(flows.len(), 8);
+        assert!(flows.iter().all(|f| f.dst_dc == 0 && f.dst_idx == 0));
+        assert_eq!(flows.iter().filter(|f| f.is_inter()).count(), 4);
+        // No sender is the receiver.
+        assert!(flows.iter().all(|f| !(f.src_dc == 0 && f.src_idx == 0)));
+        // Senders are distinct.
+        let mut srcs: Vec<(u8, u32)> = flows.iter().map(|f| (f.src_dc, f.src_idx)).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        assert_eq!(srcs.len(), 8);
+    }
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let flows = permutation(16, 2, 1000, &mut rng);
+        assert_eq!(flows.len(), 32);
+        let mut dsts: Vec<(u8, u32)> = flows.iter().map(|f| (f.dst_dc, f.dst_idx)).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        assert_eq!(dsts.len(), 32, "each host receives exactly one flow");
+        assert!(flows
+            .iter()
+            .all(|f| (f.src_dc, f.src_idx) != (f.dst_dc, f.dst_idx)));
+    }
+
+    #[test]
+    fn poisson_mix_hits_target_load() {
+        let p = PoissonMixParams {
+            hosts_per_dc: 16,
+            dcs: 2,
+            host_bps: 100 * GBPS,
+            load: 0.4,
+            inter_fraction: 0.2,
+            duration: 50 * MILLIS,
+        };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let flows = poisson_mix(&p, &Cdf::websearch(), &Cdf::alibaba_wan(), &mut rng);
+        assert!(!flows.is_empty());
+        let bytes: u64 = flows.iter().map(|f| f.size).sum();
+        let offered = bytes as f64 * 8.0
+            / (p.duration as f64 / SECONDS as f64)
+            / (32.0 * p.host_bps as f64);
+        assert!(
+            (offered - 0.4).abs() < 0.15,
+            "offered load {offered} vs target 0.4"
+        );
+        // Inter fraction approximately 20% of flows.
+        let inter = flows.iter().filter(|f| f.is_inter()).count() as f64 / flows.len() as f64;
+        assert!((inter - 0.2).abs() < 0.08, "inter fraction {inter}");
+        // Arrivals sorted-ish in time and within horizon.
+        assert!(flows.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(flows.iter().all(|f| f.start < p.duration));
+    }
+
+    #[test]
+    fn poisson_mix_no_self_flows() {
+        let p = PoissonMixParams {
+            hosts_per_dc: 4,
+            dcs: 2,
+            host_bps: 10 * GBPS,
+            load: 0.5,
+            inter_fraction: 0.2,
+            duration: 20 * MILLIS,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let flows = poisson_mix(&p, &Cdf::google_rpc(), &Cdf::google_rpc(), &mut rng);
+        assert!(flows
+            .iter()
+            .all(|f| (f.src_dc, f.src_idx) != (f.dst_dc, f.dst_idx)));
+    }
+
+    #[test]
+    fn allreduce_iteration_shape() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let flows = allreduce_iteration(8, 256 << 20, 128, &mut rng);
+        assert_eq!(flows.len(), 16);
+        assert!(flows.iter().all(|f| f.is_inter()));
+        let fwd: u64 = flows.iter().filter(|f| f.src_dc == 0).map(|f| f.size).sum();
+        assert_eq!(fwd, 256 << 20);
+    }
+
+    #[test]
+    fn allreduce_ideal_matches_math() {
+        // 800 Gbps aggregate, 100 MiB, 2 ms RTT.
+        let t = allreduce_ideal_time(100 << 20, 800 * GBPS, 2 * MILLIS);
+        let ser = (100u64 << 20) * 8 * 1_000_000_000 / (800 * GBPS);
+        assert_eq!(t, ser + 2 * MILLIS);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough hosts")]
+    fn incast_checks_host_count() {
+        let _ = incast(20, 0, 100, 16);
+    }
+}

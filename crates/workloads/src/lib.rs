@@ -1,0 +1,28 @@
+//! # uno-workloads — traffic generation for the Uno reproduction
+//!
+//! Reproduces the paper's workload suite (§5.1):
+//!
+//! * **Incast** microbenchmarks — N intra-DC and M inter-DC senders
+//!   converging on one receiver (Figs. 3, 4, 8);
+//! * **Permutation** traffic — every host sends to a distinct random host
+//!   (Fig. 9);
+//! * **Realistic Poisson mixes** — Google web-search sizes inside the DC,
+//!   Alibaba regional-WAN sizes across DCs, 4:1 intra:inter, arrival rates
+//!   scaled to a target load (Figs. 10–12);
+//! * **Data-parallel Allreduce** iterations with Llama-70B-scale gradient
+//!   bursts across the WAN (Fig. 13C).
+//!
+//! Generators emit topology-independent [`FlowSpec`]s that the harness binds
+//! to hosts of a concrete [`uno_sim::Topology`].
+
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod generators;
+pub mod spec;
+
+pub use cdf::Cdf;
+pub use generators::{
+    allreduce_ideal_time, allreduce_iteration, incast, permutation, poisson_mix, PoissonMixParams,
+};
+pub use spec::FlowSpec;

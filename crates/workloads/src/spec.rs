@@ -1,0 +1,50 @@
+//! Topology-independent flow specifications produced by the generators and
+//! consumed by the experiment harness.
+
+use serde::{Deserialize, Serialize};
+use uno_sim::Time;
+
+/// A flow to be instantiated: endpoints are (datacenter, host-index) pairs
+/// resolved against a concrete topology by the harness.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Source datacenter.
+    pub src_dc: u8,
+    /// Source host index within its datacenter.
+    pub src_idx: u32,
+    /// Destination datacenter.
+    pub dst_dc: u8,
+    /// Destination host index within its datacenter.
+    pub dst_idx: u32,
+    /// Application bytes.
+    pub size: u64,
+    /// Absolute start time.
+    pub start: Time,
+}
+
+impl FlowSpec {
+    /// True when the flow crosses datacenters.
+    pub fn is_inter(&self) -> bool {
+        self.src_dc != self.dst_dc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inter_detection() {
+        let f = FlowSpec {
+            src_dc: 0,
+            src_idx: 1,
+            dst_dc: 1,
+            dst_idx: 2,
+            size: 100,
+            start: 0,
+        };
+        assert!(f.is_inter());
+        let g = FlowSpec { dst_dc: 0, ..f };
+        assert!(!g.is_inter());
+    }
+}

@@ -1,0 +1,67 @@
+//! Failure resilience: an inter-DC transfer survives a border-link failure.
+//!
+//! Compares UnoRC (UnoLB subflows + (8,2) erasure coding) against plain
+//! ECMP when one of the WAN links dies mid-transfer — the paper's Fig. 13A
+//! scenario in miniature. ECMP pins the flow to one hashed path, so a dead
+//! link stalls it until retransmission timeouts fire; UnoLB notices the
+//! silent subflow via the receiver's block NACKs and re-routes within one
+//! RTT, while parity packets reconstruct the blocks that lost packets.
+//!
+//! ```text
+//! cargo run --release --example failover
+//! ```
+
+use uno::sim::{MILLIS, SECONDS};
+use uno::{Experiment, ExperimentConfig, SchemeSpec};
+use uno_erasure::EcParams;
+use uno_transport::LbMode;
+use uno_workloads::FlowSpec;
+
+fn run(scheme: SchemeSpec, seed: u64) -> (String, Option<f64>) {
+    let name = scheme.name.to_string();
+    let mut exp = Experiment::new(ExperimentConfig::quick(scheme, seed));
+    exp.add_specs(&[FlowSpec {
+        src_dc: 0,
+        src_idx: 2,
+        dst_dc: 1,
+        dst_idx: 5,
+        size: 16 << 20,
+        start: 0,
+    }]);
+    // Kill one border link shortly after the flow starts.
+    let victim = exp.sim.topo.border_forward[0];
+    exp.sim.schedule_link_down(victim, MILLIS / 2);
+    let r = exp.run(10 * SECONDS);
+    let fct = r.fcts.first().map(|f| f.fct() as f64 / 1e6);
+    (name, fct)
+}
+
+fn main() {
+    println!("16 MiB inter-DC transfer; one border link fails at t=0.5 ms");
+    println!("(5 seeds per scheme: a single run depends on the initial paths)\n");
+    let schemes = [
+        SchemeSpec::unocc_with(
+            "UnoRC (UnoLB + EC)",
+            LbMode::UnoLb { subflows: 10 },
+            Some(EcParams::PAPER_DEFAULT),
+        ),
+        SchemeSpec::unocc_with("UnoLB, no EC", LbMode::UnoLb { subflows: 10 }, None),
+        SchemeSpec::unocc_with("ECMP, no EC", LbMode::Ecmp, None),
+    ];
+    for scheme in schemes {
+        let mut cells = Vec::new();
+        let mut name = String::new();
+        for seed in 1..=5 {
+            let (n, fct) = run(scheme.clone(), seed);
+            name = n;
+            cells.push(match fct {
+                Some(ms) => format!("{ms:8.2}"),
+                None => " stalled".to_string(),
+            });
+        }
+        println!("{name:>20} (ms): {}", cells.join(" "));
+    }
+    println!("\nECMP either dodges the dead link entirely or stalls forever on it;");
+    println!("UnoLB re-routes but pays retransmission timeouts without EC; UnoRC");
+    println!("(subflows + parity) absorbs the failure within a few RTTs.");
+}
