@@ -19,9 +19,13 @@ fn bench_encode(c: &mut Criterion) {
         let data = shards(x, shard_len);
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         g.throughput(Throughput::Bytes((x * shard_len) as u64));
-        g.bench_with_input(BenchmarkId::new("geometry", format!("{x}+{y}")), &refs, |b, refs| {
-            b.iter(|| rs.encode(black_box(refs)).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::new("geometry", format!("{x}+{y}")),
+            &refs,
+            |b, refs| {
+                b.iter(|| rs.encode(black_box(refs)).unwrap());
+            },
+        );
     }
     g.finish();
 }

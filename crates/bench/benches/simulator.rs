@@ -64,7 +64,13 @@ fn bench_queue(c: &mut Criterion) {
     c.bench_function("red_queue_enqueue_dequeue", |b| {
         let mut q = PortQueue::new(1 << 20, RedParams::default());
         let mut rng = SmallRng::seed_from_u64(5);
-        let pkt = Packet::data(uno::sim::FlowId(0), 0, 4096, uno::sim::NodeId(0), uno::sim::NodeId(1));
+        let pkt = Packet::data(
+            uno::sim::FlowId(0),
+            0,
+            4096,
+            uno::sim::NodeId(0),
+            uno::sim::NodeId(1),
+        );
         b.iter(|| {
             let _ = q.try_enqueue(black_box(pkt), 0, &mut rng);
             black_box(q.dequeue());

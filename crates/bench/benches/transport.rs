@@ -24,7 +24,7 @@ fn drive(c: &mut Criterion, name: &str, mut cc: Box<dyn CcAlgorithm>) {
             let ev = AckEvent {
                 now,
                 bytes: 4096,
-                ecn: delivered % 5 == 0,
+                ecn: delivered.is_multiple_of(5),
                 rtt: 14 * MICROS + (delivered % 7) * 100,
                 pkt_sent_at: now - 14 * MICROS,
                 delivered_at_send: delivered.saturating_sub(100_000),
@@ -39,7 +39,11 @@ fn drive(c: &mut Criterion, name: &str, mut cc: Box<dyn CcAlgorithm>) {
 
 fn bench_cc_ack_path(c: &mut Criterion) {
     drive(c, "unocc_on_ack", Box::new(UnoCc::new(intra_cfg())));
-    drive(c, "gemini_on_ack", Box::new(Gemini::new(intra_cfg(), false)));
+    drive(
+        c,
+        "gemini_on_ack",
+        Box::new(Gemini::new(intra_cfg(), false)),
+    );
     drive(c, "mprdma_on_ack", Box::new(Mprdma::new(intra_cfg())));
     drive(c, "bbr_on_ack", Box::new(Bbr::new(inter_cfg())));
 }

@@ -34,6 +34,7 @@ fn main() {
     if which == "subflows" || which == "all" {
         ablation_subflows();
     }
+    uno_bench::write_manifests("ablations");
 }
 
 /// Flow factory used by the epoch/QA ablations: a `MessageFlow` with a
@@ -58,8 +59,7 @@ impl CustomUno {
         } else {
             (topo.intra_rtt, topo.intra_bdp() as f64)
         };
-        let mut cfg =
-            CcConfig::paper_defaults(bdp, rtt, topo.intra_bdp() as f64, topo.intra_rtt);
+        let mut cfg = CcConfig::paper_defaults(bdp, rtt, topo.intra_bdp() as f64, topo.intra_rtt);
         if !unified_epochs {
             // Gemini-style granularity: epochs are one own-RTT long.
             cfg.intra_rtt = rtt;
@@ -69,7 +69,11 @@ impl CustomUno {
         let mut fc = FlowConfig::basic(s, d, spec.size, rtt);
         fc.lb = LbMode::Spray;
         fc.dup_thresh = dup_thresh_for(LbMode::Spray);
-        fc.ec = if inter { Some(EcParams::PAPER_DEFAULT) } else { None };
+        fc.ec = if inter {
+            Some(EcParams::PAPER_DEFAULT)
+        } else {
+            None
+        };
         fc.min_rto = if inter { 2 * rtt } else { MILLIS };
         let flow = MessageFlow::new(fc, Box::new(cc));
         exp.sim.add_flow_recorded(
@@ -78,7 +82,11 @@ impl CustomUno {
                 dst: d,
                 size: spec.size,
                 start: spec.start,
-                class: if inter { FlowClass::Inter } else { FlowClass::Intra },
+                class: if inter {
+                    FlowClass::Inter
+                } else {
+                    FlowClass::Intra
+                },
             },
             Box::new(Wrapper(flow)),
             record,
@@ -119,6 +127,7 @@ fn ablation_epoch() {
             CustomUno::add_flow(&mut exp, s, unified, true, true);
         }
         let r = exp.run(30 * SECONDS);
+        uno_bench::record_manifest(r.manifest.clone());
         // Mean Jain index across the run (active flows only).
         let series: Vec<_> = r
             .progress
@@ -165,7 +174,12 @@ fn ablation_pq() {
         let bottleneck = exp.sim.topo.host_downlink(exp.sim.topo.host(0, 0));
         exp.sim.add_queue_sampler(bottleneck, 100_000, 0);
         let r = exp.run(30 * SECONDS);
-        let occ: Vec<f64> = r.samplers[0].1.iter().map(|&(_, v)| v as f64 / 1024.0).collect();
+        uno_bench::record_manifest(r.manifest.clone());
+        let occ: Vec<f64> = r.samplers[0]
+            .1
+            .iter()
+            .map(|&(_, v)| v as f64 / 1024.0)
+            .collect();
         let t = FctTable::new(r.fcts);
         println!(
             "  drain {drain:.2}: mean queue {:7.1} KiB | p99 queue {:7.1} KiB | mean FCT {:.2} ms",
@@ -201,7 +215,8 @@ fn ablation_ec() {
                     .into_iter()
                     .chain(exp.sim.topo.border_reverse.clone())
                 {
-                    exp.sim.set_link_loss(l, GilbertElliott::new(2e-3, 0.4, 0.0, 0.5));
+                    exp.sim
+                        .set_link_loss(l, GilbertElliott::new(2e-3, 0.4, 0.0, 0.5));
                 }
                 exp.add_specs(&[FlowSpec {
                     src_dc: 0,
@@ -212,7 +227,11 @@ fn ablation_ec() {
                     start: 0,
                 }]);
                 let r = exp.run(30 * SECONDS);
-                r.fcts.first().map(|f| f.fct() as f64 / 1e6).unwrap_or(f64::NAN)
+                uno_bench::record_manifest(r.manifest.clone());
+                r.fcts
+                    .first()
+                    .map(|f| f.fct() as f64 / 1e6)
+                    .unwrap_or(f64::NAN)
             })
             .collect();
         println!(
@@ -238,6 +257,7 @@ fn ablation_qa() {
             CustomUno::add_flow(&mut exp, s, true, qa, false);
         }
         let r = exp.run(60 * SECONDS);
+        uno_bench::record_manifest(r.manifest.clone());
         let t = FctTable::new(r.fcts);
         let drops = r.stats.queue_drops;
         println!(
@@ -275,7 +295,11 @@ fn ablation_subflows() {
                     start: 0,
                 }]);
                 let r = exp.run(30 * SECONDS);
-                r.fcts.first().map(|f| f.fct() as f64 / 1e6).unwrap_or(f64::NAN)
+                uno_bench::record_manifest(r.manifest.clone());
+                r.fcts
+                    .first()
+                    .map(|f| f.fct() as f64 / 1e6)
+                    .unwrap_or(f64::NAN)
             })
             .collect();
         println!(

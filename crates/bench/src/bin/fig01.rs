@@ -52,4 +52,5 @@ fn main() {
     for (rtt, label) in &rtts {
         println!("  {label:>13}: {}", fmt_bytes(crossover_size(*rtt, bps)));
     }
+    uno_bench::write_manifests("fig01");
 }

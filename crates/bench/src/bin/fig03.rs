@@ -21,7 +21,10 @@ fn main() {
     let hosts = topo.hosts_per_dc() as u32;
     let specs = incast(4, 4, size, hosts);
 
-    println!("Figure 3: fairness during mixed incast (4 intra + 4 inter x {})", uno_bench::fmt_bytes(size));
+    println!(
+        "Figure 3: fairness during mixed incast (4 intra + 4 inter x {})",
+        uno_bench::fmt_bytes(size)
+    );
     println!();
 
     // Per the paper, Fig. 3 isolates congestion control: packet spraying
@@ -44,7 +47,10 @@ fn main() {
             .collect();
 
         println!("== {name} ==");
-        println!("{:>9} | per-flow rate (Gbps): 4 intra then 4 inter | Jain", "t (ms)");
+        println!(
+            "{:>9} | per-flow rate (Gbps): 4 intra then 4 inter | Jain",
+            "t (ms)"
+        );
         let nbins = series.first().map_or(0, |(_, s)| s.len());
         // Jain's index over the flows still active in a bin (completed
         // flows drop out of the fairness comparison, as in the paper).
@@ -56,7 +62,12 @@ fn main() {
             let rates: Vec<f64> = series.iter().map(|(_, s)| s[b].rate_bps).collect();
             let t_ms = series[0].1[b].time as f64 / 1e6;
             let cells: Vec<String> = rates.iter().map(|r| format!("{:5.1}", r / 1e9)).collect();
-            println!("{:9.1} | {} | {:.3}", t_ms, cells.join(" "), active_jain(&rates));
+            println!(
+                "{:9.1} | {} | {:.3}",
+                t_ms,
+                cells.join(" "),
+                active_jain(&rates)
+            );
         }
         // Convergence summary: time from start until Jain index stays >0.9.
         // Convergence to *cross-class* fairness: consider only bins where
@@ -90,11 +101,22 @@ fn main() {
             }
         }
         match converged_at {
-            Some(t) => println!("--> converged to fairness (Jain>0.9) at {} ms", uno_bench::fmt_ms(t)),
+            Some(t) => println!(
+                "--> converged to fairness (Jain>0.9) at {} ms",
+                uno_bench::fmt_ms(t)
+            ),
             None => println!("--> never converged to fairness within the flows' lifetimes"),
         }
-        let intra: Vec<_> = r.fcts.iter().filter(|f| f.class == FlowClass::Intra).collect();
-        let inter: Vec<_> = r.fcts.iter().filter(|f| f.class == FlowClass::Inter).collect();
+        let intra: Vec<_> = r
+            .fcts
+            .iter()
+            .filter(|f| f.class == FlowClass::Intra)
+            .collect();
+        let inter: Vec<_> = r
+            .fcts
+            .iter()
+            .filter(|f| f.class == FlowClass::Inter)
+            .collect();
         println!(
             "--> mean FCT intra {} ms | inter {} ms | completed {}/{}",
             uno_bench::fmt_ms(
@@ -108,4 +130,5 @@ fn main() {
         );
         println!();
     }
+    uno_bench::write_manifests("fig03");
 }

@@ -18,7 +18,11 @@ fn main() {
     let args = HarnessArgs::parse();
     let topo = args.topo();
     let hosts = topo.hosts_per_dc() as u32;
-    let horizon = if args.full { 500 * MILLIS } else { 300 * MILLIS };
+    let horizon = if args.full {
+        500 * MILLIS
+    } else {
+        300 * MILLIS
+    };
     // Let the incast's initial window burst settle before injecting the
     // latency-sensitive RPCs (the paper measures steady-state queuing).
     let rpc_from = horizon / 2;
@@ -61,7 +65,9 @@ fn main() {
         let scheme = if phantom {
             SchemeSpec::uno().named("UnoCC + phantom queues")
         } else {
-            SchemeSpec::uno().with_phantom(false).named("UnoCC, no phantom queues")
+            SchemeSpec::uno()
+                .with_phantom(false)
+                .named("UnoCC, no phantom queues")
         };
         let name = scheme.name;
         let mut cfg = ExperimentConfig::quick(scheme, args.seed);
@@ -73,6 +79,7 @@ fn main() {
         let bottleneck = exp.sim.topo.host_downlink(exp.sim.topo.host(0, 0));
         exp.sim.add_queue_sampler(bottleneck, 100 * MICROS, 0);
         exp.sim.run_until(horizon);
+        uno_bench::record_manifest(exp.manifest());
 
         let sampler = &exp.sim.samplers[0];
         // Steady-state statistics: second half of the run (the paper's
@@ -109,7 +116,10 @@ fn main() {
             }
             cur_max = cur_max.max(v);
         }
-        let cells: Vec<String> = trace.iter().map(|v| format!("{:.0}", *v as f64 / 1024.0)).collect();
+        let cells: Vec<String> = trace
+            .iter()
+            .map(|v| format!("{:.0}", *v as f64 / 1024.0))
+            .collect();
         println!("occupancy max per 2ms (KiB): {}", cells.join(" "));
 
         // RPC FCTs (intra-class flows registered after the long flows).
@@ -140,4 +150,5 @@ fn main() {
     println!("(paper: phantom queues give ~2x mean and ~8x p99 RPC FCT improvement,");
     println!(" with near-zero physical queues at the incast bottleneck)");
     let _ = SECONDS;
+    uno_bench::write_manifests("fig04");
 }

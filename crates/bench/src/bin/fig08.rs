@@ -78,7 +78,14 @@ fn main() {
             SchemeSpec::mprdma_bbr().with_lb(LbMode::Spray),
         ] {
             let name = scheme.name;
-            let r = run_experiment(scheme, topo.clone(), &specs, args.seed, false, 120 * SECONDS);
+            let r = run_experiment(
+                scheme,
+                topo.clone(),
+                &specs,
+                args.seed,
+                false,
+                120 * SECONDS,
+            );
             let t = FctTable::new(r.fcts);
             let s = t.summary();
             table.row([
@@ -95,4 +102,5 @@ fn main() {
         println!("(ideal last-flow completion ~ {} ms)", fmt_ms(ideal));
         println!();
     }
+    uno_bench::write_manifests("fig08");
 }

@@ -36,7 +36,11 @@ fn main() {
         println!(
             "== inter-DC provisioning: {} border links ({}) ==",
             topo.border_links,
-            if provisioned { "fully provisioned" } else { "as-is" },
+            if provisioned {
+                "fully provisioned"
+            } else {
+                "as-is"
+            },
         );
         let mut table = TextTable::new([
             "scheme",
@@ -66,4 +70,5 @@ fn main() {
         print!("{table}");
         println!();
     }
+    uno_bench::write_manifests("fig09");
 }

@@ -6,7 +6,7 @@
 //! scheme, mean and p99 FCT split by flow class.
 
 use uno::metrics::{FctTable, TextTable};
-use uno::sim::{FlowClass, MILLIS, SECONDS, Time};
+use uno::sim::{FlowClass, Time, MILLIS, SECONDS};
 use uno_bench::{run_experiment, HarnessArgs};
 use uno_workloads::{poisson_mix, Cdf, PoissonMixParams};
 
@@ -25,11 +25,7 @@ fn main() {
     let loads = [0.2, 0.4, 0.6];
 
     println!("Figure 10: realistic workload (websearch intra + Alibaba WAN inter, 4:1)");
-    println!(
-        "duration {} ms on k={} topology",
-        duration / MILLIS,
-        topo.k
-    );
+    println!("duration {} ms on k={} topology", duration / MILLIS, topo.k);
     println!();
 
     for load in loads {
@@ -60,7 +56,14 @@ fn main() {
         ]);
         for scheme in uno_bench::main_schemes() {
             let name = scheme.name;
-            let r = run_experiment(scheme, topo.clone(), &specs, args.seed, false, duration + drain);
+            let r = run_experiment(
+                scheme,
+                topo.clone(),
+                &specs,
+                args.seed,
+                false,
+                duration + drain,
+            );
             let done = format!("{}/{}", r.fcts.len(), r.flows);
             // Unfinished flows enter as FCT lower bounds (end = horizon):
             // dropping them would flatter slow schemes.
@@ -85,4 +88,5 @@ fn main() {
     }
     println!("(paper @40%: Uno cuts tail FCT 4.4x/1.7x [intra/inter] vs MPRDMA+BBR");
     println!(" and 5.3x/2.1x vs Gemini; UnoCC alone improves means 30-37%)");
+    uno_bench::write_manifests("fig10");
 }

@@ -7,7 +7,7 @@
 //! tail slowdown is ~5x lower than both baselines.
 
 use uno::metrics::{percentile, TextTable};
-use uno::sim::{FlowClass, MILLIS, SECONDS, Time};
+use uno::sim::{FlowClass, Time, MILLIS, SECONDS};
 use uno::{ideal_fct, sim::time::as_secs_f64};
 use uno_bench::{run_experiment, HarnessArgs};
 use uno_workloads::{poisson_mix, Cdf, PoissonMixParams};
@@ -47,7 +47,14 @@ fn main() {
         let mut table = TextTable::new(["scheme", "mean slowdown", "p99 slowdown", "done"]);
         for scheme in uno_bench::main_schemes() {
             let name = scheme.name;
-            let r = run_experiment(scheme, topo.clone(), &specs, args.seed, false, duration + drain);
+            let r = run_experiment(
+                scheme,
+                topo.clone(),
+                &specs,
+                args.seed,
+                false,
+                duration + drain,
+            );
             let done = format!("{}/{}", r.fcts.len(), r.flows);
             // Unfinished flows enter as slowdown lower bounds.
             let mut fcts = r.fcts;
@@ -76,4 +83,5 @@ fn main() {
         print!("{table}");
         println!();
     }
+    uno_bench::write_manifests("fig11");
 }

@@ -5,7 +5,7 @@
 //! matching the paper's §5.2.2 final experiment.
 
 use uno::metrics::{FctTable, TextTable};
-use uno::sim::{FlowClass, MILLIS, SECONDS, Time};
+use uno::sim::{FlowClass, Time, MILLIS, SECONDS};
 use uno_bench::{run_experiment, HarnessArgs};
 use uno_workloads::{poisson_mix, Cdf, PoissonMixParams};
 
@@ -37,7 +37,11 @@ fn main() {
     };
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(args.seed);
     let specs = poisson_mix(&p, &Cdf::websearch(), &Cdf::alibaba_wan(), &mut rng);
-    println!("{} flows ({} inter)", specs.len(), specs.iter().filter(|s| s.is_inter()).count());
+    println!(
+        "{} flows ({} inter)",
+        specs.len(),
+        specs.iter().filter(|s| s.is_inter()).count()
+    );
 
     let mut table = TextTable::new([
         "scheme",
@@ -49,8 +53,15 @@ fn main() {
     ]);
     for scheme in uno_bench::main_schemes() {
         let name = scheme.name;
-        let r = run_experiment(scheme, topo.clone(), &specs, args.seed, false, duration + drain);
-            let done = format!("{}/{}", r.fcts.len(), r.flows);
+        let r = run_experiment(
+            scheme,
+            topo.clone(),
+            &specs,
+            args.seed,
+            false,
+            duration + drain,
+        );
+        let done = format!("{}/{}", r.fcts.len(), r.flows);
         // Unfinished flows enter as FCT lower bounds (end = horizon):
         // dropping them would flatter slow schemes.
         let mut fcts = r.fcts;
@@ -71,4 +82,5 @@ fn main() {
     println!();
     println!("(paper: vs Gemini, Uno cuts tail FCT 3.1x intra / 1.7x inter;");
     println!(" vs MPRDMA+BBR, 3.6x / 1.8x)");
+    uno_bench::write_manifests("fig12");
 }

@@ -21,9 +21,7 @@ fn main() {
     let n_flows = 2 * topo.border_links as u32;
     let hosts = topo.hosts_per_dc() as u32;
 
-    println!(
-        "Figure 13A: one failed border link, {n_flows} x 5 MiB inter-DC flows, {runs} runs"
-    );
+    println!("Figure 13A: one failed border link, {n_flows} x 5 MiB inter-DC flows, {runs} runs");
     println!("{:>9} | FCT across runs (ms)", "scheme");
     println!("----------+--------------------------------------------");
 
@@ -45,9 +43,11 @@ fn main() {
                 });
             }
             // Fail a seed-chosen border link shortly after start.
-            let victim = exp.sim.topo.border_forward[(seed as usize) % exp.sim.topo.border_forward.len()];
+            let victim =
+                exp.sim.topo.border_forward[(seed as usize) % exp.sim.topo.border_forward.len()];
             exp.sim.schedule_link_down(victim, MILLIS / 2);
             let r = exp.run(30 * SECONDS);
+            uno_bench::record_manifest(r.manifest.clone());
             let fcts: Vec<f64> = r.fcts.iter().map(|f| f.fct() as f64 / 1e6).collect();
             if r.all_completed {
                 uno::metrics::mean(&fcts)
@@ -77,4 +77,5 @@ fn main() {
     println!("(paper: UnoLB+EC beats spraying and PLB with and without EC — up to");
     println!(" 3x vs no-EC, 2x vs RPS, 6x vs PLB — by avoiding the failed link");
     println!(" and spreading each block across subflows)");
+    uno_bench::write_manifests("fig13a");
 }

@@ -60,6 +60,7 @@ fn main() {
                 start: 0,
             });
             let r = exp.run(30 * SECONDS);
+            uno_bench::record_manifest(r.manifest.clone());
             if r.all_completed {
                 r.fcts[0].fct() as f64 / 1e6
             } else {
@@ -87,4 +88,5 @@ fn main() {
     println!();
     println!("(paper: Uno ~matches spraying and beats PLB with and without EC;");
     println!(" PLB's single path makes a flaky link poison whole blocks)");
+    uno_bench::write_manifests("fig13b");
 }

@@ -21,9 +21,7 @@ fn main() {
     let groups = topo.border_links as u32;
     let scale = args.size_scale();
 
-    println!(
-        "Figure 13C: inter-DC Allreduce, {iterations} iterations, {groups} channels,"
-    );
+    println!("Figure 13C: inter-DC Allreduce, {iterations} iterations, {groups} channels,");
     println!("random border-link failure + correlated drops per iteration");
     println!("{:>9} | iteration time / ideal", "scheme");
     println!("----------+--------------------------------------------");
@@ -38,17 +36,13 @@ fn main() {
             let mut cfg = ExperimentConfig::quick(scheme.clone(), seed);
             cfg.topo = topo.clone();
             let mut exp = Experiment::new(cfg);
-            let specs = allreduce_iteration(
-                groups,
-                volume,
-                topo.hosts_per_dc() as u32,
-                &mut rng,
-            );
+            let specs = allreduce_iteration(groups, volume, topo.hosts_per_dc() as u32, &mut rng);
             exp.add_specs(&specs);
             // One random border link fails mid-iteration...
             let nb = exp.sim.topo.border_forward.len();
             let victim = exp.sim.topo.border_forward[rng.gen_range(0..nb)];
-            exp.sim.schedule_link_down(victim, rng.gen_range(MILLIS / 4..2 * MILLIS));
+            exp.sim
+                .schedule_link_down(victim, rng.gen_range(MILLIS / 4..2 * MILLIS));
             // ...and every border link sees correlated random drops.
             let base = GilbertElliott::table1_setup1();
             let model = GilbertElliott::new(
@@ -68,6 +62,7 @@ fn main() {
                 exp.sim.set_link_loss(l, model.clone());
             }
             let r = exp.run(60 * SECONDS);
+            uno_bench::record_manifest(r.manifest.clone());
             // Ideal assumes the full (pre-failure) aggregate WAN bandwidth
             // and no drops — the paper's "no ECMP collisions or random
             // drops" baseline.
@@ -100,4 +95,5 @@ fn main() {
     println!();
     println!("(paper: with EC, Uno is >2x better than the runner-up and within");
     println!(" ~30% of the ideal iteration time)");
+    uno_bench::write_manifests("fig13c");
 }

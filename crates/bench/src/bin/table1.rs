@@ -1,8 +1,8 @@
 //! Table 1 — per-block packet-loss statistics.
 //!
 //! The paper measured 320 M 2 KiB packets between cloud VM pairs and
-//! counted, within consecutive 10-packet chunks, how many chunks lost
-//! >= 1, 2, 3 packets. The raw data is provider-internal, so this harness
+//! counted, within consecutive 10-packet chunks, how many chunks lost at
+//! least 1, 2, 3 packets. The raw data is provider-internal, so this harness
 //! validates our Gilbert–Elliott substitution: it replays the fitted model
 //! and prints model-vs-paper rows.
 
@@ -25,8 +25,16 @@ fn main() {
     println!("Table 1: per-chunk loss statistics ({packets} packets, 10-packet chunks)");
     println!();
     for (label, mut model, aggregate_paper) in [
-        ("Setup 1 (65 ms RTT)", GilbertElliott::table1_setup1(), 5.01e-5),
-        ("Setup 2 (33 ms RTT)", GilbertElliott::table1_setup2(), 1.22e-5),
+        (
+            "Setup 1 (65 ms RTT)",
+            GilbertElliott::table1_setup1(),
+            5.01e-5,
+        ),
+        (
+            "Setup 2 (33 ms RTT)",
+            GilbertElliott::table1_setup2(),
+            1.22e-5,
+        ),
     ] {
         let mut rng = SmallRng::seed_from_u64(args.seed);
         let stats = ChunkLossStats::measure(&mut model, packets, 10, &mut rng);
@@ -36,15 +44,14 @@ fn main() {
             stats.loss_rate(),
             aggregate_paper
         );
-        println!("{:>22} {:>12} {:>12} {:>12}", "losses within block", "model drops", "model rate", "paper rate");
+        println!(
+            "{:>22} {:>12} {:>12} {:>12}",
+            "losses within block", "model drops", "model rate", "paper rate"
+        );
         let setup1 = label.starts_with("Setup 1");
         for &(k, s1, s2) in &paper {
             let rate = stats.rate_at_least(k);
-            let drops: u64 = stats
-                .chunks_with_losses
-                .iter()
-                .skip(k)
-                .sum();
+            let drops: u64 = stats.chunks_with_losses.iter().skip(k).sum();
             let paper_rate = if setup1 { s1 } else { s2 };
             println!("{k:>22} {drops:>12} {rate:>12.2e} {paper_rate:>12.2e}");
         }
@@ -53,4 +60,5 @@ fn main() {
     println!("(the model preserves the paper's headline: losses are link-correlated —");
     println!(" multi-loss chunks occur orders of magnitude above the independent-loss");
     println!(" baseline, which motivates MDS coding plus subflow spreading)");
+    uno_bench::write_manifests("table1");
 }

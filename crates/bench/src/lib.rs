@@ -7,11 +7,43 @@
 
 #![warn(missing_docs)]
 
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::Instant;
 
-use uno::sim::{Time, TopologyParams, GBPS, SECONDS};
+use uno::sim::{RunManifest, Time, TopologyParams, GBPS, SECONDS};
 use uno::{Experiment, ExperimentConfig, SchemeSpec};
 use uno_workloads::FlowSpec;
+
+/// Manifests of every experiment this binary has run, drained by
+/// [`write_manifests`] at the end of `main`.
+static MANIFESTS: Mutex<Vec<RunManifest>> = Mutex::new(Vec::new());
+
+/// Record a run manifest for inclusion in this binary's manifest file.
+/// [`run_experiment`] records automatically; binaries that drive
+/// [`Experiment`] directly call this with `results.manifest`.
+pub fn record_manifest(m: RunManifest) {
+    MANIFESTS.lock().expect("manifest lock").push(m);
+}
+
+/// Drain every recorded manifest into `results/MANIFEST_<figure>.json`
+/// (sorted by scheme name and seed so parallel seed runs produce a stable
+/// file apart from wall-clock fields). Returns the path written.
+pub fn write_manifests(figure: &str) -> PathBuf {
+    let mut v = std::mem::take(&mut *MANIFESTS.lock().expect("manifest lock"));
+    v.sort_by(|a, b| (a.name.as_str(), a.seed).cmp(&(b.name.as_str(), b.seed)));
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join(format!("MANIFEST_{figure}.json"));
+    let json = serde_json::to_string_pretty(&v).expect("manifest serialization");
+    std::fs::write(&path, json + "\n").expect("write manifest file");
+    eprintln!(
+        "[{figure}] wrote {} run manifest(s) to {}",
+        v.len(),
+        path.display()
+    );
+    path
+}
 
 /// Common command-line options for the figure binaries.
 #[derive(Clone, Debug)]
@@ -138,6 +170,7 @@ pub fn run_experiment(
             " (horizon hit before completion)"
         },
     );
+    record_manifest(r.manifest.clone());
     r
 }
 
@@ -154,8 +187,10 @@ where
         .unwrap_or(4)
         .min(seeds.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<T>>> =
-        seeds.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<parking_lot::Mutex<Option<T>>> = seeds
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {

@@ -75,7 +75,10 @@ mod tests {
         // Paper §1: at 20 ms inter-DC RTT, completion is dominated by
         // propagation for messages smaller than ~1 GiB (100 Gbps links).
         let below = propagation_fraction(128 << 20, 20 * MILLIS, 100 * GBPS);
-        assert!(below > 0.5, "128 MiB should still be latency-bound: {below}");
+        assert!(
+            below > 0.5,
+            "128 MiB should still be latency-bound: {below}"
+        );
         let above = propagation_fraction(4 << 30, 20 * MILLIS, 100 * GBPS);
         assert!(above < 0.5, "4 GiB should be throughput-bound: {above}");
     }

@@ -3,14 +3,20 @@
 //! ```text
 //! cargo run --release -p uno --bin uno-scenario -- scenario.json
 //! cargo run --release -p uno --bin uno-scenario -- --print-template
+//! cargo run --release -p uno --bin uno-scenario -- scenario.json \
+//!     --trace trace.jsonl --trace-filter 'classes=cc,queue;flows=0'
 //! ```
 //!
 //! The scenario file selects a topology preset, a scheme, a workload and
 //! optional failure/loss injection; results (per-flow FCTs plus aggregate
-//! statistics) are printed as JSON on stdout, ready for plotting.
+//! statistics and the run manifest) are printed as JSON on stdout, ready for
+//! plotting. `--trace <path>` streams a structured JSONL event trace (see
+//! `uno-trace-summarize`), optionally gated by a `--trace-filter` spec.
 
 use serde::{Deserialize, Serialize};
-use uno::sim::{GilbertElliott, Time, TopologyParams, MILLIS, SECONDS};
+use uno::sim::{
+    GilbertElliott, RunManifest, Time, TopologyParams, TraceConfig, Tracer, MILLIS, SECONDS,
+};
 use uno::{Experiment, ExperimentConfig, SchemeSpec};
 use uno_erasure::EcParams;
 use uno_transport::{LbMode, PlbParams};
@@ -118,6 +124,7 @@ struct Output {
     ecn_marks: u64,
     queue_drops: u64,
     link_losses: u64,
+    manifest: RunManifest,
 }
 
 fn template() -> Scenario {
@@ -136,25 +143,62 @@ fn template() -> Scenario {
     }
 }
 
+fn die(msg: &str) -> ! {
+    eprintln!("uno-scenario: {msg}");
+    eprintln!(
+        "usage: uno-scenario <scenario.json> [--trace <out.jsonl>] \
+         [--trace-filter <spec>] | --print-template"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_default();
-    if arg == "--print-template" || arg.is_empty() {
-        println!("{}", serde_json::to_string_pretty(&template()).unwrap());
-        if arg.is_empty() {
-            eprintln!("usage: uno-scenario <scenario.json> | --print-template");
-            std::process::exit(2);
+    let mut args = std::env::args().skip(1);
+    let mut scenario_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut trace_filter = TraceConfig::all();
+    let mut print_template = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--print-template" => print_template = true,
+            "--trace" => {
+                trace_path = Some(args.next().unwrap_or_else(|| die("--trace needs a path")));
+            }
+            "--trace-filter" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| die("--trace-filter needs a spec"));
+                trace_filter = TraceConfig::parse(&spec)
+                    .unwrap_or_else(|e| die(&format!("bad --trace-filter: {e}")));
+            }
+            other if !other.starts_with("--") && scenario_path.is_none() => {
+                scenario_path = Some(other.to_string());
+            }
+            other => die(&format!("unknown argument `{other}`")),
         }
+    }
+    if print_template {
+        println!("{}", serde_json::to_string_pretty(&template()).unwrap());
         return;
     }
+    let Some(arg) = scenario_path else {
+        println!("{}", serde_json::to_string_pretty(&template()).unwrap());
+        die("no scenario file given (template printed above)");
+    };
     let text = std::fs::read_to_string(&arg)
-        .unwrap_or_else(|e| panic!("cannot read scenario file {arg}: {e}"));
-    let sc: Scenario = serde_json::from_str(&text)
-        .unwrap_or_else(|e| panic!("invalid scenario JSON: {e}"));
-    let out = run_scenario(&sc);
+        .unwrap_or_else(|e| die(&format!("cannot read scenario file {arg}: {e}")));
+    let sc: Scenario =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("invalid scenario JSON: {e}")));
+    let tracer = match &trace_path {
+        Some(path) => Tracer::jsonl_file(path, trace_filter)
+            .unwrap_or_else(|e| die(&format!("cannot open trace file {path}: {e}"))),
+        None => Tracer::disabled(),
+    };
+    let out = run_scenario(&sc, tracer);
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
 }
 
-fn run_scenario(sc: &Scenario) -> Output {
+fn run_scenario(sc: &Scenario, tracer: Tracer) -> Output {
     let topo = if sc.k == 8 {
         TopologyParams::default()
     } else {
@@ -203,6 +247,7 @@ fn run_scenario(sc: &Scenario) -> Output {
     let mut cfg = ExperimentConfig::quick(scheme, sc.seed);
     cfg.topo = topo;
     let mut exp = Experiment::new(cfg);
+    exp.sim.set_tracer(tracer);
     exp.add_specs(&specs);
     for i in 0..sc.fail_border_links.min(exp.sim.topo.border_forward.len()) {
         let l = exp.sim.topo.border_forward[i];
@@ -217,7 +262,8 @@ fn run_scenario(sc: &Scenario) -> Output {
             .into_iter()
             .chain(exp.sim.topo.border_reverse.clone())
         {
-            exp.sim.set_link_loss(l, GilbertElliott::uniform(sc.border_loss));
+            exp.sim
+                .set_link_loss(l, GilbertElliott::uniform(sc.border_loss));
         }
     }
     let horizon: Time = sc.horizon_ms * MILLIS;
@@ -235,6 +281,7 @@ fn run_scenario(sc: &Scenario) -> Output {
         ecn_marks: r.stats.ecn_marks,
         queue_drops: r.stats.queue_drops,
         link_losses: r.stats.link_losses,
+        manifest: r.manifest,
     }
 }
 
@@ -248,7 +295,10 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back.k, 4);
-        assert!(matches!(back.workload, WorkloadSel::Incast { intra: 4, .. }));
+        assert!(matches!(
+            back.workload,
+            WorkloadSel::Incast { intra: 4, .. }
+        ));
     }
 
     #[test]
@@ -266,10 +316,13 @@ mod tests {
             fail_border_links: 0,
             border_loss: 0.0,
         };
-        let out = run_scenario(&sc);
+        let out = run_scenario(&sc, Tracer::disabled());
         assert_eq!(out.flows, 3);
         assert_eq!(out.completed, 3);
         assert!(out.mean_fct_ms > 0.0);
+        assert!(out.manifest.events_processed > 0);
+        assert_eq!(out.manifest.counters.get("queue.drops"), out.queue_drops);
+        assert_eq!(out.manifest.completed, 3);
     }
 
     #[test]
@@ -293,7 +346,7 @@ mod tests {
             fail_border_links: 1,
             border_loss: 0.001,
         };
-        let out = run_scenario(&sc);
+        let out = run_scenario(&sc, Tracer::disabled());
         assert_eq!(out.completed, 1);
     }
 

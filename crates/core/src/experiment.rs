@@ -6,8 +6,8 @@
 
 use serde::{Deserialize, Serialize};
 use uno_sim::{
-    FctRecord, FlowClass, FlowId, FlowMeta, NetworkStats, PhantomParams, QueueSampler, Simulator,
-    Time, Topology, TopologyParams, MILLIS,
+    FctRecord, FlowClass, FlowId, FlowMeta, NetworkStats, PhantomParams, QueueSampler, RunManifest,
+    Simulator, Time, Topology, TopologyParams, MILLIS,
 };
 use uno_transport::{
     Bbr, CcAlgorithm, CcConfig, FlowConfig, Gemini, LbMode, MessageFlow, Mprdma, UnoCc,
@@ -52,6 +52,10 @@ impl ExperimentConfig {
     }
 }
 
+/// One queue sampler's output: link id, physical-occupancy samples, and
+/// phantom-occupancy samples.
+pub type SamplerSeries = (u32, Vec<(Time, u64)>, Vec<(Time, u64)>);
+
 /// Everything a finished run yields.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ExperimentResults {
@@ -64,7 +68,7 @@ pub struct ExperimentResults {
     /// Per-flow progress series (flow id, (time, cumulative acked bytes)).
     pub progress: Vec<(u32, Vec<(Time, u64)>)>,
     /// Queue samplers registered before the run.
-    pub samplers: Vec<(u32, Vec<(Time, u64)>, Vec<(Time, u64)>)>,
+    pub samplers: Vec<SamplerSeries>,
     /// Lower-bound records (end = horizon) for flows that did not complete;
     /// include them in tail statistics to avoid censoring bias.
     pub censored: Vec<FctRecord>,
@@ -74,6 +78,10 @@ pub struct ExperimentResults {
     pub sim_time: Time,
     /// Number of flows registered.
     pub flows: usize,
+    /// Run manifest: seed, topology, throughput and final counter snapshot.
+    /// `manifest.name` defaults to the scheme name; figure binaries override
+    /// it with the experiment's name before writing the manifest out.
+    pub manifest: RunManifest,
 }
 
 /// A configured simulation ready to accept flows and run.
@@ -206,9 +214,17 @@ impl Experiment {
         self.collect(done)
     }
 
+    /// Build a run manifest from the simulator's current state. Also useful
+    /// mid-run for drivers that never call [`Experiment::run`].
+    pub fn manifest(&self) -> RunManifest {
+        build_manifest(&self.sim, &self.cfg)
+    }
+
     fn collect(self, all_completed: bool) -> ExperimentResults {
         let Experiment { sim, cfg } = self;
+        let manifest = build_manifest(&sim, &cfg);
         ExperimentResults {
+            manifest,
             scheme: cfg.scheme.name.to_string(),
             stats: sim.network_stats(),
             censored: sim.censored_fcts(),
@@ -225,12 +241,27 @@ impl Experiment {
             samplers: sim
                 .samplers
                 .iter()
-                .map(|s: &QueueSampler| {
-                    (s.link.0, s.samples.clone(), s.phantom_samples.clone())
-                })
+                .map(|s: &QueueSampler| (s.link.0, s.samples.clone(), s.phantom_samples.clone()))
                 .collect(),
             fcts: sim.fcts,
         }
+    }
+}
+
+/// Shared manifest construction for [`Experiment::manifest`] and `collect`.
+fn build_manifest(sim: &Simulator, cfg: &ExperimentConfig) -> RunManifest {
+    RunManifest {
+        name: cfg.scheme.name.to_string(),
+        scheme: cfg.scheme.name.to_string(),
+        seed: cfg.seed,
+        topo: sim.topo.params.serialize_value(),
+        sim_time_ns: sim.now(),
+        wall_seconds: sim.wall_seconds(),
+        events_processed: sim.events_processed,
+        events_per_sec: sim.events_per_sec(),
+        flows: sim.num_flows() as u64,
+        completed: sim.fcts.len() as u64,
+        counters: sim.counter_snapshot(),
     }
 }
 
@@ -282,7 +313,11 @@ mod tests {
         assert!(r.all_completed);
         assert_eq!(r.fcts.len(), 3);
         assert_eq!(r.scheme, "Uno");
-        let inter = r.fcts.iter().filter(|f| f.class == FlowClass::Inter).count();
+        let inter = r
+            .fcts
+            .iter()
+            .filter(|f| f.class == FlowClass::Inter)
+            .count();
         assert_eq!(inter, 2);
     }
 

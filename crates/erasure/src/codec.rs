@@ -291,8 +291,7 @@ mod tests {
         let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
         for a in 0..10 {
             for b in (a + 1)..10 {
-                let mut shards: Vec<Option<Vec<u8>>> =
-                    full.iter().cloned().map(Some).collect();
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                 shards[a] = None;
                 shards[b] = None;
                 rs.reconstruct(&mut shards).unwrap();
@@ -331,11 +330,10 @@ mod tests {
         let data = sample_data(4, 24);
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = rs.encode(&refs).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> =
-            vec![None, None, None, None]
-                .into_iter()
-                .chain(parity.into_iter().map(Some))
-                .collect();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None, None, None, None]
+            .into_iter()
+            .chain(parity.into_iter().map(Some))
+            .collect();
         rs.reconstruct(&mut shards).unwrap();
         for (i, d) in data.iter().enumerate() {
             assert_eq!(shards[i].as_ref().unwrap(), d);
@@ -347,10 +345,7 @@ mod tests {
         let rs = ReedSolomon::new(2, 1);
         let a = vec![1u8; 8];
         let b = vec![2u8; 9];
-        assert_eq!(
-            rs.encode(&[&a, &b]),
-            Err(CodecError::ShardSizeMismatch)
-        );
+        assert_eq!(rs.encode(&[&a, &b]), Err(CodecError::ShardSizeMismatch));
     }
 
     #[test]
@@ -359,12 +354,18 @@ mod tests {
         let a = vec![0u8; 4];
         assert!(matches!(
             rs.encode(&[&a]),
-            Err(CodecError::WrongShardCount { got: 1, expected: 3 })
+            Err(CodecError::WrongShardCount {
+                got: 1,
+                expected: 3
+            })
         ));
         let mut shards: Vec<Option<Vec<u8>>> = vec![Some(a); 4];
         assert!(matches!(
             rs.reconstruct(&mut shards),
-            Err(CodecError::WrongShardCount { got: 4, expected: 5 })
+            Err(CodecError::WrongShardCount {
+                got: 4,
+                expected: 5
+            })
         ));
     }
 

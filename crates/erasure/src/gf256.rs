@@ -226,11 +226,7 @@ mod tests {
     fn mul_acc_kernel() {
         let src = [1u8, 2, 3, 255];
         let mut dst = [10u8, 20, 30, 40];
-        let expect: Vec<u8> = dst
-            .iter()
-            .zip(&src)
-            .map(|(&d, &s)| d ^ mul(7, s))
-            .collect();
+        let expect: Vec<u8> = dst.iter().zip(&src).map(|(&d, &s)| d ^ mul(7, s)).collect();
         mul_acc(&mut dst, &src, 7);
         assert_eq!(dst.to_vec(), expect);
     }

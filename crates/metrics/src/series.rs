@@ -91,9 +91,7 @@ mod tests {
     #[test]
     fn constant_rate_recovered() {
         // 1 MB/ms cumulative progress => 8 Gbps.
-        let progress: Vec<(Time, u64)> = (1..=10)
-            .map(|i| (i * MILLIS, i * 1_000_000))
-            .collect();
+        let progress: Vec<(Time, u64)> = (1..=10).map(|i| (i * MILLIS, i * 1_000_000)).collect();
         let rates = rates_from_progress(&progress, MILLIS, 10 * MILLIS);
         assert_eq!(rates.len(), 10);
         for r in &rates {
@@ -103,7 +101,7 @@ mod tests {
 
     #[test]
     fn idle_bins_have_zero_rate() {
-        let progress = vec![(1 * MILLIS, 1000u64)];
+        let progress = vec![(MILLIS, 1000u64)];
         let rates = rates_from_progress(&progress, MILLIS, 3 * MILLIS);
         assert!(rates[0].rate_bps > 0.0);
         assert_eq!(rates[1].rate_bps, 0.0);

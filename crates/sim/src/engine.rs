@@ -11,6 +11,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use uno_trace::{Counters, TraceEvent, Tracer};
 
 use crate::event::{Event, EventQueue};
 use crate::ids::{FlowId, LinkId, NodeId};
@@ -94,6 +95,9 @@ pub struct Ctx<'a> {
     pub rng: &'a mut SmallRng,
     /// Read access to the topology.
     pub topo: &'a Topology,
+    /// Structured event sink (branch on [`Tracer::enabled`] before building
+    /// events — see [`Ctx::tracing`]).
+    pub tracer: &'a mut Tracer,
     actions: &'a mut Vec<Action>,
 }
 
@@ -126,6 +130,19 @@ impl Ctx<'_> {
     pub fn random_entropy(&mut self) -> u16 {
         self.rng.gen()
     }
+
+    /// True when a trace sink is attached: callers skip building
+    /// [`TraceEvent`]s entirely when this is false.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Record a structured trace event.
+    #[inline]
+    pub fn trace(&mut self, ev: TraceEvent) {
+        self.tracer.emit(ev);
+    }
 }
 
 /// Protocol logic driven by the engine.
@@ -136,6 +153,11 @@ pub trait FlowLogic {
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx);
     /// Called when a timer armed via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx);
+    /// Contribute this flow's counters (`cc.*`, `rc.*`, `lb.*`) to a run
+    /// snapshot; values are summed across flows. Default: contributes none.
+    fn report_counters(&self, counters: &mut Counters) {
+        let _ = counters;
+    }
 }
 
 struct FlowSlot {
@@ -165,12 +187,36 @@ pub struct NetworkStats {
     pub queue_drops: u64,
     /// Packets ECN-marked.
     pub ecn_marks: u64,
+    /// Of [`NetworkStats::ecn_marks`], marks driven by phantom queues.
+    pub phantom_marks: u64,
     /// Packets lost to loss processes or failed links.
     pub link_losses: u64,
     /// Packets transmitted.
     pub tx_packets: u64,
     /// Bytes transmitted.
     pub tx_bytes: u64,
+}
+
+/// Per-link drop/mark/transmit statistics (the per-link breakdown of
+/// [`NetworkStats`]).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Link id.
+    pub link: u32,
+    /// Packets dropped at this link's (full) egress queue.
+    pub drops: u64,
+    /// Packets ECN-marked on enqueue.
+    pub ecn_marks: u64,
+    /// Of `ecn_marks`, marks driven by the phantom queue.
+    pub phantom_marks: u64,
+    /// Packets lost on the link (failures, loss processes).
+    pub losses: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// High-water mark of the egress queue in bytes.
+    pub max_queue_bytes: u64,
 }
 
 /// The simulator: topology + event queue + flows.
@@ -191,6 +237,10 @@ pub struct Simulator {
     action_buf: Vec<Action>,
     /// Total events processed (for engine benchmarking).
     pub events_processed: u64,
+    /// Structured event sink (defaults to disabled; see [`Tracer`]).
+    pub tracer: Tracer,
+    /// Wall-clock nanoseconds spent inside [`Simulator::run_until`].
+    wall_nanos: u64,
 }
 
 impl Simulator {
@@ -208,7 +258,14 @@ impl Simulator {
             progress: Vec::new(),
             action_buf: Vec::new(),
             events_processed: 0,
+            tracer: Tracer::disabled(),
+            wall_nanos: 0,
         }
+    }
+
+    /// Attach a structured event sink (replacing any previous one).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Current simulation time.
@@ -308,6 +365,7 @@ impl Simulator {
         for l in &self.topo.links {
             s.queue_drops += l.queue.drops;
             s.ecn_marks += l.queue.marks;
+            s.phantom_marks += l.queue.phantom_marks;
             s.link_losses += l.lost_packets;
             s.tx_packets += l.tx_packets;
             s.tx_bytes += l.tx_bytes;
@@ -315,9 +373,67 @@ impl Simulator {
         s
     }
 
+    /// Per-link breakdown of [`Simulator::network_stats`], in link-id order.
+    pub fn per_link_stats(&self) -> Vec<LinkStats> {
+        self.topo
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| LinkStats {
+                link: i as u32,
+                drops: l.queue.drops,
+                ecn_marks: l.queue.marks,
+                phantom_marks: l.queue.phantom_marks,
+                losses: l.lost_packets,
+                tx_packets: l.tx_packets,
+                tx_bytes: l.tx_bytes,
+                max_queue_bytes: l.queue.max_bytes_seen,
+            })
+            .collect()
+    }
+
+    /// Snapshot every counter the run registered: engine totals, queue/link
+    /// aggregates, and whatever each flow's [`FlowLogic::report_counters`]
+    /// contributes. Deterministic for a given seed — wall-clock timing is
+    /// deliberately *not* part of the snapshot (it lives in the manifest).
+    pub fn counter_snapshot(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set("engine.events_processed", self.events_processed);
+        let s = self.network_stats();
+        c.set("queue.drops", s.queue_drops);
+        c.set("queue.ecn_marks", s.ecn_marks);
+        c.set("queue.phantom_marks", s.phantom_marks);
+        c.set("link.losses", s.link_losses);
+        c.set("link.tx_packets", s.tx_packets);
+        c.set("link.tx_bytes", s.tx_bytes);
+        for slot in &self.flows {
+            if let Some(logic) = &slot.logic {
+                logic.report_counters(&mut c);
+            }
+        }
+        c
+    }
+
+    /// Wall-clock seconds spent inside the run loop so far.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_nanos as f64 / 1e9
+    }
+
+    /// Engine throughput: events processed per wall-clock second (0 before
+    /// the first [`Simulator::run_until`] call).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.events_processed as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
     /// Process events until simulated time exceeds `end` (which becomes the
     /// new `now`), the event queue drains, or all flows complete.
     pub fn run_until(&mut self, end: Time) {
+        let wall_start = std::time::Instant::now();
+        let mut all_done = false;
         while let Some(t) = self.events.peek_time() {
             if t > end {
                 break;
@@ -328,10 +444,14 @@ impl Simulator {
             self.dispatch(ev);
             self.events_processed += 1;
             if !self.flows.is_empty() && self.completed_flows == self.flows.len() {
-                return;
+                all_done = true;
+                break;
             }
         }
-        self.now = self.now.max(end);
+        if !all_done {
+            self.now = self.now.max(end);
+        }
+        self.wall_nanos += wall_start.elapsed().as_nanos() as u64;
     }
 
     /// Run until every registered flow completes or `hard_limit` is reached.
@@ -387,11 +507,27 @@ impl Simulator {
         let l = &mut self.topo.links[link.index()];
         if !l.up {
             l.lost_packets += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::LinkLoss {
+                    t: self.now,
+                    link: link.0,
+                    flow: pkt.flow.0,
+                    seq: pkt.seq,
+                });
+            }
             return;
         }
         if let Some(loss) = &mut l.loss {
             if loss.drops(&mut self.rng) {
                 l.lost_packets += 1;
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::LinkLoss {
+                        t: self.now,
+                        link: link.0,
+                        flow: pkt.flow.0,
+                        seq: pkt.seq,
+                    });
+                }
                 return;
             }
         }
@@ -403,27 +539,66 @@ impl Simulator {
             }
             // Packets for other hosts are misrouted artifacts; drop silently.
         } else {
-            match self.topo.route(node, &pkt) {
-                Some(out) => self.enqueue_on(out, pkt),
-                None => {}
+            if let Some(out) = self.topo.route(node, &pkt) {
+                self.enqueue_on(out, pkt)
             }
         }
     }
 
     /// Enqueue `pkt` on `link`'s egress queue, kicking transmission if idle.
     fn enqueue_on(&mut self, link: LinkId, pkt: Packet) {
+        let now = self.now;
         let l = &mut self.topo.links[link.index()];
         if !l.up {
             l.lost_packets += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::LinkLoss {
+                    t: now,
+                    link: link.0,
+                    flow: pkt.flow.0,
+                    seq: pkt.seq,
+                });
+            }
             return;
         }
-        match l.queue.try_enqueue(pkt, self.now, &mut self.rng) {
-            EnqueueOutcome::Enqueued => {
-                if !l.busy {
-                    self.start_transmit(link);
+        let (flow, seq, size) = (pkt.flow.0, pkt.seq, pkt.size);
+        let outcome = l.queue.try_enqueue(pkt, now, &mut self.rng);
+        let idle = !l.busy;
+        if self.tracer.enabled() {
+            let qlen = l.queue.bytes();
+            match outcome {
+                EnqueueOutcome::Enqueued { marked, phantom } => {
+                    self.tracer.emit(TraceEvent::Enqueue {
+                        t: now,
+                        link: link.0,
+                        flow,
+                        seq,
+                        size,
+                        qlen,
+                    });
+                    if marked {
+                        self.tracer.emit(TraceEvent::Mark {
+                            t: now,
+                            link: link.0,
+                            flow,
+                            seq,
+                            phantom,
+                        });
+                    }
+                }
+                EnqueueOutcome::Dropped => {
+                    self.tracer.emit(TraceEvent::Drop {
+                        t: now,
+                        link: link.0,
+                        flow,
+                        seq,
+                        qlen,
+                    });
                 }
             }
-            EnqueueOutcome::Dropped => {}
+        }
+        if outcome.is_enqueued() && idle {
+            self.start_transmit(link);
         }
     }
 
@@ -438,6 +613,14 @@ impl Simulator {
         l.tx_packets += 1;
         l.tx_bytes += pkt.size as u64;
         let delay = l.delay;
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::Dequeue {
+                t: self.now,
+                link: link.0,
+                flow: pkt.flow.0,
+                seq: pkt.seq,
+            });
+        }
         self.events.push(self.now + ser, Event::LinkFree(link));
         self.events
             .push(self.now + ser + delay, Event::Arrive(link, pkt));
@@ -462,13 +645,14 @@ impl Simulator {
                 flow,
                 rng: &mut self.rng,
                 topo: &self.topo,
+                tracer: &mut self.tracer,
                 actions: &mut actions,
             };
             f(logic.as_mut(), &mut ctx);
         }
         self.flows[flow.index()].logic = Some(logic);
         // Apply actions (may recurse into enqueue but not into flows).
-        let drained: Vec<Action> = actions.drain(..).collect();
+        let drained: Vec<Action> = std::mem::take(&mut actions);
         self.action_buf = actions;
         for action in drained {
             match action {
@@ -477,7 +661,8 @@ impl Simulator {
                     self.enqueue_on(uplink, pkt);
                 }
                 Action::Timer { at, token } => {
-                    self.events.push(at.max(self.now), Event::FlowTimer { flow, token });
+                    self.events
+                        .push(at.max(self.now), Event::FlowTimer { flow, token });
                 }
                 Action::Complete => {
                     let slot = &mut self.flows[flow.index()];
@@ -713,6 +898,205 @@ mod tests {
         );
         sim.run_until(200 * MICROS);
         assert!(!sim.samplers[0].samples.is_empty());
+    }
+
+    #[test]
+    fn queue_sampler_honours_interval() {
+        let mut sim = small_sim(11);
+        let (_src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 4));
+        let bottleneck = sim.topo.host_downlink(dst);
+        let interval = 10 * MICROS;
+        sim.add_queue_sampler(bottleneck, interval, 0);
+        sim.run_until(200 * MICROS);
+        let samples = &sim.samplers[0].samples;
+        // Samples at 0, 10us, ..., 200us inclusive.
+        assert_eq!(samples.len(), 21, "got {}", samples.len());
+        for (i, w) in samples.windows(2).enumerate() {
+            assert_eq!(w[1].0 - w[0].0, interval, "sample {i} spacing");
+        }
+        assert_eq!(samples[0].0, 0);
+    }
+
+    #[test]
+    fn censored_fcts_no_flows_is_empty() {
+        let mut sim = small_sim(12);
+        assert!(sim.censored_fcts().is_empty());
+        sim.run_until(crate::time::MILLIS);
+        assert!(sim.censored_fcts().is_empty());
+    }
+
+    #[test]
+    fn censored_fcts_when_nothing_completes() {
+        let mut sim = small_sim(13);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 8));
+        // Kill the source uplink so the flow can never make progress.
+        sim.schedule_link_down(sim.topo.host_uplink(src), 0);
+        sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 4096,
+                start: 1000,
+                class: FlowClass::Intra,
+            },
+            Box::new(Blaster {
+                src,
+                dst,
+                n: 1,
+                acked: 0,
+                mtu: 4096,
+            }),
+        );
+        // A second flow that never starts within the horizon: not censored.
+        let late_start = crate::time::SECONDS;
+        sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 4096,
+                start: late_start,
+                class: FlowClass::Intra,
+            },
+            Box::new(Blaster {
+                src,
+                dst,
+                n: 1,
+                acked: 0,
+                mtu: 4096,
+            }),
+        );
+        assert!(!sim.run_to_completion(10 * crate::time::MILLIS));
+        let censored = sim.censored_fcts();
+        assert_eq!(censored.len(), 1, "only the started flow is censored");
+        assert_eq!(censored[0].start, 1000);
+        assert_eq!(censored[0].end, sim.now(), "end pins to the horizon");
+        assert!(sim.fcts.is_empty());
+    }
+
+    #[test]
+    fn ring_tracer_captures_queue_events_and_counters() {
+        let mut sim = small_sim(14);
+        sim.set_tracer(Tracer::ring(100_000));
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 15));
+        sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 10 * 4096,
+                start: 0,
+                class: FlowClass::Intra,
+            },
+            Box::new(Blaster {
+                src,
+                dst,
+                n: 10,
+                acked: 0,
+                mtu: 4096,
+            }),
+        );
+        assert!(sim.run_to_completion(crate::time::SECONDS));
+        let events = sim.tracer.ring_events();
+        let enq = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Enqueue { .. }))
+            .count();
+        let deq = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dequeue { .. }))
+            .count();
+        assert!(enq > 0, "traced enqueues");
+        assert_eq!(enq, deq, "every accepted packet is eventually dequeued");
+        let c = sim.counter_snapshot();
+        assert_eq!(c.get("engine.events_processed"), sim.events_processed);
+        assert_eq!(c.get("queue.drops"), 0);
+        assert!(c.get("link.tx_packets") as usize >= enq);
+        assert!(sim.events_per_sec() > 0.0, "throughput meter populated");
+        assert!(sim.wall_seconds() > 0.0);
+    }
+
+    #[test]
+    fn jsonl_traces_and_counters_are_deterministic() {
+        let run = |path: &std::path::Path| {
+            let mut sim = small_sim(99);
+            sim.set_tracer(Tracer::jsonl_file(path, uno_trace::TraceConfig::all()).unwrap());
+            let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(1, 3));
+            sim.add_flow(
+                FlowMeta {
+                    src,
+                    dst,
+                    size: 50 * 4096,
+                    start: 0,
+                    class: FlowClass::Inter,
+                },
+                Box::new(Blaster {
+                    src,
+                    dst,
+                    n: 50,
+                    acked: 0,
+                    mtu: 4096,
+                }),
+            );
+            sim.run_to_completion(crate::time::SECONDS);
+            sim.tracer.flush().unwrap();
+            (
+                std::fs::read(path).unwrap(),
+                sim.counter_snapshot().to_json(),
+            )
+        };
+        let dir = std::env::temp_dir();
+        let (a_path, b_path) = (
+            dir.join("uno_sim_det_a.jsonl"),
+            dir.join("uno_sim_det_b.jsonl"),
+        );
+        let (trace_a, counters_a) = run(&a_path);
+        let (trace_b, counters_b) = run(&b_path);
+        assert!(!trace_a.is_empty());
+        assert_eq!(
+            trace_a, trace_b,
+            "same seed must give byte-identical traces"
+        );
+        assert_eq!(counters_a, counters_b);
+        let _ = std::fs::remove_file(a_path);
+        let _ = std::fs::remove_file(b_path);
+    }
+
+    #[test]
+    fn per_link_stats_sum_to_network_stats() {
+        let mut sim = small_sim(15);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 8));
+        sim.set_link_loss(sim.topo.host_uplink(src), GilbertElliott::uniform(0.2));
+        sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 200 * 4096,
+                start: 0,
+                class: FlowClass::Intra,
+            },
+            Box::new(Blaster {
+                src,
+                dst,
+                n: 200,
+                acked: 0,
+                mtu: 4096,
+            }),
+        );
+        sim.run_until(crate::time::MILLIS);
+        let agg = sim.network_stats();
+        let per_link = sim.per_link_stats();
+        assert_eq!(per_link.len(), sim.topo.links.len());
+        let drops: u64 = per_link.iter().map(|l| l.drops).sum();
+        let marks: u64 = per_link.iter().map(|l| l.ecn_marks).sum();
+        let losses: u64 = per_link.iter().map(|l| l.losses).sum();
+        let txp: u64 = per_link.iter().map(|l| l.tx_packets).sum();
+        assert_eq!(drops, agg.queue_drops);
+        assert_eq!(marks, agg.ecn_marks);
+        assert_eq!(losses, agg.link_losses);
+        assert_eq!(txp, agg.tx_packets);
+        assert!(losses > 0, "loss process must have fired");
+        // The lossy uplink's losses are attributed to that link.
+        let up = sim.topo.host_uplink(src);
+        assert!(per_link[up.index()].losses > 0);
     }
 
     #[test]

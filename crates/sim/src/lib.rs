@@ -40,8 +40,11 @@ pub mod time;
 pub mod topology;
 
 pub use engine::{
-    Action, Ctx, FctRecord, FlowClass, FlowLogic, FlowMeta, NetworkStats, QueueSampler, Simulator,
+    Action, Ctx, FctRecord, FlowClass, FlowLogic, FlowMeta, LinkStats, NetworkStats, QueueSampler,
+    Simulator,
 };
+// Observability vocabulary, re-exported so dependents need not name
+// `uno-trace` directly.
 pub use ids::{FlowId, LinkId, NodeId};
 pub use loss::{ChunkLossStats, GilbertElliott};
 pub use packet::{Packet, PacketKind};
@@ -50,3 +53,4 @@ pub use time::{Bps, Time, GBPS, MICROS, MILLIS, NANOS, SECONDS};
 pub use topology::{
     ecmp_pick, HostCoords, Link, LinkClass, Node, NodeKind, PhantomParams, Topology, TopologyParams,
 };
+pub use uno_trace::{Counters, RunManifest, TraceConfig, TraceEvent, TraceSummary, Tracer};

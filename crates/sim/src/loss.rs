@@ -157,11 +157,7 @@ impl ChunkLossStats {
         if self.chunks == 0 {
             return 0.0;
         }
-        let n: u64 = self
-            .chunks_with_losses
-            .iter()
-            .skip(k)
-            .sum();
+        let n: u64 = self.chunks_with_losses.iter().skip(k).sum();
         n as f64 / self.chunks as f64
     }
 

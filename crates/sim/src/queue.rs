@@ -94,7 +94,9 @@ impl PhantomQueue {
     /// Account an enqueued packet and decide whether it should be marked.
     pub fn on_enqueue<R: Rng>(&mut self, size: u32, now: Time, rng: &mut R) -> bool {
         self.drain_to(now);
-        let p = self.red.mark_probability(self.occupancy as u64, self.capacity);
+        let p = self
+            .red
+            .mark_probability(self.occupancy as u64, self.capacity);
         self.occupancy = (self.occupancy + size as f64).min(self.capacity as f64 * 4.0);
         p > 0.0 && rng.gen::<f64>() < p
     }
@@ -110,9 +112,22 @@ impl PhantomQueue {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EnqueueOutcome {
     /// Packet accepted (possibly ECN-marked in place).
-    Enqueued,
+    Enqueued {
+        /// The packet was ECN-marked on this enqueue.
+        marked: bool,
+        /// The mark was driven by the phantom queue (false covers both the
+        /// unmarked case and physical RED backstop marks).
+        phantom: bool,
+    },
     /// Packet dropped: the physical queue was full.
     Dropped,
+}
+
+impl EnqueueOutcome {
+    /// True when the packet was accepted.
+    pub fn is_enqueued(&self) -> bool {
+        matches!(self, EnqueueOutcome::Enqueued { .. })
+    }
 }
 
 /// Byte-limited FIFO output queue with RED ECN marking and an optional
@@ -131,6 +146,8 @@ pub struct PortQueue {
     pub drops: u64,
     /// Cumulative count of ECN-marked packets.
     pub marks: u64,
+    /// Of [`PortQueue::marks`], how many were driven by the phantom queue.
+    pub phantom_marks: u64,
     /// High-water mark of physical occupancy in bytes.
     pub max_bytes_seen: u64,
 }
@@ -146,6 +163,7 @@ impl PortQueue {
             phantom: None,
             drops: 0,
             marks: 0,
+            phantom_marks: 0,
             max_bytes_seen: 0,
         }
     }
@@ -189,10 +207,12 @@ impl PortQueue {
             self.drops += 1;
             return EnqueueOutcome::Dropped;
         }
+        let mut mark = false;
+        let mut phantom_mark = false;
         if !pkt.is_control() {
-            let mut mark = false;
             if let Some(ph) = &mut self.phantom {
-                mark |= ph.on_enqueue(pkt.size, now, rng);
+                phantom_mark = ph.on_enqueue(pkt.size, now, rng);
+                mark |= phantom_mark;
             }
             // Physical RED is evaluated regardless: with a phantom queue it
             // acts as a backstop signal for deep physical congestion.
@@ -203,6 +223,9 @@ impl PortQueue {
             if mark {
                 pkt.ecn = true;
                 self.marks += 1;
+                if phantom_mark {
+                    self.phantom_marks += 1;
+                }
             }
         } else if let Some(ph) = &mut self.phantom {
             // Control packets still add load to the virtual queue.
@@ -211,7 +234,10 @@ impl PortQueue {
         self.bytes += pkt.size as u64;
         self.max_bytes_seen = self.max_bytes_seen.max(self.bytes);
         self.fifo.push_back(pkt);
-        EnqueueOutcome::Enqueued
+        EnqueueOutcome::Enqueued {
+            marked: mark,
+            phantom: phantom_mark,
+        }
     }
 
     /// Dequeue the head-of-line packet, if any.
@@ -270,7 +296,7 @@ mod tests {
         for i in 0..3 {
             let mut p = pkt(1000);
             p.seq = i;
-            assert_eq!(q.try_enqueue(p, 0, &mut r), EnqueueOutcome::Enqueued);
+            assert!(q.try_enqueue(p, 0, &mut r).is_enqueued());
         }
         assert_eq!(q.bytes(), 3000);
         assert_eq!(q.len(), 3);
@@ -283,7 +309,7 @@ mod tests {
     fn drop_tail_when_full() {
         let mut q = PortQueue::new(2048, RedParams::default());
         let mut r = rng();
-        assert_eq!(q.try_enqueue(pkt(2048), 0, &mut r), EnqueueOutcome::Enqueued);
+        assert!(q.try_enqueue(pkt(2048), 0, &mut r).is_enqueued());
         assert_eq!(q.try_enqueue(pkt(1), 0, &mut r), EnqueueOutcome::Dropped);
         assert_eq!(q.drops, 1);
     }
@@ -293,8 +319,20 @@ mod tests {
         let mut q = PortQueue::new(1000, RedParams::default());
         let mut r = rng();
         // Fill past 75%: subsequent packets must be marked.
-        assert_eq!(q.try_enqueue(pkt(800), 0, &mut r), EnqueueOutcome::Enqueued);
-        let _ = q.try_enqueue(pkt(100), 0, &mut r);
+        assert_eq!(
+            q.try_enqueue(pkt(800), 0, &mut r),
+            EnqueueOutcome::Enqueued {
+                marked: false,
+                phantom: false
+            }
+        );
+        assert_eq!(
+            q.try_enqueue(pkt(100), 0, &mut r),
+            EnqueueOutcome::Enqueued {
+                marked: true,
+                phantom: false
+            }
+        );
         let marked = q.dequeue().unwrap(); // first packet: queue was empty, unmarked
         assert!(!marked.ecn);
         let second = q.dequeue().unwrap();
@@ -337,7 +375,16 @@ mod tests {
         ));
         let mut r = rng();
         let _ = q.try_enqueue(pkt(900), 0, &mut r); // phantom occ 0 -> no mark
-        let _ = q.try_enqueue(pkt(900), 0, &mut r); // phantom occ 900/1000 -> mark
+        let out = q.try_enqueue(pkt(900), 0, &mut r); // phantom occ 900/1000 -> mark
+        assert_eq!(
+            out,
+            EnqueueOutcome::Enqueued {
+                marked: true,
+                phantom: true
+            }
+        );
+        assert_eq!(q.marks, 1);
+        assert_eq!(q.phantom_marks, 1, "mark must be attributed to the phantom");
         q.dequeue();
         assert!(q.dequeue().unwrap().ecn);
     }

@@ -266,7 +266,10 @@ pub struct Topology {
 impl Topology {
     /// Build the dual-DC (or single-DC) fat-tree described by `params`.
     pub fn build(params: TopologyParams) -> Self {
-        assert!(params.k >= 2 && params.k % 2 == 0, "k must be even");
+        assert!(
+            params.k >= 2 && params.k.is_multiple_of(2),
+            "k must be even"
+        );
         assert!(params.dcs == 1 || params.dcs == 2, "1 or 2 DCs supported");
         let k = params.k;
         let half = k / 2;
@@ -356,16 +359,26 @@ impl Topology {
                     // Host links.
                     for h in 0..half {
                         let host = topo.host(dc as u8, ((pod * half + e) * half + h) as u32);
-                        let (up_l, down_l) =
-                            topo.add_duplex(host, edge, params.link_bps, d_intra, LinkClass::HostEdge);
+                        let (up_l, down_l) = topo.add_duplex(
+                            host,
+                            edge,
+                            params.link_bps,
+                            d_intra,
+                            LinkClass::HostEdge,
+                        );
                         topo.nodes[host.index()].fwd.up.push(up_l);
                         topo.nodes[edge.index()].fwd.down.push(down_l);
                     }
                     // Edge -> every agg in pod.
                     for a in 0..half {
                         let agg = agg_ids[dc][pod * half + a];
-                        let (up_l, down_l) =
-                            topo.add_duplex(edge, agg, params.link_bps, d_intra, LinkClass::EdgeAgg);
+                        let (up_l, down_l) = topo.add_duplex(
+                            edge,
+                            agg,
+                            params.link_bps,
+                            d_intra,
+                            LinkClass::EdgeAgg,
+                        );
                         topo.nodes[edge.index()].fwd.up.push(up_l);
                         topo.nodes[agg.index()].fwd.down.push(down_l);
                     }
@@ -375,8 +388,13 @@ impl Topology {
                     let agg = agg_ids[dc][pod * half + a];
                     for i in 0..half {
                         let core = core_ids[dc][a * half + i];
-                        let (up_l, down_l) =
-                            topo.add_duplex(agg, core, params.link_bps, d_intra, LinkClass::AggCore);
+                        let (up_l, down_l) = topo.add_duplex(
+                            agg,
+                            core,
+                            params.link_bps,
+                            d_intra,
+                            LinkClass::AggCore,
+                        );
                         topo.nodes[agg.index()].fwd.up.push(up_l);
                         // Core downlink to pod `pod` is through this agg.
                         let core_down = &mut topo.nodes[core.index()].fwd.down;
@@ -455,7 +473,14 @@ impl Topology {
         (l1, l2)
     }
 
-    fn add_link(&mut self, from: NodeId, to: NodeId, bps: Bps, delay: Time, class: LinkClass) -> LinkId {
+    fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bps: Bps,
+        delay: Time,
+        class: LinkClass,
+    ) -> LinkId {
         let id = LinkId::from(self.links.len());
         let from_is_host = self.nodes[from.index()].kind.is_host();
         let capacity = if from_is_host {
@@ -633,7 +658,8 @@ impl Topology {
 #[inline]
 pub fn ecmp_pick(flow: u32, entropy: u16, salt: u64, n: usize) -> usize {
     debug_assert!(n > 0);
-    let mut x = (flow as u64) << 32 ^ (entropy as u64) << 11 ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+    let mut x =
+        (flow as u64) << 32 ^ (entropy as u64) << 11 ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58476D1CE4E5B9);
     x ^= x >> 27;

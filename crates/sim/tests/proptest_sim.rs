@@ -2,9 +2,7 @@
 //! queues conserve packets, and the event engine never reorders time.
 
 use proptest::prelude::*;
-use uno_sim::{
-    ecmp_pick, EnqueueOutcome, Packet, PortQueue, RedParams, Topology, TopologyParams,
-};
+use uno_sim::{ecmp_pick, EnqueueOutcome, Packet, PortQueue, RedParams, Topology, TopologyParams};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -59,7 +57,7 @@ proptest! {
             if enq {
                 let pkt = Packet::data(uno_sim::FlowId(0), 0, size, uno_sim::NodeId(0), uno_sim::NodeId(1));
                 match q.try_enqueue(pkt, 0, &mut rng) {
-                    EnqueueOutcome::Enqueued => model.push(size),
+                    EnqueueOutcome::Enqueued { .. } => model.push(size),
                     EnqueueOutcome::Dropped => {
                         prop_assert!(q.bytes() + size as u64 > 64 << 10, "drop only when full");
                     }

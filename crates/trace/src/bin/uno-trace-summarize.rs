@@ -1,0 +1,60 @@
+//! `uno-trace-summarize` — digest a JSONL trace produced with `--trace`.
+//!
+//! ```text
+//! uno-trace-summarize trace.jsonl            # human-readable tables
+//! uno-trace-summarize trace.jsonl --json     # machine-readable digest
+//! uno-trace-summarize trace.jsonl --cwnd 0   # cwnd timeline of flow 0
+//! ```
+
+use uno_trace::TraceSummary;
+
+fn die(msg: &str) -> ! {
+    eprintln!("uno-trace-summarize: {msg}");
+    eprintln!("usage: uno-trace-summarize <trace.jsonl> [--json] [--cwnd FLOW]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut path = None;
+    let mut json = false;
+    let mut cwnd_flow: Option<u32> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--cwnd" => {
+                cwnd_flow = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--cwnd needs a flow id")),
+                );
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(path) = path else {
+        die("no trace file given");
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| die(&format!("cannot read trace {path}: {e}")));
+    let summary = TraceSummary::from_jsonl(&text)
+        .unwrap_or_else(|e| die(&format!("malformed trace {path}: {e}")));
+
+    if let Some(flow) = cwnd_flow {
+        let Some(f) = summary.flows.iter().find(|f| f.flow == flow) else {
+            eprintln!("flow {flow} not present in trace");
+            std::process::exit(1);
+        };
+        println!("t_ns cwnd_bytes");
+        for (t, w) in &f.cwnd {
+            println!("{t} {w:.0}");
+        }
+        return;
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&summary).unwrap());
+    } else {
+        print!("{}", summary.render());
+    }
+}

@@ -1,0 +1,133 @@
+//! Hierarchically named monotonic counters.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// A registry of named monotonic counters and gauges.
+///
+/// Names are dot-separated, component-first (`queue.drops`,
+/// `cc.quick_adapt_activations`, `rc.nacks`, `engine.events_processed`), so
+/// snapshots group naturally by subsystem. The backing map is ordered:
+/// iteration and the JSON form are deterministic, which is what lets two
+/// same-seed runs produce byte-identical snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Add `delta` to `name`, registering it at zero first if absent.
+    /// `add(name, 0)` therefore registers a counter without bumping it —
+    /// components use that so a quiet run still reports its counters.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.map.get_mut(name) {
+            *v += delta;
+        } else {
+            self.map.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Set `name` to an absolute value (gauge semantics).
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.map.insert(name.to_string(), value);
+    }
+
+    /// Current value of `name` (0 when unregistered).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Fold another registry into this one (summing shared names).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Deterministic compact JSON snapshot (`{"name":value,...}`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("counter serialization is infallible")
+    }
+}
+
+impl Serialize for Counters {
+    fn serialize_value(&self) -> Value {
+        self.map.serialize_value()
+    }
+}
+
+impl Deserialize for Counters {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        // A missing/absent field deserializes from Null: treat as empty.
+        if matches!(v, Value::Null) {
+            return Ok(Counters::new());
+        }
+        Ok(Counters {
+            map: BTreeMap::deserialize_value(v)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_and_register_at_zero() {
+        let mut c = Counters::new();
+        c.add("queue.drops", 0);
+        c.add("queue.ecn_marks", 3);
+        c.add("queue.ecn_marks", 2);
+        assert_eq!(c.get("queue.drops"), 0);
+        assert_eq!(c.get("queue.ecn_marks"), 5);
+        assert_eq!(c.get("never.registered"), 0);
+        assert_eq!(c.len(), 2);
+        // Registration at zero still shows up in the snapshot.
+        assert_eq!(c.to_json(), r#"{"queue.drops":0,"queue.ecn_marks":5}"#);
+    }
+
+    #[test]
+    fn json_is_sorted_and_round_trips() {
+        let mut c = Counters::new();
+        c.add("z.last", 1);
+        c.add("a.first", 2);
+        c.set("m.mid", 9);
+        let json = c.to_json();
+        assert_eq!(json, r#"{"a.first":2,"m.mid":9,"z.last":1}"#);
+        let back: Counters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn merge_sums_shared_names() {
+        let mut a = Counters::new();
+        a.add("rc.nacks", 2);
+        let mut b = Counters::new();
+        b.add("rc.nacks", 3);
+        b.add("lb.reroutes", 1);
+        a.merge(&b);
+        assert_eq!(a.get("rc.nacks"), 5);
+        assert_eq!(a.get("lb.reroutes"), 1);
+    }
+}

@@ -1,0 +1,621 @@
+//! The trace event vocabulary and its JSONL encoding.
+
+use std::fmt::Write as _;
+
+use serde::Value;
+
+/// Simulation timestamp in nanoseconds (mirrors `uno_sim::Time` without
+/// depending on the simulator crate — `uno-trace` sits below it).
+pub type Time = u64;
+
+/// Coarse event taxonomy used by [`crate::TraceConfig`] class filters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventClass {
+    /// Switch queue operations: enqueue, dequeue, drop, ECN mark.
+    Queue,
+    /// Link-level losses (failed links, stochastic loss processes).
+    Link,
+    /// Congestion control: acks, cwnd changes, epoch boundaries, Quick Adapt.
+    Cc,
+    /// Reliable connectivity: NACKs and retransmission timeouts.
+    Rc,
+    /// Load balancing: path reroutes.
+    Lb,
+}
+
+impl EventClass {
+    /// Lower-case name as used in `--trace-filter` specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventClass::Queue => "queue",
+            EventClass::Link => "link",
+            EventClass::Cc => "cc",
+            EventClass::Rc => "rc",
+            EventClass::Lb => "lb",
+        }
+    }
+
+    /// Parse a filter-spec class name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "queue" => Ok(EventClass::Queue),
+            "link" => Ok(EventClass::Link),
+            "cc" => Ok(EventClass::Cc),
+            "rc" => Ok(EventClass::Rc),
+            "lb" => Ok(EventClass::Lb),
+            other => Err(format!(
+                "unknown event class `{other}` (expected queue/link/cc/rc/lb)"
+            )),
+        }
+    }
+}
+
+/// One structured trace record. Every variant carries the simulation time
+/// `t` (ns) and the flow id of the packet or flow it concerns; queue-side
+/// variants also carry the link id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A packet was accepted into a link's egress queue.
+    Enqueue {
+        /// Simulation time (ns).
+        t: Time,
+        /// Egress link.
+        link: u32,
+        /// Owning flow.
+        flow: u32,
+        /// Packet sequence number.
+        seq: u64,
+        /// Packet size in bytes.
+        size: u32,
+        /// Physical queue occupancy in bytes *after* the enqueue.
+        qlen: u64,
+    },
+    /// A packet left a link's egress queue and began transmission.
+    Dequeue {
+        /// Simulation time (ns).
+        t: Time,
+        /// Egress link.
+        link: u32,
+        /// Owning flow.
+        flow: u32,
+        /// Packet sequence number.
+        seq: u64,
+    },
+    /// A packet was drop-tailed at a full queue.
+    Drop {
+        /// Simulation time (ns).
+        t: Time,
+        /// Egress link.
+        link: u32,
+        /// Owning flow.
+        flow: u32,
+        /// Packet sequence number.
+        seq: u64,
+        /// Physical queue occupancy in bytes at the drop decision.
+        qlen: u64,
+    },
+    /// A packet was ECN-marked on enqueue.
+    Mark {
+        /// Simulation time (ns).
+        t: Time,
+        /// Egress link.
+        link: u32,
+        /// Owning flow.
+        flow: u32,
+        /// Packet sequence number.
+        seq: u64,
+        /// True when the phantom (virtual) queue drove the mark, false for
+        /// the physical RED backstop.
+        phantom: bool,
+    },
+    /// A packet was lost on a link (failure or stochastic loss process).
+    LinkLoss {
+        /// Simulation time (ns).
+        t: Time,
+        /// Lossy link.
+        link: u32,
+        /// Owning flow.
+        flow: u32,
+        /// Packet sequence number.
+        seq: u64,
+    },
+    /// The sender processed an ACK.
+    Ack {
+        /// Simulation time (ns).
+        t: Time,
+        /// Flow.
+        flow: u32,
+        /// Acked sequence number.
+        seq: u64,
+        /// Newly acknowledged bytes.
+        bytes: u64,
+        /// ECN echo on the ACK.
+        ecn: bool,
+        /// Measured RTT of the acked packet (ns).
+        rtt: Time,
+    },
+    /// The receiver requested a repair (sent a NACK).
+    Nack {
+        /// Simulation time (ns).
+        t: Time,
+        /// Flow.
+        flow: u32,
+        /// EC block the NACK concerns.
+        block: u64,
+    },
+    /// The sender's retransmission timer fired.
+    Timeout {
+        /// Simulation time (ns).
+        t: Time,
+        /// Flow.
+        flow: u32,
+        /// Cumulative RTO count for the flow (after this timeout).
+        rtos: u64,
+    },
+    /// The load balancer moved traffic to a new path.
+    Reroute {
+        /// Simulation time (ns).
+        t: Time,
+        /// Flow.
+        flow: u32,
+        /// Cumulative reroute count for the flow (after this reroute).
+        reroutes: u64,
+    },
+    /// The congestion window changed while processing an ACK.
+    CwndChange {
+        /// Simulation time (ns).
+        t: Time,
+        /// Flow.
+        flow: u32,
+        /// New congestion window in bytes.
+        cwnd: f64,
+    },
+    /// A congestion-control epoch terminated (UnoCC MD granularity).
+    EpochBoundary {
+        /// Simulation time (ns).
+        t: Time,
+        /// Flow.
+        flow: u32,
+        /// EWMA ECN fraction at the boundary.
+        ecn_frac: f64,
+        /// Whether a multiplicative decrease was applied.
+        md: bool,
+    },
+    /// Quick Adapt collapsed the window (extreme congestion).
+    QuickAdapt {
+        /// Simulation time (ns).
+        t: Time,
+        /// Flow.
+        flow: u32,
+        /// Window after the collapse, in bytes.
+        cwnd: f64,
+    },
+}
+
+/// Float formatting identical to the JSON printer's: integral finite values
+/// keep one decimal (`2.0`), everything else uses shortest round-trip form.
+fn write_f64(out: &mut String, n: f64) {
+    if n.is_finite() && n.fract() == 0.0 && n.abs() < 1e15 {
+        let _ = write!(out, "{n:.1}");
+    } else {
+        let _ = write!(out, "{n:?}");
+    }
+}
+
+impl TraceEvent {
+    /// Event timestamp in ns.
+    pub fn t(&self) -> Time {
+        match *self {
+            TraceEvent::Enqueue { t, .. }
+            | TraceEvent::Dequeue { t, .. }
+            | TraceEvent::Drop { t, .. }
+            | TraceEvent::Mark { t, .. }
+            | TraceEvent::LinkLoss { t, .. }
+            | TraceEvent::Ack { t, .. }
+            | TraceEvent::Nack { t, .. }
+            | TraceEvent::Timeout { t, .. }
+            | TraceEvent::Reroute { t, .. }
+            | TraceEvent::CwndChange { t, .. }
+            | TraceEvent::EpochBoundary { t, .. }
+            | TraceEvent::QuickAdapt { t, .. } => t,
+        }
+    }
+
+    /// Flow the event concerns.
+    pub fn flow(&self) -> u32 {
+        match *self {
+            TraceEvent::Enqueue { flow, .. }
+            | TraceEvent::Dequeue { flow, .. }
+            | TraceEvent::Drop { flow, .. }
+            | TraceEvent::Mark { flow, .. }
+            | TraceEvent::LinkLoss { flow, .. }
+            | TraceEvent::Ack { flow, .. }
+            | TraceEvent::Nack { flow, .. }
+            | TraceEvent::Timeout { flow, .. }
+            | TraceEvent::Reroute { flow, .. }
+            | TraceEvent::CwndChange { flow, .. }
+            | TraceEvent::EpochBoundary { flow, .. }
+            | TraceEvent::QuickAdapt { flow, .. } => flow,
+        }
+    }
+
+    /// Link the event concerns, when it is a queue/link-side event.
+    pub fn link(&self) -> Option<u32> {
+        match *self {
+            TraceEvent::Enqueue { link, .. }
+            | TraceEvent::Dequeue { link, .. }
+            | TraceEvent::Drop { link, .. }
+            | TraceEvent::Mark { link, .. }
+            | TraceEvent::LinkLoss { link, .. } => Some(link),
+            _ => None,
+        }
+    }
+
+    /// The event's class for filtering.
+    pub fn class(&self) -> EventClass {
+        match self {
+            TraceEvent::Enqueue { .. }
+            | TraceEvent::Dequeue { .. }
+            | TraceEvent::Drop { .. }
+            | TraceEvent::Mark { .. } => EventClass::Queue,
+            TraceEvent::LinkLoss { .. } => EventClass::Link,
+            TraceEvent::Ack { .. }
+            | TraceEvent::CwndChange { .. }
+            | TraceEvent::EpochBoundary { .. }
+            | TraceEvent::QuickAdapt { .. } => EventClass::Cc,
+            TraceEvent::Nack { .. } | TraceEvent::Timeout { .. } => EventClass::Rc,
+            TraceEvent::Reroute { .. } => EventClass::Lb,
+        }
+    }
+
+    /// Short tag written as the `ev` field in JSONL.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::Dequeue { .. } => "dequeue",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::Mark { .. } => "mark",
+            TraceEvent::LinkLoss { .. } => "link_loss",
+            TraceEvent::Ack { .. } => "ack",
+            TraceEvent::Nack { .. } => "nack",
+            TraceEvent::Timeout { .. } => "timeout",
+            TraceEvent::Reroute { .. } => "reroute",
+            TraceEvent::CwndChange { .. } => "cwnd",
+            TraceEvent::EpochBoundary { .. } => "epoch",
+            TraceEvent::QuickAdapt { .. } => "qa",
+        }
+    }
+
+    /// Append the event's one-line JSON form (no trailing newline) to `out`.
+    ///
+    /// Hand-written rather than going through the generic serializer: this
+    /// runs once per traced packet operation, and string-keyed [`Value`]
+    /// trees per event would dominate the tracing cost.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(out, r#"{{"t":{},"ev":"{}""#, self.t(), self.kind());
+        match *self {
+            TraceEvent::Enqueue {
+                link,
+                flow,
+                seq,
+                size,
+                qlen,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    r#","link":{link},"flow":{flow},"seq":{seq},"size":{size},"qlen":{qlen}"#
+                );
+            }
+            TraceEvent::Dequeue {
+                link, flow, seq, ..
+            }
+            | TraceEvent::LinkLoss {
+                link, flow, seq, ..
+            } => {
+                let _ = write!(out, r#","link":{link},"flow":{flow},"seq":{seq}"#);
+            }
+            TraceEvent::Drop {
+                link,
+                flow,
+                seq,
+                qlen,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    r#","link":{link},"flow":{flow},"seq":{seq},"qlen":{qlen}"#
+                );
+            }
+            TraceEvent::Mark {
+                link,
+                flow,
+                seq,
+                phantom,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    r#","link":{link},"flow":{flow},"seq":{seq},"phantom":{phantom}"#
+                );
+            }
+            TraceEvent::Ack {
+                flow,
+                seq,
+                bytes,
+                ecn,
+                rtt,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    r#","flow":{flow},"seq":{seq},"bytes":{bytes},"ecn":{ecn},"rtt":{rtt}"#
+                );
+            }
+            TraceEvent::Nack { flow, block, .. } => {
+                let _ = write!(out, r#","flow":{flow},"block":{block}"#);
+            }
+            TraceEvent::Timeout { flow, rtos, .. } => {
+                let _ = write!(out, r#","flow":{flow},"rtos":{rtos}"#);
+            }
+            TraceEvent::Reroute { flow, reroutes, .. } => {
+                let _ = write!(out, r#","flow":{flow},"reroutes":{reroutes}"#);
+            }
+            TraceEvent::CwndChange { flow, cwnd, .. }
+            | TraceEvent::QuickAdapt { flow, cwnd, .. } => {
+                let _ = write!(out, r#","flow":{flow},"cwnd":"#);
+                write_f64(out, cwnd);
+            }
+            TraceEvent::EpochBoundary {
+                flow, ecn_frac, md, ..
+            } => {
+                let _ = write!(out, r#","flow":{flow},"ecn_frac":"#);
+                write_f64(out, ecn_frac);
+                let _ = write!(out, r#","md":{md}"#);
+            }
+        }
+        out.push('}');
+    }
+
+    /// The event's one-line JSON form as an owned string.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(&mut s);
+        s
+    }
+
+    /// Parse one JSONL line back into an event (summarizer / test path).
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let v = serde_json::parse_value(line).map_err(|e| e.to_string())?;
+        Self::from_value(&v)
+    }
+
+    /// Reconstruct an event from a parsed [`Value`] object.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        fn num(v: &Value, key: &str) -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("missing numeric field `{key}`"))
+        }
+        fn float(v: &Value, key: &str) -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing numeric field `{key}`"))
+        }
+        fn boolean(v: &Value, key: &str) -> Result<bool, String> {
+            match v.get(key) {
+                Some(Value::Bool(b)) => Ok(*b),
+                _ => Err(format!("missing bool field `{key}`")),
+            }
+        }
+        let t = num(v, "t")?;
+        let kind = v
+            .get("ev")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "missing `ev` tag".to_string())?;
+        let flow = num(v, "flow")? as u32;
+        Ok(match kind {
+            "enqueue" => TraceEvent::Enqueue {
+                t,
+                link: num(v, "link")? as u32,
+                flow,
+                seq: num(v, "seq")?,
+                size: num(v, "size")? as u32,
+                qlen: num(v, "qlen")?,
+            },
+            "dequeue" => TraceEvent::Dequeue {
+                t,
+                link: num(v, "link")? as u32,
+                flow,
+                seq: num(v, "seq")?,
+            },
+            "drop" => TraceEvent::Drop {
+                t,
+                link: num(v, "link")? as u32,
+                flow,
+                seq: num(v, "seq")?,
+                qlen: num(v, "qlen")?,
+            },
+            "mark" => TraceEvent::Mark {
+                t,
+                link: num(v, "link")? as u32,
+                flow,
+                seq: num(v, "seq")?,
+                phantom: boolean(v, "phantom")?,
+            },
+            "link_loss" => TraceEvent::LinkLoss {
+                t,
+                link: num(v, "link")? as u32,
+                flow,
+                seq: num(v, "seq")?,
+            },
+            "ack" => TraceEvent::Ack {
+                t,
+                flow,
+                seq: num(v, "seq")?,
+                bytes: num(v, "bytes")?,
+                ecn: boolean(v, "ecn")?,
+                rtt: num(v, "rtt")?,
+            },
+            "nack" => TraceEvent::Nack {
+                t,
+                flow,
+                block: num(v, "block")?,
+            },
+            "timeout" => TraceEvent::Timeout {
+                t,
+                flow,
+                rtos: num(v, "rtos")?,
+            },
+            "reroute" => TraceEvent::Reroute {
+                t,
+                flow,
+                reroutes: num(v, "reroutes")?,
+            },
+            "cwnd" => TraceEvent::CwndChange {
+                t,
+                flow,
+                cwnd: float(v, "cwnd")?,
+            },
+            "epoch" => TraceEvent::EpochBoundary {
+                t,
+                flow,
+                ecn_frac: float(v, "ecn_frac")?,
+                md: boolean(v, "md")?,
+            },
+            "qa" => TraceEvent::QuickAdapt {
+                t,
+                flow,
+                cwnd: float(v, "cwnd")?,
+            },
+            other => return Err(format!("unknown event kind `{other}`")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Enqueue {
+                t: 10,
+                link: 3,
+                flow: 0,
+                seq: 7,
+                size: 4096,
+                qlen: 8192,
+            },
+            TraceEvent::Dequeue {
+                t: 11,
+                link: 3,
+                flow: 0,
+                seq: 7,
+            },
+            TraceEvent::Drop {
+                t: 12,
+                link: 4,
+                flow: 1,
+                seq: 9,
+                qlen: 1 << 20,
+            },
+            TraceEvent::Mark {
+                t: 13,
+                link: 3,
+                flow: 0,
+                seq: 8,
+                phantom: true,
+            },
+            TraceEvent::LinkLoss {
+                t: 14,
+                link: 5,
+                flow: 2,
+                seq: 1,
+            },
+            TraceEvent::Ack {
+                t: 15,
+                flow: 0,
+                seq: 7,
+                bytes: 4096,
+                ecn: false,
+                rtt: 14_000,
+            },
+            TraceEvent::Nack {
+                t: 16,
+                flow: 2,
+                block: 3,
+            },
+            TraceEvent::Timeout {
+                t: 17,
+                flow: 2,
+                rtos: 1,
+            },
+            TraceEvent::Reroute {
+                t: 18,
+                flow: 2,
+                reroutes: 4,
+            },
+            TraceEvent::CwndChange {
+                t: 19,
+                flow: 0,
+                cwnd: 123456.5,
+            },
+            TraceEvent::EpochBoundary {
+                t: 20,
+                flow: 0,
+                ecn_frac: 0.25,
+                md: true,
+            },
+            TraceEvent::QuickAdapt {
+                t: 21,
+                flow: 0,
+                cwnd: 8192.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        for ev in samples() {
+            let line = ev.to_json();
+            let back = TraceEvent::from_json_line(&line)
+                .unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
+            assert_eq!(back, ev, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn classes_are_stable() {
+        use EventClass::*;
+        let want = [Queue, Queue, Queue, Queue, Link, Cc, Rc, Rc, Lb, Cc, Cc, Cc];
+        for (ev, w) in samples().iter().zip(want) {
+            assert_eq!(ev.class(), w, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn class_names_round_trip() {
+        for c in [
+            EventClass::Queue,
+            EventClass::Link,
+            EventClass::Cc,
+            EventClass::Rc,
+            EventClass::Lb,
+        ] {
+            assert_eq!(EventClass::parse(c.name()).unwrap(), c);
+        }
+        assert!(EventClass::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn integral_floats_match_serde_json_formatting() {
+        let ev = TraceEvent::QuickAdapt {
+            t: 1,
+            flow: 0,
+            cwnd: 8192.0,
+        };
+        assert!(ev.to_json().contains(r#""cwnd":8192.0"#));
+    }
+}

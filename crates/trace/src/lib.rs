@@ -1,0 +1,40 @@
+//! # uno-trace — observability for the Uno reproduction
+//!
+//! Three pieces, each usable on its own:
+//!
+//! * **Structured event traces** — a compact [`TraceEvent`] enum covering
+//!   queue operations (enqueue / dequeue / drop / ECN mark), link losses,
+//!   and transport decisions (ack / nack / timeout / reroute / cwnd change /
+//!   epoch boundary / Quick Adapt), written through a [`Tracer`] to either
+//!   an in-memory ring buffer or a streaming JSONL file. A [`TraceConfig`]
+//!   filters by flow, link, or event class; when tracing is off the hot-path
+//!   cost is a single branch on [`Tracer::enabled`].
+//! * **Counter registry** — hierarchically named monotonic [`Counters`]
+//!   (`queue.drops`, `cc.quick_adapt_activations`, `rc.nacks`, …) that each
+//!   component registers and the simulator snapshots per run. Snapshots are
+//!   ordered maps, so their JSON form is deterministic: two same-seed runs
+//!   produce byte-identical snapshots.
+//! * **Run manifests** — a [`RunManifest`] records what an experiment ran
+//!   (seed, topology parameters, scheme) and what happened (sim time,
+//!   wall-clock, events/sec, final counter snapshot), written as JSON next
+//!   to the experiment's results.
+//!
+//! The crate sits *below* the simulator: events refer to flows and links by
+//! raw ids so `uno-sim`, `uno-transport`, and `uno` can all depend on it.
+//!
+//! The `uno-trace-summarize` binary turns a JSONL trace back into per-flow
+//! cwnd/rate timelines and per-queue occupancy/mark tables.
+
+#![warn(missing_docs)]
+
+mod counters;
+mod event;
+mod manifest;
+mod summary;
+mod tracer;
+
+pub use counters::Counters;
+pub use event::{EventClass, Time, TraceEvent};
+pub use manifest::RunManifest;
+pub use summary::{FlowSummary, QueueSummary, TraceSummary};
+pub use tracer::{TraceConfig, Tracer};

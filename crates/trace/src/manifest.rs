@@ -1,0 +1,107 @@
+//! Run manifests: what an experiment ran and what happened.
+
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::counters::Counters;
+
+/// A JSON manifest written next to an experiment's results.
+///
+/// The configuration half (`name`, `scheme`, `seed`, `topo`) is enough to
+/// re-run the experiment; the outcome half records simulated time, engine
+/// throughput (wall-clock and events/sec), and the final counter snapshot.
+/// Wall-clock fields vary between runs — the determinism guarantee covers
+/// traces and counter snapshots, not manifests.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Run label (figure/experiment name).
+    pub name: String,
+    /// Scheme under test.
+    pub scheme: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Topology parameters, serialized by the caller (`uno-trace` sits
+    /// below the simulator and cannot name `TopologyParams` itself).
+    pub topo: Value,
+    /// Final simulation time in ns.
+    pub sim_time_ns: u64,
+    /// Wall-clock spent inside the engine run loop, in seconds.
+    pub wall_seconds: f64,
+    /// Events processed by the engine.
+    pub events_processed: u64,
+    /// Engine throughput: events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Flows registered.
+    pub flows: u64,
+    /// Flows completed within the horizon.
+    pub completed: u64,
+    /// Final counter snapshot.
+    pub counters: Counters,
+}
+
+impl RunManifest {
+    /// Pretty-printed JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization is infallible")
+    }
+
+    /// Parse a manifest back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Write the manifest to `path` (with a trailing newline).
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut counters = Counters::new();
+        counters.add("engine.events_processed", 1234);
+        counters.add("queue.drops", 0);
+        RunManifest {
+            name: "quickstart".into(),
+            scheme: "Uno".into(),
+            seed: 42,
+            topo: Value::Object(vec![("k".into(), Value::U64(4))]),
+            sim_time_ns: 5_000_000,
+            wall_seconds: 0.25,
+            events_processed: 1234,
+            events_per_sec: 4936.0,
+            flows: 2,
+            completed: 2,
+            counters,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = sample();
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.name, "quickstart");
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.topo.get("k"), Some(&Value::U64(4)));
+        assert_eq!(back.counters.get("engine.events_processed"), 1234);
+        assert_eq!(back.flows, 2);
+        assert_eq!(back.completed, 2);
+        assert!((back.events_per_sec - 4936.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join("uno_trace_manifest_test.json");
+        let m = sample();
+        m.write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = RunManifest::from_json(&text).unwrap();
+        assert_eq!(back.scheme, m.scheme);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -208,7 +208,8 @@ mod tests {
                 ecn: false,
                 rtt,
                 pkt_sent_at: now.saturating_sub(rtt),
-                delivered_at_send: delivered.saturating_sub((rate * rtt as f64 / SECONDS as f64) as u64),
+                delivered_at_send: delivered
+                    .saturating_sub((rate * rtt as f64 / SECONDS as f64) as u64),
                 delivered_now: delivered,
                 inflight: (rate * rtt as f64 / SECONDS as f64) as u64,
             };
@@ -250,7 +251,10 @@ mod tests {
         // Pacing rate stays within the probe gain envelope of the estimate.
         let pace = b.pacing_bps().unwrap();
         let bw_bits = b.btl_bw() * 8.0;
-        assert!(pace >= 0.7 * bw_bits && pace <= 1.3 * bw_bits, "pace {pace}");
+        assert!(
+            pace >= 0.7 * bw_bits && pace <= 1.3 * bw_bits,
+            "pace {pace}"
+        );
     }
 
     #[test]

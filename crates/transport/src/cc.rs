@@ -60,6 +60,23 @@ pub trait CcAlgorithm: Send {
     }
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
+    /// Multiplicative decreases applied so far (observability; controllers
+    /// without an MD notion report 0).
+    fn md_count(&self) -> u64 {
+        0
+    }
+    /// Quick Adapt activations so far (UnoCC-specific; others report 0).
+    fn qa_count(&self) -> u64 {
+        0
+    }
+    /// Congestion epochs terminated so far (UnoCC-specific; others 0).
+    fn epoch_count(&self) -> u64 {
+        0
+    }
+    /// Current EWMA ECN fraction, when the controller tracks one.
+    fn ecn_fraction(&self) -> f64 {
+        0.0
+    }
 }
 
 /// Static per-flow parameters shared by the controllers, derived from the

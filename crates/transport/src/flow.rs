@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 
 use uno_erasure::EcParams;
-use uno_sim::{Ctx, FlowLogic, NodeId, Packet, PacketKind, Time};
+use uno_sim::{Counters, Ctx, FlowLogic, NodeId, Packet, PacketKind, Time, TraceEvent};
 
 use crate::cc::{AckEvent, CcAlgorithm};
 use crate::lb::{LbMode, LoadBalancer};
@@ -100,6 +100,18 @@ struct PktState {
     size: u32,
 }
 
+/// Controller/balancer state captured before a congestion signal is applied,
+/// so tracing can emit delta events (cwnd change, epoch boundary, Quick
+/// Adapt, reroute) without instrumenting every controller internally.
+#[derive(Clone, Copy, Debug)]
+struct CcSnapshot {
+    cwnd: f64,
+    md: u64,
+    qa: u64,
+    epochs: u64,
+    reroutes: u64,
+}
+
 /// The transport endpoint pair (see module docs).
 pub struct MessageFlow {
     cfg: FlowConfig,
@@ -137,6 +149,8 @@ pub struct MessageFlow {
     pub rto_count: u64,
     /// Fast-retransmit loss events (diagnostics).
     pub fast_rtx_count: u64,
+    /// Wire packets retransmitted (diagnostics).
+    pub rtx_packets: u64,
     // Pacing (lazy single timer).
     pace_next: Time,
     pace_pending: bool,
@@ -196,6 +210,7 @@ impl MessageFlow {
             loss_guard_until: 0,
             rto_count: 0,
             fast_rtx_count: 0,
+            rtx_packets: 0,
             pace_next: 0,
             pace_pending: false,
             rx_bitmap: vec![0; (total_wire as usize).div_ceil(64)],
@@ -275,6 +290,41 @@ impl MessageFlow {
                     s.size = size;
                 }
             }
+        }
+    }
+
+    /// Snapshot of cc/lb observables, taken only when tracing is enabled.
+    fn cc_snapshot(&self) -> CcSnapshot {
+        CcSnapshot {
+            cwnd: self.cc.cwnd(),
+            md: self.cc.md_count(),
+            qa: self.cc.qa_count(),
+            epochs: self.cc.epoch_count(),
+            reroutes: self.lb.as_ref().map_or(0, |lb| lb.reroutes),
+        }
+    }
+
+    /// Emit delta events against a pre-update [`CcSnapshot`].
+    fn trace_cc_deltas(&self, before: CcSnapshot, ctx: &mut Ctx) {
+        let (t, flow) = (ctx.now, ctx.flow.0);
+        let cwnd = self.cc.cwnd();
+        if cwnd != before.cwnd {
+            ctx.trace(TraceEvent::CwndChange { t, flow, cwnd });
+        }
+        if self.cc.epoch_count() != before.epochs {
+            ctx.trace(TraceEvent::EpochBoundary {
+                t,
+                flow,
+                ecn_frac: self.cc.ecn_fraction(),
+                md: self.cc.md_count() != before.md,
+            });
+        }
+        if self.cc.qa_count() != before.qa {
+            ctx.trace(TraceEvent::QuickAdapt { t, flow, cwnd });
+        }
+        let reroutes = self.lb.as_ref().map_or(0, |lb| lb.reroutes);
+        if reroutes != before.reroutes {
+            ctx.trace(TraceEvent::Reroute { t, flow, reroutes });
         }
     }
 
@@ -372,11 +422,7 @@ impl MessageFlow {
     }
 
     fn transmit(&mut self, seq: u64, ctx: &mut Ctx) {
-        let entropy = self
-            .lb
-            .as_mut()
-            .expect("started")
-            .next_entropy(ctx.rng);
+        let entropy = self.lb.as_mut().expect("started").next_entropy(ctx.rng);
         let order = self.send_order;
         self.send_order += 1;
         let delivered = self.delivered;
@@ -395,6 +441,7 @@ impl MessageFlow {
         s.entropy = entropy;
         if is_rtx {
             s.rtx = s.rtx.saturating_add(1);
+            self.rtx_packets += 1;
         }
         let mut p = Packet::data(ctx.flow, seq, s.size, self.cfg.src, self.cfg.dst);
         p.entropy = entropy;
@@ -417,10 +464,8 @@ impl MessageFlow {
     }
 
     fn arm_rto(&mut self, ctx: &mut Ctx) {
-        let rto = self
-            .rtt
-            .rto(self.cfg.min_rto, 3 * self.cfg.base_rtt.max(1))
-            << self.rto_backoff.min(6);
+        let rto =
+            self.rtt.rto(self.cfg.min_rto, 3 * self.cfg.base_rtt.max(1)) << self.rto_backoff.min(6);
         self.rto_deadline = ctx.now + rto;
         if !self.rto_pending {
             self.rto_pending = true;
@@ -441,6 +486,11 @@ impl MessageFlow {
         }
         // Genuine RTO: everything outstanding is presumed lost.
         self.rto_count += 1;
+        let before = if ctx.tracing() {
+            Some(self.cc_snapshot())
+        } else {
+            None
+        };
         let mut fifo = std::mem::take(&mut self.sent_fifo);
         for (order, seq) in fifo.drain(..) {
             let s = &mut self.st[seq as usize];
@@ -458,6 +508,14 @@ impl MessageFlow {
         self.loss_guard_until = ctx.now + self.cfg.base_rtt;
         if let Some(lb) = self.lb.as_mut() {
             lb.on_nack_or_timeout(ctx.now, ctx.rng);
+        }
+        if let Some(before) = before {
+            ctx.trace(TraceEvent::Timeout {
+                t: ctx.now,
+                flow: ctx.flow.0,
+                rtos: self.rto_count,
+            });
+            self.trace_cc_deltas(before, ctx);
         }
         self.rto_backoff = (self.rto_backoff + 1).min(6);
         self.pump(ctx);
@@ -504,9 +562,25 @@ impl MessageFlow {
             delivered_now: self.delivered,
             inflight: self.inflight,
         };
+        let before = if ctx.tracing() {
+            Some(self.cc_snapshot())
+        } else {
+            None
+        };
         self.cc.on_ack(&ev);
         if let Some(lb) = self.lb.as_mut() {
             lb.on_ack(entropy, pkt.ecn, ctx.now, ctx.rng);
+        }
+        if let Some(before) = before {
+            ctx.trace(TraceEvent::Ack {
+                t: ctx.now,
+                flow: ctx.flow.0,
+                seq,
+                bytes: pkt.acked_size as u64,
+                ecn: pkt.ecn,
+                rtt: rtt_sample,
+            });
+            self.trace_cc_deltas(before, ctx);
         }
         ctx.progress(self.delivered);
 
@@ -574,8 +648,16 @@ impl MessageFlow {
         if loss {
             self.fast_rtx_count += 1;
             if ctx.now >= self.loss_guard_until {
+                let before = if ctx.tracing() {
+                    Some(self.cc_snapshot())
+                } else {
+                    None
+                };
                 self.cc.on_loss(ctx.now);
                 self.loss_guard_until = ctx.now + self.cfg.base_rtt;
+                if let Some(before) = before {
+                    self.trace_cc_deltas(before, ctx);
+                }
             }
         }
     }
@@ -623,8 +705,16 @@ impl MessageFlow {
             s.queued_rtx = true;
             self.rtx_queue.push_back(seq);
         }
+        let before = if ctx.tracing() {
+            Some(self.cc_snapshot())
+        } else {
+            None
+        };
         if let Some(lb) = self.lb.as_mut() {
             lb.on_nack_or_timeout(ctx.now, ctx.rng);
+        }
+        if let Some(before) = before {
+            self.trace_cc_deltas(before, ctx);
         }
         // Per Algorithm 2, a NACK triggers retransmission and (rate-limited)
         // re-routing — not an additional multiplicative decrease: rate
@@ -695,6 +785,13 @@ impl MessageFlow {
         }
         self.rx_block_nacks[b] += 1;
         self.nack_count += 1;
+        if ctx.tracing() {
+            ctx.trace(TraceEvent::Nack {
+                t: ctx.now,
+                flow: ctx.flow.0,
+                block: b as u64,
+            });
+        }
         let nack = Packet::nack(
             ctx.flow,
             b as u32,
@@ -738,6 +835,17 @@ impl FlowLogic for MessageFlow {
             TK_BLOCK => self.on_block_timer((token >> 8) as usize, ctx),
             t => unreachable!("unknown timer token {t}"),
         }
+    }
+
+    fn report_counters(&self, counters: &mut Counters) {
+        counters.add("cc.epoch_md", self.cc.md_count());
+        counters.add("cc.quick_adapt_activations", self.cc.qa_count());
+        counters.add("cc.epochs", self.cc.epoch_count());
+        counters.add("rc.nacks", self.nack_count);
+        counters.add("rc.rtos", self.rto_count);
+        counters.add("rc.fast_rtx", self.fast_rtx_count);
+        counters.add("rc.retransmits", self.rtx_packets);
+        counters.add("lb.reroutes", self.lb.as_ref().map_or(0, |lb| lb.reroutes));
     }
 }
 

@@ -123,7 +123,11 @@ mod tests {
     fn variance_raises_rto_under_jitter() {
         let mut e = RttEstimator::new();
         for i in 0..50 {
-            e.sample(if i % 2 == 0 { 100 * MICROS } else { 900 * MICROS });
+            e.sample(if i % 2 == 0 {
+                100 * MICROS
+            } else {
+                900 * MICROS
+            });
         }
         assert!(e.rto(0, 0) > 1500 * MICROS, "rto {}", e.rto(0, 0));
     }

@@ -61,6 +61,8 @@ pub struct UnoCc {
     pub md_count: u64,
     /// Number of Quick Adapt activations.
     pub qa_count: u64,
+    /// Number of epochs terminated (with or without an MD).
+    pub epoch_count: u64,
     /// Disable Quick Adapt (ablation studies only).
     pub qa_enabled: bool,
 }
@@ -88,6 +90,7 @@ impl UnoCc {
             min_rtt: Time::MAX,
             md_count: 0,
             qa_count: 0,
+            epoch_count: 0,
             qa_enabled: true,
         }
     }
@@ -108,6 +111,7 @@ impl UnoCc {
     }
 
     fn end_epoch(&mut self, ev: &AckEvent) {
+        self.epoch_count += 1;
         let frac = if self.epoch_bytes > 0 {
             self.epoch_ecn_bytes as f64 / self.epoch_bytes as f64
         } else {
@@ -239,6 +243,22 @@ impl CcAlgorithm for UnoCc {
 
     fn name(&self) -> &'static str {
         "UnoCC"
+    }
+
+    fn md_count(&self) -> u64 {
+        self.md_count
+    }
+
+    fn qa_count(&self) -> u64 {
+        self.qa_count
+    }
+
+    fn epoch_count(&self) -> u64 {
+        self.epoch_count
+    }
+
+    fn ecn_fraction(&self) -> f64 {
+        self.ewma_ecn
     }
 }
 

@@ -135,7 +135,14 @@ fn ec_beats_no_ec_under_loss() {
         {
             s.set_link_loss(l, GilbertElliott::uniform(0.02));
         }
-        add_unocc_flow(&mut s, (0, 1), (1, 2), 2 << 20, ec, LbMode::UnoLb { subflows: 10 });
+        add_unocc_flow(
+            &mut s,
+            (0, 1),
+            (1, 2),
+            2 << 20,
+            ec,
+            LbMode::UnoLb { subflows: 10 },
+        );
         assert!(s.run_to_completion(5 * SECONDS));
         fcts.push(s.fcts[0].fct());
     }
@@ -173,7 +180,10 @@ fn flow_survives_border_link_failure_with_unolb() {
         Some(EcParams::PAPER_DEFAULT),
         LbMode::UnoLb { subflows: 10 },
     );
-    assert!(sim.run_to_completion(5 * SECONDS), "must re-route around failure");
+    assert!(
+        sim.run_to_completion(5 * SECONDS),
+        "must re-route around failure"
+    );
 }
 
 #[test]
@@ -230,7 +240,14 @@ fn incast_flows_all_complete_and_share() {
     let size = 2u64 << 20;
     let mut ids = Vec::new();
     for i in 0..4 {
-        ids.push(add_unocc_flow(&mut sim, (0, 1 + 3 * i), (0, 0), size, None, LbMode::Spray));
+        ids.push(add_unocc_flow(
+            &mut sim,
+            (0, 1 + 3 * i),
+            (0, 0),
+            size,
+            None,
+            LbMode::Spray,
+        ));
     }
     assert!(sim.run_to_completion(SECONDS));
     assert_eq!(sim.fcts.len(), 4);
@@ -248,7 +265,14 @@ fn incast_flows_all_complete_and_share() {
 fn deterministic_across_runs() {
     let run = || {
         let mut s = sim(77);
-        add_unocc_flow(&mut s, (0, 0), (1, 5), 1 << 20, Some(EcParams::PAPER_DEFAULT), LbMode::UnoLb { subflows: 10 });
+        add_unocc_flow(
+            &mut s,
+            (0, 0),
+            (1, 5),
+            1 << 20,
+            Some(EcParams::PAPER_DEFAULT),
+            LbMode::UnoLb { subflows: 10 },
+        );
         s.run_to_completion(SECONDS);
         s.fcts[0].fct()
     };

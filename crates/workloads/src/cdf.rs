@@ -32,7 +32,10 @@ impl Cdf {
         let mut prev = (0.0f64, -1.0f64);
         for &(size, p) in &points {
             assert!(size > 0.0 && size > prev.0, "sizes must increase: {size}");
-            assert!((0.0..=1.0).contains(&p) && p >= prev.1, "bad probability {p}");
+            assert!(
+                (0.0..=1.0).contains(&p) && p >= prev.1,
+                "bad probability {p}"
+            );
             prev = (size, p);
         }
         assert!(
@@ -198,9 +201,7 @@ mod tests {
     fn google_rpc_is_mostly_small() {
         let c = Cdf::google_rpc();
         let mut rng = SmallRng::seed_from_u64(5);
-        let small = (0..10_000)
-            .filter(|_| c.sample(&mut rng) <= 4096)
-            .count();
+        let small = (0..10_000).filter(|_| c.sample(&mut rng) <= 4096).count();
         assert!(small > 7_000, "small fraction {small}");
     }
 

@@ -102,7 +102,8 @@ pub fn poisson_mix<R: Rng>(
     assert!((0.0..=1.0).contains(&p.inter_fraction));
     assert!(p.dcs == 2 || p.inter_fraction == 0.0);
     let n_hosts = p.hosts_per_dc as f64 * p.dcs as f64;
-    let mean_size = (1.0 - p.inter_fraction) * intra_cdf.mean() + p.inter_fraction * inter_cdf.mean();
+    let mean_size =
+        (1.0 - p.inter_fraction) * intra_cdf.mean() + p.inter_fraction * inter_cdf.mean();
     let capacity_bytes_per_sec = n_hosts * p.host_bps as f64 / 8.0;
     let lambda = p.load * capacity_bytes_per_sec / mean_size; // flows/sec
     let mut flows = Vec::new();
@@ -242,9 +243,8 @@ mod tests {
         let flows = poisson_mix(&p, &Cdf::websearch(), &Cdf::alibaba_wan(), &mut rng);
         assert!(!flows.is_empty());
         let bytes: u64 = flows.iter().map(|f| f.size).sum();
-        let offered = bytes as f64 * 8.0
-            / (p.duration as f64 / SECONDS as f64)
-            / (32.0 * p.host_bps as f64);
+        let offered =
+            bytes as f64 * 8.0 / (p.duration as f64 / SECONDS as f64) / (32.0 * p.host_bps as f64);
         assert!(
             (offered - 0.4).abs() < 0.15,
             "offered load {offered} vs target 0.4"

@@ -25,8 +25,14 @@ fn main() {
     exp.add_specs(&specs);
     let r = exp.run(30 * SECONDS);
 
-    println!("4-flow mixed incast (2 intra + 2 inter x 64 MiB), scheme: {}", r.scheme);
-    println!("{:>8} | intra0 intra1 inter0 inter1 (Gbps) | Jain", "t (ms)");
+    println!(
+        "4-flow mixed incast (2 intra + 2 inter x 64 MiB), scheme: {}",
+        r.scheme
+    );
+    println!(
+        "{:>8} | intra0 intra1 inter0 inter1 (Gbps) | Jain",
+        "t (ms)"
+    );
     let bin = 5 * MILLIS;
     let series: Vec<_> = r
         .progress
@@ -48,6 +54,11 @@ fn main() {
         );
     }
     for f in &r.fcts {
-        println!("flow {:?} ({:?}) FCT {:.2} ms", f.flow, f.class, f.fct() as f64 / 1e6);
+        println!(
+            "flow {:?} ({:?}) FCT {:.2} ms",
+            f.flow,
+            f.class,
+            f.fct() as f64 / 1e6
+        );
     }
 }

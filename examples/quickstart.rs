@@ -57,4 +57,16 @@ fn main() {
         "network: {} packets transmitted, {} ECN marks, {} drops",
         stats.tx_packets, stats.ecn_marks, stats.queue_drops
     );
+
+    // Every run carries a manifest: seed, topology, engine throughput and
+    // the final counter snapshot. Drop it next to the results.
+    let mut manifest = results.manifest;
+    manifest.name = "quickstart".into();
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/MANIFEST_quickstart.json";
+    manifest.write_to(path).expect("write manifest");
+    println!(
+        "manifest: {path} ({:.0} events/s, {} events)",
+        manifest.events_per_sec, manifest.events_processed
+    );
 }

@@ -1,5 +1,5 @@
-//! Cross-crate integration tests: the full Uno stack (simulator + transport
-//! + erasure coding + workloads + metrics) driven through the public
+//! Cross-crate integration tests: the full Uno stack (simulator, transport,
+//! erasure coding, workloads and metrics) driven through the public
 //! `uno::Experiment` API.
 
 use uno::metrics::{jain_fairness, rates_from_progress, FctTable};
@@ -15,9 +15,30 @@ fn quick(scheme: SchemeSpec, seed: u64) -> Experiment {
 #[test]
 fn every_scheme_completes_a_mixed_workload() {
     let specs = [
-        FlowSpec { src_dc: 0, src_idx: 1, dst_dc: 0, dst_idx: 9, size: 2 << 20, start: 0 },
-        FlowSpec { src_dc: 0, src_idx: 2, dst_dc: 1, dst_idx: 3, size: 2 << 20, start: 0 },
-        FlowSpec { src_dc: 1, src_idx: 4, dst_dc: 0, dst_idx: 5, size: 512 << 10, start: MILLIS },
+        FlowSpec {
+            src_dc: 0,
+            src_idx: 1,
+            dst_dc: 0,
+            dst_idx: 9,
+            size: 2 << 20,
+            start: 0,
+        },
+        FlowSpec {
+            src_dc: 0,
+            src_idx: 2,
+            dst_dc: 1,
+            dst_idx: 3,
+            size: 2 << 20,
+            start: 0,
+        },
+        FlowSpec {
+            src_dc: 1,
+            src_idx: 4,
+            dst_dc: 0,
+            dst_idx: 5,
+            size: 512 << 10,
+            start: MILLIS,
+        },
     ];
     let mut all = uno_bench_schemes();
     all.extend(SchemeSpec::fig13_matrix());
@@ -74,7 +95,10 @@ fn uno_incast_converges_to_fairness() {
         }
     }
     let best = jains.iter().cloned().fold(0.0f64, f64::max);
-    assert!(best > 0.85, "mixed incast must converge toward fairness: best Jain {best}");
+    assert!(
+        best > 0.85,
+        "mixed incast must converge toward fairness: best Jain {best}"
+    );
     // And the second half should be fairer than the first on average.
     let (a, b) = jains.split_at(jains.len() / 2);
     assert!(
@@ -123,7 +147,8 @@ fn ec_flows_tolerate_correlated_loss_without_rtos() {
         .into_iter()
         .chain(e.sim.topo.border_reverse.clone())
     {
-        e.sim.set_link_loss(l, GilbertElliott::new(1e-3, 0.4, 0.0, 0.5));
+        e.sim
+            .set_link_loss(l, GilbertElliott::new(1e-3, 0.4, 0.0, 0.5));
     }
     e.add_specs(&[FlowSpec {
         src_dc: 0,
@@ -201,6 +226,105 @@ fn results_serialize_to_json() {
     assert!(json.contains("\"scheme\":\"Uno\""));
     let back: uno::ExperimentResults = serde_json::from_str(&json).unwrap();
     assert_eq!(back.fcts.len(), r.fcts.len());
+}
+
+/// The quickstart example's workload: one inter-DC and one intra-DC 8 MiB
+/// message on the k=4 topology, seed 42.
+fn quickstart_experiment(seed: u64) -> Experiment {
+    let mut e = quick(SchemeSpec::uno(), seed);
+    e.add_specs(&[
+        FlowSpec {
+            src_dc: 0,
+            src_idx: 0,
+            dst_dc: 1,
+            dst_idx: 3,
+            size: 8 << 20,
+            start: 0,
+        },
+        FlowSpec {
+            src_dc: 0,
+            src_idx: 1,
+            dst_dc: 0,
+            dst_idx: 9,
+            size: 8 << 20,
+            start: 0,
+        },
+    ]);
+    e
+}
+
+#[test]
+fn quickstart_emits_valid_manifest_and_summarizable_trace() {
+    use uno::sim::{RunManifest, TraceConfig, TraceSummary, Tracer};
+
+    let path = std::env::temp_dir().join("uno_system_quickstart_trace.jsonl");
+    let mut e = quickstart_experiment(42);
+    e.sim
+        .set_tracer(Tracer::jsonl_file(&path, TraceConfig::all()).unwrap());
+    let r = e.run(SECONDS);
+    assert!(r.all_completed);
+
+    // The manifest round-trips through JSON and reflects the run: events
+    // were processed, both flows completed, and the no-loss quickstart
+    // config never drops a packet.
+    let m = RunManifest::from_json(&r.manifest.to_json()).expect("manifest JSON round-trips");
+    assert_eq!(m.scheme, "Uno");
+    assert_eq!(m.seed, 42);
+    assert_eq!(m.flows, 2);
+    assert_eq!(m.completed, 2);
+    assert!(
+        m.events_processed > 0,
+        "engine.events_processed must be nonzero"
+    );
+    assert_eq!(
+        m.counters.get("engine.events_processed"),
+        m.events_processed
+    );
+    assert_eq!(
+        m.counters.get("queue.drops"),
+        0,
+        "no-loss config must not drop"
+    );
+    assert!(m.events_per_sec > 0.0);
+
+    // The JSONL trace parses into per-flow / per-queue summaries
+    // (`uno-trace-summarize`'s engine) covering both flows.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let summary = TraceSummary::from_jsonl(&text).expect("trace must parse");
+    assert!(summary.events > 0);
+    assert_eq!(summary.flows.len(), 2);
+    assert!(summary.flows.iter().all(|f| f.acks > 0));
+    assert!(!summary.queues.is_empty());
+    let marks: u64 = summary.queues.iter().map(|q| q.marks).sum();
+    assert_eq!(marks, m.counters.get("queue.ecn_marks"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn same_seed_runs_trace_and_count_identically() {
+    use uno::sim::{TraceConfig, Tracer};
+
+    let run = |tag: &str| {
+        let path = std::env::temp_dir().join(format!("uno_system_determinism_{tag}.jsonl"));
+        let mut e = quickstart_experiment(7);
+        e.sim
+            .set_tracer(Tracer::jsonl_file(&path, TraceConfig::all()).unwrap());
+        let r = e.run(SECONDS);
+        let trace = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        (trace, serde_json::to_string(&r.manifest.counters).unwrap())
+    };
+    let (trace_a, counters_a) = run("a");
+    let (trace_b, counters_b) = run("b");
+    assert!(!trace_a.is_empty());
+    assert_eq!(
+        trace_a, trace_b,
+        "same seed must give byte-identical traces"
+    );
+    assert_eq!(
+        counters_a, counters_b,
+        "same seed must give identical counters"
+    );
 }
 
 #[test]

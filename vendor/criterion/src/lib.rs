@@ -1,0 +1,203 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the API surface used by this workspace's benches (benchmark
+//! groups, throughput annotation, `black_box`, the `criterion_group!` /
+//! `criterion_main!` macros) with a simple wall-clock measurement loop:
+//! a short warm-up, then timed batches until ~0.5 s elapses, reporting the
+//! median batch ns/iter. Numbers are indicative, not statistically rigorous.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter string.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/param` identifier.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f` and record ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: let caches/branch predictors settle and estimate cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let est_ns =
+            (warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64).max(1.0);
+        // Aim for ~10 batches of ~50 ms each.
+        let batch_iters = ((50_000_000.0 / est_ns) as u64).max(1);
+        let mut samples: Vec<f64> = Vec::new();
+        let bench_start = Instant::now();
+        while samples.len() < 10 && bench_start.elapsed() < Duration::from_millis(500) {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch_iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let time = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let per_sec = b as f64 / (ns / 1e9);
+            format!("  {:.1} MiB/s", per_sec / (1u64 << 20) as f64)
+        }
+        Some(Throughput::Elements(e)) => {
+            let per_sec = e as f64 / (ns / 1e9);
+            format!("  {:.3} Melem/s", per_sec / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("{name:<50} {time:>12}/iter{rate}");
+}
+
+/// Group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes batches itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.ns_per_iter, None);
+        self
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

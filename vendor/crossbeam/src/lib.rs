@@ -1,0 +1,55 @@
+//! Minimal offline stand-in for the `crossbeam::scope` API, implemented on
+//! `std::thread::scope`. Only the surface used by this workspace: spawn
+//! scoped worker threads whose closures receive the scope handle.
+
+/// Scope handle passed to [`scope`]'s closure and to spawned closures.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope handle (to
+    /// match crossbeam's signature); joining is implicit at scope exit.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Create a scope for spawning borrowing threads. Mirrors
+/// `crossbeam::scope`: returns `Err` with the panic payload if any
+/// unjoined spawned thread panicked (with `std::thread::scope` underneath,
+/// a child panic propagates when the scope exits, so in practice a panic
+/// unwinds out rather than surfacing as `Err`; callers that `.expect()`
+/// the result behave identically either way).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    sums.lock().unwrap().push(chunk.iter().sum::<u64>());
+                });
+            }
+        })
+        .unwrap();
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the subset used by this workspace's property tests: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! integer / float range strategies, `any::<T>()`, tuple strategies,
+//! [`collection::vec`], and the `prop_assert*` macros. Cases are sampled
+//! from a deterministic seeded generator; there is no shrinking — a failing
+//! case panics with the sampled inputs' debug representation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (a subset of upstream's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values of some type.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value: std::fmt::Debug;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform sampling over the whole domain of `T`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_any!(bool, u8, u16, u32, u64, usize, i32, i64, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident $idx:tt),+),)+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s of values from `element` with a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Build a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy {
+            element,
+            min: size.min,
+            max: size.max,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = if self.min >= self.max {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Length specification accepted by [`collection::vec`].
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Derive a stable per-test seed so each property test explores the same
+/// cases on every run (deterministic CI), independent of other tests.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Run the body for each sampled case (used by the [`proptest!`] macro).
+pub fn run_cases(cases: u32, test_name: &str, mut body: impl FnMut(&mut SmallRng)) {
+    let mut rng = SmallRng::seed_from_u64(seed_for(test_name));
+    for case in 0..cases {
+        // Give each case an independent stream so a panic message's case
+        // number is enough to re-derive its inputs.
+        let mut case_rng = SmallRng::seed_from_u64(rng.next_u64() ^ case as u64);
+        body(&mut case_rng);
+    }
+}
+
+/// Assert within a property test (stub: plain `assert!`, no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property test (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property test (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests. Supports an optional `#![proptest_config(..)]`
+/// header followed by `fn name(arg in strategy, ..) { .. }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+     $( $(#[$meta:meta])* fn $name:ident
+        ( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(cfg.cases, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3u32..17, y in 0usize..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in crate::collection::vec((any::<bool>(), 1u32..5), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (_, n) in v {
+                prop_assert!((1..5).contains(&n));
+            }
+        }
+    }
+}

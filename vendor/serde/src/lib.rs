@@ -1,0 +1,365 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of upstream serde's visitor architecture, this stub uses a
+//! simplified self-describing data model: [`Value`]. `Serialize` converts a
+//! Rust value into a [`Value`] tree; `Deserialize` reads one back. The
+//! companion `serde_derive` stub generates impls for structs with named
+//! fields and for enums with unit / newtype / struct variants (externally
+//! tagged, honouring `rename_all = "snake_case"`, `default`, and `skip`),
+//! which covers every derive site in this workspace. `serde_json` prints and
+//! parses [`Value`] as JSON.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Self-describing data value — the interchange type between `Serialize`,
+/// `Deserialize`, and format crates such as `serde_json`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (u64 and smaller).
+    U64(u64),
+    /// Signed integer that does not fit `U64`.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Key-value map preserving insertion order (deterministic output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object (field list) if this is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as f64 for any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Short name of the variant for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// "expected X, found Y" helper.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Missing struct field.
+    pub fn missing_field(name: &str) -> Self {
+        Error(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the serde data model.
+pub trait Serialize {
+    /// Produce the [`Value`] tree for `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstruct a value from the serde data model.
+pub trait Deserialize: Sized {
+    /// Parse `self` out of a [`Value`] tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Fetch a struct field, falling back to `Null` deserialization when the key
+/// is absent (this is how `Option` fields become `None` when omitted,
+/// mirroring upstream serde's `missing_field` behaviour).
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(f) => T::deserialize_value(f).map_err(|e| Error(format!("field `{name}`: {e}"))),
+        None => T::deserialize_value(&Value::Null).map_err(|_| Error::missing_field(name)),
+    }
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::U64(n) if n <= <$t>::MAX as u64 => Ok(n as $t),
+                    Value::I64(n) if n >= 0 && (n as u64) <= <$t>::MAX as u64 => Ok(n as $t),
+                    Value::F64(n) if n >= 0.0 && n.fract() == 0.0 && n <= <$t>::MAX as f64 => Ok(n as $t),
+                    _ => Err(Error::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::U64(n) if n <= <$t>::MAX as u64 => Ok(n as $t),
+                    Value::I64(n) if n >= <$t>::MIN as i64 && n <= <$t>::MAX as i64 => Ok(n as $t),
+                    Value::F64(n) if n.fract() == 0.0 => Ok(n as $t),
+                    _ => Err(Error::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64().map(|n| n as $t).ok_or_else(|| Error::expected("number", v))
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+// ----------------------------------------------------- other primitives
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", v))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", v))?
+            .iter()
+            .map(|(k, f)| Ok((k.clone(), V::deserialize_value(f)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($len:literal => ($($name:ident $idx:tt),+),)+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                if a.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected array of length {}, found {}", $len, a.len())));
+                }
+                Ok(($($name::deserialize_value(&a[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple! {
+    1 => (A 0),
+    2 => (A 0, B 1),
+    3 => (A 0, B 1, C 2),
+    4 => (A 0, B 1, C 2, D 3),
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Compile-support items referenced by the derive macro expansion. Not part
+/// of the public API.
+pub mod __private {
+    pub use super::{field, Deserialize, Error, Serialize, Value};
+}

@@ -1,0 +1,632 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! `syn`/`quote`: the item's `TokenStream` is parsed directly and the impl is
+//! generated as a string. Supports the shapes used in this workspace:
+//!
+//! * structs with named fields (`#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`)
+//! * tuple structs (newtype ids serialize as their inner value, wider tuples
+//!   as arrays)
+//! * enums with unit / newtype / struct variants, externally tagged, with
+//!   optional container `#[serde(rename_all = "snake_case")]`
+//!
+//! Generated code targets the simplified value-model traits of the vendored
+//! `serde` stub (`serialize_value` / `deserialize_value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `Some("")` for bare `default`, `Some(path)` for `default = "path"`.
+    default: Option<String>,
+    rename: Option<String>,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    rename_all_snake: bool,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+        attrs: ContainerAttrs,
+    },
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Parse any leading `#[...]` attributes; collect `serde(...)` contents.
+fn take_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, FieldAttrs, ContainerAttrs) {
+    let mut fa = FieldAttrs::default();
+    let mut ca = ContainerAttrs::default();
+    while pos + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[pos + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_serde_args(args.stream(), &mut fa, &mut ca);
+                }
+            }
+        }
+        pos += 2;
+    }
+    (pos, fa, ca)
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_serde_args(ts: TokenStream, fa: &mut FieldAttrs, ca: &mut ContainerAttrs) {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let TokenTree::Ident(key) = &toks[i] else {
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        let mut value: Option<String> = None;
+        if let Some(TokenTree::Punct(p)) = toks.get(i + 1) {
+            if p.as_char() == '=' {
+                if let Some(TokenTree::Literal(l)) = toks.get(i + 2) {
+                    value = Some(strip_quotes(&l.to_string()));
+                }
+                i += 2;
+            }
+        }
+        match (key.as_str(), value) {
+            ("skip", _) | ("skip_serializing", _) | ("skip_deserializing", _) => fa.skip = true,
+            ("default", None) => fa.default = Some(String::new()),
+            ("default", Some(path)) => fa.default = Some(path),
+            ("rename", Some(name)) => fa.rename = Some(name),
+            ("rename_all", Some(style)) => {
+                if style == "snake_case" {
+                    ca.rename_all_snake = true;
+                } else {
+                    panic!("serde stub: unsupported rename_all = \"{style}\"");
+                }
+            }
+            _ => panic!("serde stub: unsupported serde attribute `{key}`"),
+        }
+        // Skip a trailing comma.
+        if let Some(TokenTree::Punct(p)) = toks.get(i + 1) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Advance past a field's type: consume until a top-level `,` (angle-bracket
+/// depth 0) or end of tokens. Returns the position *after* the comma.
+fn skip_to_comma(tokens: &[TokenTree], mut pos: usize) -> usize {
+    let mut angle: i32 = 0;
+    while pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[pos] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return pos + 1,
+                _ => {}
+            }
+        }
+        pos += 1;
+    }
+    pos
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (new_pos, fa, _) = take_attrs(&tokens, pos);
+        pos = new_pos;
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(pos) {
+            if id.to_string() == "pub" {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        let name = name.to_string();
+        pos += 1; // name
+        pos += 1; // ':'
+        pos = skip_to_comma(&tokens, pos);
+        fields.push(Field { name, attrs: fa });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        count += 1;
+        pos = skip_to_comma(&tokens, pos);
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (new_pos, _fa, _) = take_attrs(&tokens, pos);
+        pos = new_pos;
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        let name = name.to_string();
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                pos += 1;
+                if n == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(n)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant and/or trailing comma.
+        pos = skip_to_comma(&tokens, pos);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (Item, ContainerAttrs) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut pos, _fa, ca) = take_attrs(&tokens, 0);
+    // Visibility.
+    if let Some(TokenTree::Ident(id)) = tokens.get(pos) {
+        if id.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    let Some(TokenTree::Ident(kw)) = tokens.get(pos) else {
+        panic!("serde stub: expected struct or enum");
+    };
+    let kw = kw.to_string();
+    pos += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+        panic!("serde stub: expected item name");
+    };
+    let name = name.to_string();
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde stub: generic types are not supported (derive on `{name}`)");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => (
+                Item::Struct {
+                    name,
+                    fields: parse_named_fields(g),
+                },
+                ca,
+            ),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => (
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g),
+                },
+                ca,
+            ),
+            _ => (Item::UnitStruct { name }, ca),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g);
+                (
+                    Item::Enum {
+                        name,
+                        variants,
+                        attrs: ContainerAttrs {
+                            rename_all_snake: ca.rename_all_snake,
+                        },
+                    },
+                    ca,
+                )
+            }
+            _ => panic!("serde stub: malformed enum"),
+        },
+        other => panic!("serde stub: cannot derive for `{other}` items"),
+    }
+}
+
+fn field_key(f: &Field) -> String {
+    f.attrs.rename.clone().unwrap_or_else(|| f.name.clone())
+}
+
+fn variant_key(v: &Variant, snake: bool) -> String {
+    if snake {
+        snake_case(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+// ------------------------------------------------------------- Serialize
+
+/// Derive the vendored-serde `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (item, _ca) = parse_item(input);
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.attrs.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{key}\".to_string(), \
+                         ::serde::Serialize::serialize_value(&self.{n}))",
+                        key = field_key(f),
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Object(vec![{}])\n\
+                   }}\n\
+                 }}",
+                entries.join(",\n")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                       fn serialize_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Serialize::serialize_value(&self.0)\n\
+                       }}\n\
+                     }}"
+                )
+            } else {
+                let elems: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                       fn serialize_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{}])\n\
+                       }}\n\
+                     }}",
+                    elems.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn serialize_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum {
+            name,
+            variants,
+            attrs,
+        } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let key = variant_key(v, attrs.rename_all_snake);
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{key}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(x) => ::serde::Value::Object(vec![(\
+                           \"{key}\".to_string(), \
+                           ::serde::Serialize::serialize_value(x))]),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\
+                               \"{key}\".to_string(), \
+                               ::serde::Value::Array(vec![{elems}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.attrs.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{key}\".to_string(), \
+                                     ::serde::Serialize::serialize_value({n}))",
+                                    key = field_key(f),
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => \
+                               ::serde::Value::Object(vec![(\"{key}\".to_string(), \
+                                 ::serde::Value::Object(vec![{entries}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            entries = entries.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde stub: generated Serialize impl must parse")
+}
+
+// ----------------------------------------------------------- Deserialize
+
+fn named_field_expr(f: &Field, src: &str) -> String {
+    if f.attrs.skip {
+        return format!("{n}: ::std::default::Default::default(),\n", n = f.name);
+    }
+    let key = field_key(f);
+    match &f.attrs.default {
+        None => format!("{n}: ::serde::field({src}, \"{key}\")?,\n", n = f.name),
+        Some(path) => {
+            let fallback = if path.is_empty() {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("{path}()")
+            };
+            format!(
+                "{n}: match {src}.get(\"{key}\") {{\n\
+                   Some(x) => match ::serde::Deserialize::deserialize_value(x) {{\n\
+                     Ok(val) => val,\n\
+                     Err(e) => return Err(::serde::Error::custom(\
+                       format!(\"field `{key}`: {{e}}\"))),\n\
+                   }},\n\
+                   None => {fallback},\n\
+                 }},\n",
+                n = f.name
+            )
+        }
+    }
+}
+
+/// Derive the vendored-serde `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (item, _ca) = parse_item(input);
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&named_field_expr(f, "v"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn deserialize_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     if v.as_object().is_none() {{\n\
+                       return Err(::serde::Error::expected(\"object\", v));\n\
+                     }}\n\
+                     Ok({name} {{\n{inits}}})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                       fn deserialize_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         Ok({name}(::serde::Deserialize::deserialize_value(v)?))\n\
+                       }}\n\
+                     }}"
+                )
+            } else {
+                let elems: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize_value(&a[{i}])?"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                       fn deserialize_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let a = v.as_array()\
+                           .ok_or_else(|| ::serde::Error::expected(\"array\", v))?;\n\
+                         if a.len() != {arity} {{\n\
+                           return Err(::serde::Error::custom(\"wrong tuple length\"));\n\
+                         }}\n\
+                         Ok({name}({}))\n\
+                       }}\n\
+                     }}",
+                    elems.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn deserialize_value(_v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Item::Enum {
+            name,
+            variants,
+            attrs,
+        } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let key = variant_key(v, attrs.rename_all_snake);
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{key}\" => Ok({name}::{v}),\n", v = v.name))
+                    }
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "\"{key}\" => Ok({name}::{v}(\
+                           ::serde::Deserialize::deserialize_value(payload)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize_value(&a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{key}\" => {{\n\
+                               let a = payload.as_array()\
+                                 .ok_or_else(|| ::serde::Error::expected(\"array\", payload))?;\n\
+                               if a.len() != {n} {{\n\
+                                 return Err(::serde::Error::custom(\"wrong tuple length\"));\n\
+                               }}\n\
+                               Ok({name}::{v}({elems}))\n\
+                             }}\n",
+                            v = v.name,
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&named_field_expr(f, "payload"));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{key}\" => {{\n\
+                               if payload.as_object().is_none() {{\n\
+                                 return Err(::serde::Error::expected(\"object\", payload));\n\
+                               }}\n\
+                               Ok({name}::{v} {{\n{inits}}})\n\
+                             }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn deserialize_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     match v {{\n\
+                       ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(::serde::Error::custom(\
+                           format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                       }},\n\
+                       ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                         let (tag, payload) = (&o[0].0, &o[0].1);\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{\n\
+                           {tagged_arms}\
+                           other => Err(::serde::Error::custom(\
+                             format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                       }},\n\
+                       _ => Err(::serde::Error::expected(\
+                         \"string or single-key object\", v)),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde stub: generated Deserialize impl must parse")
+}
