@@ -150,6 +150,8 @@ pub fn run_experiment(
     record_progress: bool,
     horizon: Time,
 ) -> uno::ExperimentResults {
+    // Wall-clock policy: `started` only feeds the progress log line below;
+    // every simulated result derives from the virtual clock alone.
     let started = Instant::now();
     let name = scheme.name;
     let mut cfg = ExperimentConfig::quick(scheme, seed);

@@ -10,7 +10,8 @@ use uno_sim::{
     Simulator, Time, Topology, TopologyParams, MILLIS,
 };
 use uno_transport::{
-    Bbr, CcAlgorithm, CcConfig, FlowConfig, Gemini, LbMode, MessageFlow, Mprdma, UnoCc,
+    Bbr, CcAlgorithm, CcConfig, FaultInjection, FlowConfig, Gemini, LbMode, MessageFlow, Mprdma,
+    UnoCc,
 };
 use uno_workloads::FlowSpec;
 
@@ -28,6 +29,9 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Record per-flow progress (rate time-series) for every flow.
     pub record_progress: bool,
+    /// Test-only fault injection applied to every flow's transport (all off
+    /// by default; `uno-testkit` arms these to validate its checkers).
+    pub faults: FaultInjection,
 }
 
 impl ExperimentConfig {
@@ -38,6 +42,7 @@ impl ExperimentConfig {
             scheme,
             seed,
             record_progress: false,
+            faults: FaultInjection::default(),
         }
     }
 
@@ -48,6 +53,7 @@ impl ExperimentConfig {
             scheme,
             seed,
             record_progress: false,
+            faults: FaultInjection::default(),
         }
     }
 }
@@ -179,6 +185,7 @@ impl Experiment {
             MILLIS.max(4 * base_rtt)
         };
         fc.block_timeout = base_rtt;
+        fc.faults = self.cfg.faults;
 
         let flow = MessageFlow::new(fc, cc);
         let mut meta = FlowMeta {

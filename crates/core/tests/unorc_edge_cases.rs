@@ -1,0 +1,209 @@
+//! UnoRC block-layer edge cases on the full stack: partial final blocks,
+//! reordering across block boundaries, the receiver block timer's exact
+//! deadline arithmetic, and NACK recovery racing the sender's RTO.
+
+use std::sync::{Arc, Mutex};
+
+use uno::sim::{GilbertElliott, Time, TraceConfig, TraceEvent, Tracer, MILLIS, SECONDS};
+use uno::workloads::FlowSpec;
+use uno::{Experiment, ExperimentConfig, SchemeSpec};
+
+/// Minimal trace record: (kind, time, flow, block-or-0).
+type Rec = (&'static str, Time, u32, u64);
+
+fn traced_experiment(seed: u64) -> (Experiment, Arc<Mutex<Vec<Rec>>>) {
+    let mut e = Experiment::new(ExperimentConfig::quick(SchemeSpec::uno(), seed));
+    let log: Arc<Mutex<Vec<Rec>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = log.clone();
+    e.sim.set_tracer(Tracer::callback(
+        Box::new(move |ev: &TraceEvent| {
+            let rec = match *ev {
+                TraceEvent::Nack { t, flow, block } => Some(("nack", t, flow, block)),
+                TraceEvent::Timeout { t, flow, rtos } => Some(("rto", t, flow, rtos)),
+                TraceEvent::FlowDone { t, flow } => Some(("done", t, flow, 0)),
+                _ => None,
+            };
+            if let Some(r) = rec {
+                sink.lock().unwrap().push(r);
+            }
+        }),
+        TraceConfig::all(),
+    ));
+    (e, log)
+}
+
+fn inter_flow(size: u64) -> FlowSpec {
+    FlowSpec {
+        src_dc: 0,
+        src_idx: 0,
+        dst_dc: 1,
+        dst_idx: 0,
+        size,
+        start: 0,
+    }
+}
+
+fn lossy_border(e: &mut Experiment, p: f64, reverse_too: bool) {
+    let fwd = e.sim.topo.border_forward.clone();
+    let rev = e.sim.topo.border_reverse.clone();
+    for l in fwd {
+        e.sim.set_link_loss(l, GilbertElliott::uniform(p));
+    }
+    if reverse_too {
+        for l in rev {
+            e.sim.set_link_loss(l, GilbertElliott::uniform(p));
+        }
+    }
+}
+
+#[test]
+fn final_partial_block_completes_under_loss() {
+    // 14 data packets under (8,2): one full block and a final block of 6
+    // data shards — the layout where off-by-one accounting bugs live.
+    let mtu = 4096u64;
+    for seed in [2u64, 5, 11] {
+        let (mut e, _log) = traced_experiment(seed);
+        e.add_spec(&inter_flow(13 * mtu + 123));
+        lossy_border(&mut e, 0.05, false);
+        assert!(
+            e.sim.run_to_completion(20 * SECONDS),
+            "seed {seed}: partial-final-block flow did not complete"
+        );
+        assert_eq!(e.sim.fcts.len(), 1);
+    }
+}
+
+#[test]
+fn single_partial_block_message_completes() {
+    // A message smaller than one full block: 6 data shards plus 2 parity.
+    let (mut e, log) = traced_experiment(3);
+    e.add_spec(&inter_flow(5 * 4096 + 123));
+    lossy_border(&mut e, 0.08, false);
+    assert!(e.sim.run_to_completion(20 * SECONDS));
+    // Exactly one completion event, never a second.
+    let dones: Vec<_> = log
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|r| r.0 == "done")
+        .cloned()
+        .collect();
+    assert_eq!(dones.len(), 1, "flow must complete exactly once");
+}
+
+#[test]
+fn reordering_across_block_boundaries_completes() {
+    // Packet spraying maximally reorders shards, so consecutive blocks'
+    // shards interleave on arrival; block accounting must stay per-block.
+    use uno::transport::LbMode;
+    for scheme in [
+        SchemeSpec::uno(), // UnoLB subflows
+        SchemeSpec::uno().with_lb(LbMode::Spray).named("uno-rps"),
+    ] {
+        let name = scheme.name;
+        let mut e = Experiment::new(ExperimentConfig::quick(scheme, 17));
+        // 4 full blocks of spray-reordered shards.
+        e.add_spec(&inter_flow(32 * 4096));
+        assert!(
+            e.sim.run_to_completion(20 * SECONDS),
+            "{name}: reordered multi-block flow did not complete"
+        );
+    }
+}
+
+#[test]
+fn receiver_block_timer_fires_at_exact_deadline() {
+    // The receiver NACK timer re-arms with exponential backoff: after the
+    // n-th NACK of a block the next can only fire base_rtt << min(n, 4)
+    // later. Consecutive NACKs for one block must sit exactly on that
+    // grid — early firings would spam the reverse path, late ones would
+    // slow recovery. Heavy loss makes repeat NACKs likely; scan seeds
+    // until one shows a consecutive pair.
+    let base_rtt = {
+        let e = Experiment::new(ExperimentConfig::quick(SchemeSpec::uno(), 0));
+        e.sim.topo.params.inter_rtt
+    };
+    let mut checked_pairs = 0u32;
+    for seed in 0..40u64 {
+        let (mut e, log) = traced_experiment(seed);
+        e.add_spec(&inter_flow(64 * 4096));
+        lossy_border(&mut e, 0.30, false);
+        e.sim.run_to_completion(30 * SECONDS);
+        let log = log.lock().unwrap();
+        let nacks: Vec<&Rec> = log.iter().filter(|r| r.0 == "nack").collect();
+        for b in 0..16u64 {
+            let times: Vec<Time> = nacks.iter().filter(|r| r.3 == b).map(|r| r.1).collect();
+            for (i, pair) in times.windows(2).enumerate() {
+                let expect = base_rtt << (i as u32 + 1).min(4);
+                assert_eq!(
+                    pair[1] - pair[0],
+                    expect,
+                    "seed {seed} block {b}: NACK {} -> {} gap off the backoff grid",
+                    i,
+                    i + 1
+                );
+                checked_pairs += 1;
+            }
+            // The first NACK can never precede one block timeout (=
+            // base_rtt) after the flow's start.
+            if let Some(&first) = times.first() {
+                assert!(first >= base_rtt, "seed {seed} block {b}: NACK too early");
+            }
+        }
+        if checked_pairs >= 4 {
+            return;
+        }
+    }
+    panic!("no consecutive NACK pairs observed in 40 seeds; loss model changed?");
+}
+
+#[test]
+fn nack_recovery_races_sender_rto_and_still_completes() {
+    // Loss on both border directions kills data, ACKs, and NACKs alike, so
+    // receiver-driven NACK recovery and the sender's RTO run concurrently.
+    // Whichever wins, the flow must complete exactly once with no
+    // post-completion recovery actions.
+    let mut saw_both = false;
+    for seed in 0..40u64 {
+        let (mut e, log) = traced_experiment(seed);
+        e.add_spec(&inter_flow(96 * 4096));
+        lossy_border(&mut e, 0.20, true);
+        assert!(
+            e.sim.run_to_completion(60 * SECONDS),
+            "seed {seed}: flow starved under bidirectional loss"
+        );
+        let log = log.lock().unwrap();
+        let nacks = log.iter().filter(|r| r.0 == "nack").count();
+        let rtos = log.iter().filter(|r| r.0 == "rto").count();
+        let done_t = log.iter().find(|r| r.0 == "done").map(|r| r.1).unwrap();
+        // The engine must not deliver recovery events after completion.
+        assert!(
+            log.iter().all(|r| r.0 == "done" || r.1 <= done_t),
+            "seed {seed}: recovery event after FlowDone"
+        );
+        if nacks > 0 && rtos > 0 {
+            saw_both = true;
+            break;
+        }
+    }
+    assert!(
+        saw_both,
+        "no seed exercised NACK and RTO concurrently in 40 tries"
+    );
+}
+
+#[test]
+fn block_timer_noop_after_completion() {
+    // A clean run still arms block timers; their late firings must be
+    // no-ops (no NACK ever emitted on a lossless network).
+    let (mut e, log) = traced_experiment(9);
+    e.add_spec(&inter_flow(24 * 4096));
+    assert!(e.sim.run_to_completion(10 * SECONDS));
+    e.sim.run_until(e.sim.now() + 100 * MILLIS); // drain stale timers
+    let log = log.lock().unwrap();
+    assert_eq!(
+        log.iter().filter(|r| r.0 == "nack").count(),
+        0,
+        "NACK on a lossless network"
+    );
+}

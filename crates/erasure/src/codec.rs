@@ -28,6 +28,26 @@ pub enum CodecError {
         /// Slots expected.
         expected: usize,
     },
+    /// Invalid code geometry: zero data/parity shards, or `x + y > 256`
+    /// (GF(2^8) supports at most 256 distinct shard identities).
+    InvalidGeometry {
+        /// Requested data shards (`x`).
+        data: usize,
+        /// Requested parity shards (`y`).
+        parity: usize,
+    },
+    /// A shard index outside `0..x+y` was supplied.
+    ShardIndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Total shard slots (`x + y`).
+        total: usize,
+    },
+    /// The same shard index was supplied more than once.
+    DuplicateShardIndex {
+        /// Offending index.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -39,6 +59,15 @@ impl std::fmt::Display for CodecError {
             CodecError::ShardSizeMismatch => write!(f, "shard sizes differ"),
             CodecError::WrongShardCount { got, expected } => {
                 write!(f, "expected {expected} shard slots, got {got}")
+            }
+            CodecError::InvalidGeometry { data, parity } => {
+                write!(f, "invalid code geometry ({data}, {parity}): need data >= 1, parity >= 1, data + parity <= 256")
+            }
+            CodecError::ShardIndexOutOfRange { index, total } => {
+                write!(f, "shard index {index} out of range 0..{total}")
+            }
+            CodecError::DuplicateShardIndex { index } => {
+                write!(f, "shard index {index} supplied more than once")
             }
         }
     }
@@ -61,15 +90,29 @@ impl ReedSolomon {
     /// Create an `(data_shards, parity_shards)` code.
     ///
     /// # Panics
-    /// If either count is zero or their sum exceeds 256.
+    /// If either count is zero or their sum exceeds 256. Use
+    /// [`ReedSolomon::try_new`] for a non-panicking constructor.
     pub fn new(data_shards: usize, parity_shards: usize) -> Self {
         assert!(data_shards > 0, "need at least one data shard");
         assert!(parity_shards > 0, "need at least one parity shard");
-        ReedSolomon {
+        Self::try_new(data_shards, parity_shards).expect("geometry validated above")
+    }
+
+    /// Create an `(data_shards, parity_shards)` code, rejecting invalid
+    /// geometries (`x == 0`, `y == 0`, `x + y > 256`) with an error instead
+    /// of panicking.
+    pub fn try_new(data_shards: usize, parity_shards: usize) -> Result<Self, CodecError> {
+        if data_shards == 0 || parity_shards == 0 || data_shards + parity_shards > 256 {
+            return Err(CodecError::InvalidGeometry {
+                data: data_shards,
+                parity: parity_shards,
+            });
+        }
+        Ok(ReedSolomon {
             data_shards,
             parity_shards,
             parity_matrix: Matrix::cauchy(parity_shards, data_shards),
-        }
+        })
     }
 
     /// Number of data shards (`x`).
@@ -194,6 +237,32 @@ impl ReedSolomon {
             }
         }
         Ok(())
+    }
+
+    /// Reconstruct a full block from `(shard_index, shard_bytes)` pairs, as
+    /// arriving off the wire in arbitrary order. Rejects out-of-range and
+    /// duplicate indices with an error (a hostile or buggy peer must not be
+    /// able to panic the codec). Returns all `x + y` shards, data first.
+    pub fn reconstruct_indexed(
+        &self,
+        shards: &[(usize, Vec<u8>)],
+    ) -> Result<Vec<Vec<u8>>, CodecError> {
+        let n = self.total_shards();
+        let mut slots: Vec<Option<Vec<u8>>> = vec![None; n];
+        for (index, bytes) in shards {
+            if *index >= n {
+                return Err(CodecError::ShardIndexOutOfRange {
+                    index: *index,
+                    total: n,
+                });
+            }
+            if slots[*index].is_some() {
+                return Err(CodecError::DuplicateShardIndex { index: *index });
+            }
+            slots[*index] = Some(bytes.clone());
+        }
+        self.reconstruct(&mut slots)?;
+        Ok(slots.into_iter().map(|s| s.unwrap()).collect())
     }
 
     /// Row `i` of the systematic generator `[I; C]`.

@@ -1,0 +1,131 @@
+//! Erasure-codec edge cases: degenerate geometries, parity-only decoding,
+//! and hostile shard indices. None of these may panic — the codec sits on
+//! the receive path of a network protocol.
+
+use uno_erasure::{CodecError, ReedSolomon};
+
+fn sample(x: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..x)
+        .map(|i| (0..len).map(|j| (i * 89 + j * 17 + 5) as u8).collect())
+        .collect()
+}
+
+#[test]
+fn k1_single_data_shard_replicates() {
+    // (1, 2): parity shards of a 1-data-shard Cauchy code are scalar
+    // multiples of the data; any single surviving shard recovers the block.
+    let rs = ReedSolomon::new(1, 2);
+    let data = sample(1, 48);
+    let parity = rs.encode(&[&data[0]]).unwrap();
+    assert_eq!(parity.len(), 2);
+    for keep in 0..3 {
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None, None, None];
+        shards[keep] = Some(if keep == 0 {
+            data[0].clone()
+        } else {
+            parity[keep - 1].clone()
+        });
+        rs.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[0].as_ref().unwrap(), &data[0], "kept shard {keep}");
+    }
+}
+
+#[test]
+fn zero_parity_geometry_is_an_error_not_a_panic() {
+    assert!(matches!(
+        ReedSolomon::try_new(8, 0),
+        Err(CodecError::InvalidGeometry { data: 8, parity: 0 })
+    ));
+}
+
+#[test]
+fn zero_data_and_oversized_geometries_rejected() {
+    assert!(matches!(
+        ReedSolomon::try_new(0, 2),
+        Err(CodecError::InvalidGeometry { data: 0, parity: 2 })
+    ));
+    assert!(matches!(
+        ReedSolomon::try_new(200, 100),
+        Err(CodecError::InvalidGeometry {
+            data: 200,
+            parity: 100
+        })
+    ));
+    // The boundary itself is legal: 256 shard identities exist in GF(2^8).
+    assert!(ReedSolomon::try_new(128, 128).is_ok());
+}
+
+#[test]
+#[should_panic(expected = "need at least one parity shard")]
+fn panicking_constructor_still_guards_zero_parity() {
+    let _ = ReedSolomon::new(3, 0);
+}
+
+#[test]
+fn decode_from_all_parity() {
+    // (3, 4): more parity than data, so a block survives losing every data
+    // shard and can be rebuilt from parity alone.
+    let rs = ReedSolomon::new(3, 4);
+    let data = sample(3, 32);
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = rs.encode(&refs).unwrap();
+    let mut shards: Vec<Option<Vec<u8>>> = vec![None, None, None];
+    shards.extend(parity.into_iter().map(Some));
+    rs.reconstruct(&mut shards).unwrap();
+    for (i, d) in data.iter().enumerate() {
+        assert_eq!(shards[i].as_ref().unwrap(), d, "data shard {i}");
+    }
+}
+
+#[test]
+fn out_of_range_shard_index_rejected() {
+    let rs = ReedSolomon::new(2, 1);
+    let shards = vec![(0usize, vec![1u8; 8]), (3usize, vec![2u8; 8])];
+    assert_eq!(
+        rs.reconstruct_indexed(&shards),
+        Err(CodecError::ShardIndexOutOfRange { index: 3, total: 3 })
+    );
+}
+
+#[test]
+fn duplicate_shard_index_rejected() {
+    let rs = ReedSolomon::new(2, 1);
+    let shards = vec![(1usize, vec![1u8; 8]), (1usize, vec![2u8; 8])];
+    assert_eq!(
+        rs.reconstruct_indexed(&shards),
+        Err(CodecError::DuplicateShardIndex { index: 1 })
+    );
+}
+
+#[test]
+fn indexed_reconstruction_accepts_unordered_subsets() {
+    let rs = ReedSolomon::new(4, 2);
+    let data = sample(4, 16);
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = rs.encode(&refs).unwrap();
+    // Receive shards 5, 2, 0, 3 (wire order is arbitrary): exactly x = 4
+    // survivors, two of them out of position.
+    let wire = vec![
+        (5usize, parity[1].clone()),
+        (2usize, data[2].clone()),
+        (0usize, data[0].clone()),
+        (3usize, data[3].clone()),
+    ];
+    let full = rs.reconstruct_indexed(&wire).unwrap();
+    assert_eq!(full.len(), 6);
+    for (i, d) in data.iter().enumerate() {
+        assert_eq!(&full[i], d, "data shard {i}");
+    }
+    assert_eq!(&full[4], &parity[0]);
+    assert_eq!(&full[5], &parity[1]);
+}
+
+#[test]
+fn indexed_reconstruction_with_too_few_shards_errors() {
+    let rs = ReedSolomon::new(4, 2);
+    let shards = vec![(0usize, vec![0u8; 8]), (5usize, vec![0u8; 8])];
+    assert_eq!(
+        rs.reconstruct_indexed(&shards),
+        Err(CodecError::NotEnoughShards { have: 2, need: 4 })
+    );
+}

@@ -432,6 +432,11 @@ impl Simulator {
     /// Process events until simulated time exceeds `end` (which becomes the
     /// new `now`), the event queue drains, or all flows complete.
     pub fn run_until(&mut self, end: Time) {
+        // Wall-clock policy: `Instant::now` feeds only the engine-speed
+        // meters ([`Simulator::wall_seconds`] / [`Simulator::events_per_sec`],
+        // consumed by run manifests). It must never influence simulated
+        // state, which is driven exclusively by the virtual clock `self.now`
+        // — `uno-testkit`'s wallclock-determinism test enforces this.
         let wall_start = std::time::Instant::now();
         let mut all_done = false;
         while let Some(t) = self.events.peek_time() {
@@ -480,8 +485,17 @@ impl Simulator {
             Event::LinkDown(link) => {
                 let l = &mut self.topo.links[link.index()];
                 l.up = false;
+                let purged_bytes = l.queue.bytes();
                 let dropped = l.queue.clear();
                 l.lost_packets += dropped as u64;
+                if dropped > 0 && self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::QueueClear {
+                        t: self.now,
+                        link: link.0,
+                        pkts: dropped as u64,
+                        bytes: purged_bytes,
+                    });
+                }
             }
             Event::LinkUp(link) => {
                 let l = &mut self.topo.links[link.index()];
@@ -676,6 +690,12 @@ impl Simulator {
                             end: self.now,
                             class: slot.meta.class,
                         });
+                        if self.tracer.enabled() {
+                            self.tracer.emit(TraceEvent::FlowDone {
+                                t: self.now,
+                                flow: flow.0,
+                            });
+                        }
                     }
                 }
                 Action::Progress(bytes) => {

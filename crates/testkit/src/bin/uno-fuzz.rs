@@ -1,0 +1,171 @@
+//! `uno-fuzz` — fault-injection scenario fuzzer for the full Uno stack.
+//!
+//! Generates deterministic random scenarios (topology knobs, workloads,
+//! link-failure and loss schedules) from a seed range, runs each on the
+//! complete simulator with every protocol invariant armed, and shrinks any
+//! failure to a minimal reproducer under `results/`.
+//!
+//! ```text
+//! uno-fuzz --seed-range 0..200 --quick          # CI smoke
+//! uno-fuzz --seed 1337 --full                   # one big scenario
+//! uno-fuzz --replay results/repro_ab12cd.json   # rerun a reproducer
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use uno_testkit::{run_scenario, shrink, write_repro, Scenario};
+
+struct Args {
+    seeds: std::ops::Range<u64>,
+    quick: bool,
+    replay: Option<PathBuf>,
+    inject_block_bug: bool,
+    no_shrink: bool,
+    out: PathBuf,
+    verbose: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 0..50,
+        quick: true,
+        replay: None,
+        inject_block_bug: false,
+        no_shrink: false,
+        out: PathBuf::from("results"),
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed-range" => {
+                let spec = it.next().expect("--seed-range needs A..B");
+                let (a, b) = spec.split_once("..").expect("--seed-range format: A..B");
+                args.seeds = a.parse().expect("range start")..b.parse().expect("range end");
+            }
+            "--seed" => {
+                let s: u64 = it.next().and_then(|s| s.parse().ok()).expect("--seed N");
+                args.seeds = s..s + 1;
+            }
+            "--quick" => args.quick = true,
+            "--full" => args.quick = false,
+            "--replay" => args.replay = Some(PathBuf::from(it.next().expect("--replay FILE"))),
+            "--inject-block-bug" => args.inject_block_bug = true,
+            "--no-shrink" => args.no_shrink = true,
+            "--out" => args.out = PathBuf::from(it.next().expect("--out DIR")),
+            "--verbose" | "-v" => args.verbose = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: uno-fuzz [--seed-range A..B] [--seed N] \
+                     [--quick|--full] [--replay FILE] [--inject-block-bug] [--no-shrink] \
+                     [--out DIR] [--verbose]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Run one scenario, report, and (on failure) shrink + write a reproducer.
+/// Returns true when the scenario held every invariant.
+fn handle(sc: &Scenario, args: &Args) -> bool {
+    let out = run_scenario(sc);
+    if args.verbose || out.failed() {
+        println!(
+            "seed {}: {} ({} events, sim end {:.3} ms, {} violation(s))",
+            sc.seed,
+            if out.failed() { "FAIL" } else { "ok" },
+            out.events_seen,
+            out.sim_end as f64 / 1e6,
+            out.violations.len(),
+        );
+    }
+    if !out.failed() {
+        return true;
+    }
+    for v in out.violations.iter().take(5) {
+        println!("  {v}");
+    }
+    if out.violations.len() > 5 {
+        println!("  ... and {} more", out.violations.len() - 5);
+    }
+    let final_sc = if args.no_shrink {
+        sc.clone()
+    } else {
+        let r = shrink(sc, 200);
+        println!(
+            "  shrunk in {} steps / {} runs: {} flow(s), {} fault(s)",
+            r.steps,
+            r.runs,
+            r.scenario.flows.len(),
+            r.scenario.faults.len()
+        );
+        r.scenario
+    };
+    match write_repro(&final_sc, &args.out) {
+        Ok(path) => println!("  reproducer written to {}", path.display()),
+        Err(e) => eprintln!("  could not write reproducer: {e}"),
+    }
+    false
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if let Some(path) = &args.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("uno-fuzz: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let sc = match Scenario::from_json(&text) {
+            Ok(sc) => sc,
+            Err(e) => {
+                eprintln!("uno-fuzz: {} is not a scenario file: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        println!("replaying {}", path.display());
+        return if handle(&sc, &args) {
+            println!("replay: all invariants held");
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let total = args.seeds.end.saturating_sub(args.seeds.start);
+    println!(
+        "uno-fuzz: {} {} scenario(s), seeds {}..{}",
+        total,
+        if args.quick { "quick" } else { "full" },
+        args.seeds.start,
+        args.seeds.end
+    );
+    let mut failures = 0u64;
+    let mut events = 0u64;
+    for (i, seed) in args.seeds.clone().enumerate() {
+        let mut sc = Scenario::generate(seed, args.quick);
+        sc.inject_block_bug = args.inject_block_bug;
+        let out = run_scenario(&sc);
+        events += out.events_seen;
+        if out.failed() {
+            failures += 1;
+            handle(&sc, &args);
+        } else if args.verbose {
+            println!("seed {seed}: ok ({} events)", out.events_seen);
+        } else if (i + 1) % 25 == 0 {
+            println!("  ... {}/{} scenarios done", i + 1, total);
+        }
+    }
+    println!("uno-fuzz: {total} scenario(s), {failures} failure(s), {events} trace events checked");
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,63 @@
+//! Fluid-model throughput oracle.
+//!
+//! For a set of flows sharing one obvious bottleneck, steady-state fluid
+//! theory gives two facts any packet-level run must respect: aggregate
+//! goodput can never exceed the bottleneck line rate, and a sane congestion
+//! controller keeps utilisation above a (loose) efficiency floor. The
+//! helpers here run a bottlenecked workload on the real stack and report
+//! achieved utilisation so tests can assert both sides of the bound.
+
+use uno::{Experiment, ExperimentConfig, SchemeSpec};
+use uno_sim::SECONDS;
+use uno_workloads::FlowSpec;
+
+/// Outcome of one fluid-bound comparison run.
+#[derive(Clone, Copy, Debug)]
+pub struct FluidCheck {
+    /// Bytes delivered across all flows.
+    pub total_bytes: u64,
+    /// Time from first start (t = 0) to the last flow completion (ns).
+    pub makespan_ns: u64,
+    /// Line rate of the shared bottleneck link (bits/s).
+    pub bottleneck_bps: u64,
+    /// Achieved aggregate goodput over the bottleneck rate; the fluid model
+    /// bounds this by 1.0 (protocol headers and ACKs are not modelled as
+    /// goodput, so the packet-level number sits strictly below).
+    pub utilization: f64,
+    /// Whether every flow completed before the run horizon.
+    pub completed: bool,
+}
+
+/// Run `n` equal-size flows into a single destination host (an incast whose
+/// bottleneck is the destination's downlink) under `scheme`, and compare
+/// the achieved aggregate goodput against the fluid bound.
+///
+/// `inter` selects cross-datacenter senders (exercising the inter-DC CC
+/// class, EC, and the WAN path) versus same-DC senders.
+pub fn incast_check(scheme: SchemeSpec, n: u32, size: u64, inter: bool, seed: u64) -> FluidCheck {
+    let cfg = ExperimentConfig::quick(scheme, seed);
+    let bottleneck_bps = cfg.topo.link_bps;
+    let mut e = Experiment::new(cfg);
+    let src_dc = if inter { 1 } else { 0 };
+    for i in 0..n {
+        e.add_spec(&FlowSpec {
+            src_dc,
+            src_idx: 1 + i,
+            dst_dc: 0,
+            dst_idx: 0,
+            size,
+            start: 0,
+        });
+    }
+    let completed = e.sim.run_to_completion(20 * SECONDS);
+    let makespan_ns = e.sim.fcts.iter().map(|r| r.end).max().unwrap_or(0).max(1);
+    let total_bytes = n as u64 * size;
+    let ideal = bottleneck_bps as f64 / 8.0 * (makespan_ns as f64 / 1e9);
+    FluidCheck {
+        total_bytes,
+        makespan_ns,
+        bottleneck_bps,
+        utilization: total_bytes as f64 / ideal,
+        completed,
+    }
+}

@@ -1,0 +1,36 @@
+//! # uno-testkit — cross-stack correctness harness for the Uno reproduction
+//!
+//! Three pillars (see `TESTING.md` at the repo root for the full catalogue):
+//!
+//! 1. **Protocol invariants** ([`invariant`]): stack-wide safety and
+//!    liveness properties — queue byte conservation, capacity bounds, cwnd
+//!    bounds, counter monotonicity, NACK discipline, UnoRC completion
+//!    soundness, RTT sanity, recovery liveness — evaluated online from the
+//!    `uno-trace` event stream. Arming them is a tracer choice, so the
+//!    simulator's hot paths pay nothing when checking is off.
+//! 2. **Differential oracles** ([`naive_rs`], [`fluid`]): an independent
+//!    O(n·k) Reed–Solomon reference checked byte-for-byte against
+//!    `uno-erasure`, and a fluid-model throughput bound checked against
+//!    steady-state runs of every congestion-control scheme.
+//! 3. **Fault-injection fuzzing** ([`scenario`], [`shrink`], the
+//!    `uno-fuzz` binary): seed-derived random topology/workload/fault
+//!    scenarios run on the full stack with all invariants armed; failures
+//!    are greedily shrunk to minimal reproducers written to
+//!    `results/repro_<hash>.json` and replayable via committed regression
+//!    files.
+
+#![warn(missing_docs)]
+
+pub mod fluid;
+pub mod invariant;
+pub mod naive_rs;
+pub mod scenario;
+pub mod shrink;
+pub mod spec;
+
+pub use fluid::{incast_check, FluidCheck};
+pub use invariant::{ArmedChecker, CheckReport, InvariantChecker, InvariantSuite, Violation};
+pub use naive_rs::NaiveReedSolomon;
+pub use scenario::{run_scenario, scheme_by_index, Fault, FlowDesc, Outcome, Scenario};
+pub use shrink::{repro_hash, shrink, write_repro, ShrinkResult};
+pub use spec::{FlowNetInfo, NetSpec};

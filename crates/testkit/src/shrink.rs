@@ -1,0 +1,128 @@
+//! Greedy scenario shrinking and reproducer files.
+//!
+//! When a fuzzed scenario breaks an invariant, the raw case is usually
+//! noisy: extra flows, irrelevant faults, oversized messages. The shrinker
+//! repeatedly tries structural simplifications (drop a fault, drop a flow,
+//! halve a message, zero a start time) and keeps any change that still
+//! fails, converging on a minimal reproducer that is written to
+//! `results/repro_<hash>.json`.
+
+use std::path::{Path, PathBuf};
+
+use crate::scenario::{run_scenario, Scenario};
+
+/// Result of a shrink session.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimal still-failing scenario.
+    pub scenario: Scenario,
+    /// Scenario executions spent.
+    pub runs: usize,
+    /// Accepted simplification steps.
+    pub steps: usize,
+}
+
+/// Candidate one-step simplifications of `sc`, most aggressive first.
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for j in 0..sc.faults.len() {
+        let mut c = sc.clone();
+        c.faults.remove(j);
+        out.push(c);
+    }
+    if sc.flows.len() > 1 {
+        for i in 0..sc.flows.len() {
+            let mut c = sc.clone();
+            c.flows.remove(i);
+            out.push(c);
+        }
+    }
+    for i in 0..sc.flows.len() {
+        if sc.flows[i].size > 4096 {
+            let mut c = sc.clone();
+            c.flows[i].size = (sc.flows[i].size / 2).max(4096);
+            out.push(c);
+        }
+        if sc.flows[i].start > 0 {
+            let mut c = sc.clone();
+            c.flows[i].start = 0;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Greedily shrink a failing scenario, spending at most `budget` extra
+/// scenario executions. The input must fail; the output still fails.
+pub fn shrink(sc: &Scenario, budget: usize) -> ShrinkResult {
+    debug_assert!(run_scenario(sc).failed(), "shrink needs a failing input");
+    let mut cur = sc.clone();
+    let mut runs = 0usize;
+    let mut steps = 0usize;
+    'outer: loop {
+        for cand in candidates(&cur) {
+            if runs >= budget {
+                break 'outer;
+            }
+            runs += 1;
+            if run_scenario(&cand).failed() {
+                cur = cand;
+                steps += 1;
+                continue 'outer; // restart from the simplified scenario
+            }
+        }
+        break; // no candidate kept the failure: minimal
+    }
+    ShrinkResult {
+        scenario: cur,
+        runs,
+        steps,
+    }
+}
+
+/// FNV-1a hash of the scenario's canonical JSON, as 16 hex digits. Stable
+/// across runs and platforms, so repro filenames are deterministic.
+pub fn repro_hash(sc: &Scenario) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in sc.to_json().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Write the scenario to `<dir>/repro_<hash>.json` and return the path.
+pub fn write_repro(sc: &Scenario, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("repro_{}.json", repro_hash(sc)));
+    std::fs::write(&path, sc.to_json_pretty() + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        let a = Scenario::generate(5, true);
+        assert_eq!(repro_hash(&a), repro_hash(&a.clone()));
+        let mut b = a.clone();
+        b.seed += 1;
+        assert_ne!(repro_hash(&a), repro_hash(&b));
+    }
+
+    #[test]
+    fn candidates_only_simplify() {
+        let sc = Scenario::generate(9, true);
+        for c in candidates(&sc) {
+            let smaller = c.faults.len() < sc.faults.len()
+                || c.flows.len() < sc.flows.len()
+                || c.flows
+                    .iter()
+                    .zip(&sc.flows)
+                    .any(|(a, b)| a.size < b.size || a.start < b.start);
+            assert!(smaller, "candidate did not simplify: {c:?}");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Static description of the network under test, against which the
+//! invariant checkers evaluate the trace stream.
+//!
+//! A [`NetSpec`] is built once per run from the experiment's topology and
+//! flow table; it carries exactly the facts the checkers need (queue
+//! capacities, per-flow message geometry, RTT floors, cwnd ceilings) and
+//! nothing else, so checkers stay independent of the simulator types.
+
+use uno_trace::Time;
+
+/// Everything an invariant checker may assume about one flow.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowNetInfo {
+    /// Flow id as it appears in trace events.
+    pub id: u32,
+    /// Message size in bytes.
+    pub size: u64,
+    /// Transport MTU in bytes.
+    pub mtu: u32,
+    /// Erasure-coding geometry `(x, y)` when the flow runs UnoRC with EC.
+    pub ec: Option<(u32, u32)>,
+    /// Base (propagation) RTT of the flow's path: a hard floor for every
+    /// measured RTT sample.
+    pub rtt_floor: Time,
+    /// Upper bound on any congestion window the CC may announce, in bytes.
+    /// Scheme-aware: window-clamped controllers get a tight `2 x BDP`-class
+    /// bound, BBR (no hard clamp) a generous multiple.
+    pub cwnd_max: f64,
+}
+
+impl FlowNetInfo {
+    /// Number of real data packets in the message.
+    pub fn data_pkts(&self) -> u64 {
+        self.size.div_ceil(self.mtu as u64).max(1)
+    }
+
+    /// Number of EC blocks (0 when the flow has no EC).
+    pub fn nblocks(&self) -> u64 {
+        match self.ec {
+            Some((x, _)) => self.data_pkts().div_ceil(x as u64),
+            None => 0,
+        }
+    }
+
+    /// Wire sequence-number width of one EC block (`x + y`).
+    pub fn block_n(&self) -> u64 {
+        match self.ec {
+            Some((x, y)) => (x + y) as u64,
+            None => 0,
+        }
+    }
+
+    /// One past the largest wire sequence number the flow may use.
+    pub fn total_wire(&self) -> u64 {
+        match self.ec {
+            Some(_) => self.nblocks() * self.block_n(),
+            None => self.data_pkts(),
+        }
+    }
+
+    /// Number of real data packets in EC block `b` (the final block may be
+    /// partial).
+    pub fn block_data_count(&self, b: u64) -> u64 {
+        let (x, _) = self.ec.expect("EC flows only");
+        (self.data_pkts() - b * x as u64).min(x as u64)
+    }
+
+    /// EC block a wire sequence number belongs to.
+    pub fn block_of(&self, seq: u64) -> u64 {
+        seq / self.block_n()
+    }
+
+    /// Whether `seq` addresses a slot the transport may actually send:
+    /// in-range, and not a padding data slot of a partial final block.
+    pub fn valid_seq(&self, seq: u64) -> bool {
+        if seq >= self.total_wire() {
+            return false;
+        }
+        match self.ec {
+            None => true,
+            Some((x, _)) => {
+                let b = seq / self.block_n();
+                let i = seq % self.block_n();
+                // Parity slots always exist; data slots only up to the
+                // block's real data count.
+                i >= x as u64 || i < self.block_data_count(b)
+            }
+        }
+    }
+}
+
+/// Static facts about the run: link capacities and the flow table.
+#[derive(Clone, Debug)]
+pub struct NetSpec {
+    /// Physical egress-queue capacity of each link, indexed by link id.
+    pub queue_capacity: Vec<u64>,
+    /// One entry per flow, indexed by flow id.
+    pub flows: Vec<FlowNetInfo>,
+    /// How long a pending timeout/NACK may remain unanswered before the
+    /// liveness checker flags a stalled recovery.
+    pub liveness_grace: Time,
+    /// Per-block NACK budget the receiver must respect (UnoRC gives up and
+    /// falls back to sender RTOs beyond this).
+    pub max_nacks_per_block: u64,
+}
+
+impl NetSpec {
+    /// Look up a flow by trace id.
+    pub fn flow(&self, id: u32) -> Option<&FlowNetInfo> {
+        self.flows.iter().find(|f| f.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ec_flow(size: u64) -> FlowNetInfo {
+        FlowNetInfo {
+            id: 0,
+            size,
+            mtu: 4096,
+            ec: Some((8, 2)),
+            rtt_floor: 2_000_000,
+            cwnd_max: 1e9,
+        }
+    }
+
+    #[test]
+    fn geometry_matches_transport_layout() {
+        // 20 data packets -> 3 blocks of 8/8/4 data, 10 wire slots each.
+        let f = ec_flow(20 * 4096);
+        assert_eq!(f.data_pkts(), 20);
+        assert_eq!(f.nblocks(), 3);
+        assert_eq!(f.block_n(), 10);
+        assert_eq!(f.total_wire(), 30);
+        assert_eq!(f.block_data_count(0), 8);
+        assert_eq!(f.block_data_count(2), 4);
+        // Final block: data slots 20..24 valid, 24..28 padding, parity valid.
+        assert!(f.valid_seq(20 + 3));
+        assert!(!f.valid_seq(20 + 4));
+        assert!(f.valid_seq(2 * 10 + 8)); // parity slot
+        assert!(!f.valid_seq(30));
+    }
+
+    #[test]
+    fn non_ec_flow_is_flat() {
+        let f = FlowNetInfo {
+            ec: None,
+            ..ec_flow(10 * 4096 + 1)
+        };
+        assert_eq!(f.data_pkts(), 11);
+        assert_eq!(f.nblocks(), 0);
+        assert_eq!(f.total_wire(), 11);
+        assert!(f.valid_seq(10));
+        assert!(!f.valid_seq(11));
+    }
+}

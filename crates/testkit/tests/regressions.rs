@@ -1,0 +1,33 @@
+//! Replay the committed regression corpus. Every file under
+//! `crates/testkit/regressions/` is a scenario JSON (the same format
+//! `uno-fuzz` writes for shrunken reproducers); each must run clean with
+//! the full invariant suite armed. When a fuzz failure is fixed, its
+//! reproducer moves here so the fix can never silently regress.
+
+use uno_testkit::{run_scenario, Scenario};
+
+#[test]
+fn regression_corpus_is_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("regressions");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("regressions/ directory must exist")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "regression corpus is empty");
+
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let sc =
+            Scenario::from_json(&text).unwrap_or_else(|e| panic!("{name}: failed to parse: {e}"));
+        let out = run_scenario(&sc);
+        assert!(
+            !out.failed(),
+            "{name}: {} violation(s), first: {:?}",
+            out.violations.len(),
+            out.violations.first()
+        );
+    }
+}

@@ -21,6 +21,8 @@ pub enum EventClass {
     Rc,
     /// Load balancing: path reroutes.
     Lb,
+    /// Flow lifecycle: completion.
+    Flow,
 }
 
 impl EventClass {
@@ -32,6 +34,7 @@ impl EventClass {
             EventClass::Cc => "cc",
             EventClass::Rc => "rc",
             EventClass::Lb => "lb",
+            EventClass::Flow => "flow",
         }
     }
 
@@ -43,15 +46,17 @@ impl EventClass {
             "cc" => Ok(EventClass::Cc),
             "rc" => Ok(EventClass::Rc),
             "lb" => Ok(EventClass::Lb),
+            "flow" => Ok(EventClass::Flow),
             other => Err(format!(
-                "unknown event class `{other}` (expected queue/link/cc/rc/lb)"
+                "unknown event class `{other}` (expected queue/link/cc/rc/lb/flow)"
             )),
         }
     }
 }
 
 /// One structured trace record. Every variant carries the simulation time
-/// `t` (ns) and the flow id of the packet or flow it concerns; queue-side
+/// `t` (ns); most carry the flow id of the packet or flow they concern
+/// ([`TraceEvent::QueueClear`] is the flow-less exception), and queue-side
 /// variants also carry the link id.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TraceEvent {
@@ -133,6 +138,9 @@ pub enum TraceEvent {
         ecn: bool,
         /// Measured RTT of the acked packet (ns).
         rtt: Time,
+        /// Receiver-side "block complete" echo carried by the ACK (always
+        /// false for flows without erasure coding).
+        done: bool,
     },
     /// The receiver requested a repair (sent a NACK).
     Nack {
@@ -190,6 +198,25 @@ pub enum TraceEvent {
         /// Window after the collapse, in bytes.
         cwnd: f64,
     },
+    /// The flow delivered its last byte and left the simulator.
+    FlowDone {
+        /// Simulation time (ns).
+        t: Time,
+        /// Flow.
+        flow: u32,
+    },
+    /// A link failure purged its egress queue (every queued packet of every
+    /// flow was discarded at once). Carries no flow id.
+    QueueClear {
+        /// Simulation time (ns).
+        t: Time,
+        /// Failed link.
+        link: u32,
+        /// Packets discarded.
+        pkts: u64,
+        /// Bytes discarded.
+        bytes: u64,
+    },
 }
 
 /// Float formatting identical to the JSON printer's: integral finite values
@@ -217,12 +244,14 @@ impl TraceEvent {
             | TraceEvent::Reroute { t, .. }
             | TraceEvent::CwndChange { t, .. }
             | TraceEvent::EpochBoundary { t, .. }
-            | TraceEvent::QuickAdapt { t, .. } => t,
+            | TraceEvent::QuickAdapt { t, .. }
+            | TraceEvent::FlowDone { t, .. }
+            | TraceEvent::QueueClear { t, .. } => t,
         }
     }
 
-    /// Flow the event concerns.
-    pub fn flow(&self) -> u32 {
+    /// Flow the event concerns ([`TraceEvent::QueueClear`] concerns none).
+    pub fn flow(&self) -> Option<u32> {
         match *self {
             TraceEvent::Enqueue { flow, .. }
             | TraceEvent::Dequeue { flow, .. }
@@ -235,7 +264,9 @@ impl TraceEvent {
             | TraceEvent::Reroute { flow, .. }
             | TraceEvent::CwndChange { flow, .. }
             | TraceEvent::EpochBoundary { flow, .. }
-            | TraceEvent::QuickAdapt { flow, .. } => flow,
+            | TraceEvent::QuickAdapt { flow, .. }
+            | TraceEvent::FlowDone { flow, .. } => Some(flow),
+            TraceEvent::QueueClear { .. } => None,
         }
     }
 
@@ -246,7 +277,8 @@ impl TraceEvent {
             | TraceEvent::Dequeue { link, .. }
             | TraceEvent::Drop { link, .. }
             | TraceEvent::Mark { link, .. }
-            | TraceEvent::LinkLoss { link, .. } => Some(link),
+            | TraceEvent::LinkLoss { link, .. }
+            | TraceEvent::QueueClear { link, .. } => Some(link),
             _ => None,
         }
     }
@@ -257,7 +289,8 @@ impl TraceEvent {
             TraceEvent::Enqueue { .. }
             | TraceEvent::Dequeue { .. }
             | TraceEvent::Drop { .. }
-            | TraceEvent::Mark { .. } => EventClass::Queue,
+            | TraceEvent::Mark { .. }
+            | TraceEvent::QueueClear { .. } => EventClass::Queue,
             TraceEvent::LinkLoss { .. } => EventClass::Link,
             TraceEvent::Ack { .. }
             | TraceEvent::CwndChange { .. }
@@ -265,6 +298,7 @@ impl TraceEvent {
             | TraceEvent::QuickAdapt { .. } => EventClass::Cc,
             TraceEvent::Nack { .. } | TraceEvent::Timeout { .. } => EventClass::Rc,
             TraceEvent::Reroute { .. } => EventClass::Lb,
+            TraceEvent::FlowDone { .. } => EventClass::Flow,
         }
     }
 
@@ -283,6 +317,8 @@ impl TraceEvent {
             TraceEvent::CwndChange { .. } => "cwnd",
             TraceEvent::EpochBoundary { .. } => "epoch",
             TraceEvent::QuickAdapt { .. } => "qa",
+            TraceEvent::FlowDone { .. } => "flow_done",
+            TraceEvent::QueueClear { .. } => "queue_clear",
         }
     }
 
@@ -345,11 +381,12 @@ impl TraceEvent {
                 bytes,
                 ecn,
                 rtt,
+                done,
                 ..
             } => {
                 let _ = write!(
                     out,
-                    r#","flow":{flow},"seq":{seq},"bytes":{bytes},"ecn":{ecn},"rtt":{rtt}"#
+                    r#","flow":{flow},"seq":{seq},"bytes":{bytes},"ecn":{ecn},"rtt":{rtt},"done":{done}"#
                 );
             }
             TraceEvent::Nack { flow, block, .. } => {
@@ -372,6 +409,14 @@ impl TraceEvent {
                 let _ = write!(out, r#","flow":{flow},"ecn_frac":"#);
                 write_f64(out, ecn_frac);
                 let _ = write!(out, r#","md":{md}"#);
+            }
+            TraceEvent::FlowDone { flow, .. } => {
+                let _ = write!(out, r#","flow":{flow}"#);
+            }
+            TraceEvent::QueueClear {
+                link, pkts, bytes, ..
+            } => {
+                let _ = write!(out, r#","link":{link},"pkts":{pkts},"bytes":{bytes}"#);
             }
         }
         out.push('}');
@@ -409,17 +454,19 @@ impl TraceEvent {
                 _ => Err(format!("missing bool field `{key}`")),
             }
         }
+        fn flw(v: &Value) -> Result<u32, String> {
+            num(v, "flow").map(|n| n as u32)
+        }
         let t = num(v, "t")?;
         let kind = v
             .get("ev")
             .and_then(Value::as_str)
             .ok_or_else(|| "missing `ev` tag".to_string())?;
-        let flow = num(v, "flow")? as u32;
         Ok(match kind {
             "enqueue" => TraceEvent::Enqueue {
                 t,
                 link: num(v, "link")? as u32,
-                flow,
+                flow: flw(v)?,
                 seq: num(v, "seq")?,
                 size: num(v, "size")? as u32,
                 qlen: num(v, "qlen")?,
@@ -427,67 +474,75 @@ impl TraceEvent {
             "dequeue" => TraceEvent::Dequeue {
                 t,
                 link: num(v, "link")? as u32,
-                flow,
+                flow: flw(v)?,
                 seq: num(v, "seq")?,
             },
             "drop" => TraceEvent::Drop {
                 t,
                 link: num(v, "link")? as u32,
-                flow,
+                flow: flw(v)?,
                 seq: num(v, "seq")?,
                 qlen: num(v, "qlen")?,
             },
             "mark" => TraceEvent::Mark {
                 t,
                 link: num(v, "link")? as u32,
-                flow,
+                flow: flw(v)?,
                 seq: num(v, "seq")?,
                 phantom: boolean(v, "phantom")?,
             },
             "link_loss" => TraceEvent::LinkLoss {
                 t,
                 link: num(v, "link")? as u32,
-                flow,
+                flow: flw(v)?,
                 seq: num(v, "seq")?,
             },
             "ack" => TraceEvent::Ack {
                 t,
-                flow,
+                flow: flw(v)?,
                 seq: num(v, "seq")?,
                 bytes: num(v, "bytes")?,
                 ecn: boolean(v, "ecn")?,
                 rtt: num(v, "rtt")?,
+                done: boolean(v, "done")?,
             },
             "nack" => TraceEvent::Nack {
                 t,
-                flow,
+                flow: flw(v)?,
                 block: num(v, "block")?,
             },
             "timeout" => TraceEvent::Timeout {
                 t,
-                flow,
+                flow: flw(v)?,
                 rtos: num(v, "rtos")?,
             },
             "reroute" => TraceEvent::Reroute {
                 t,
-                flow,
+                flow: flw(v)?,
                 reroutes: num(v, "reroutes")?,
             },
             "cwnd" => TraceEvent::CwndChange {
                 t,
-                flow,
+                flow: flw(v)?,
                 cwnd: float(v, "cwnd")?,
             },
             "epoch" => TraceEvent::EpochBoundary {
                 t,
-                flow,
+                flow: flw(v)?,
                 ecn_frac: float(v, "ecn_frac")?,
                 md: boolean(v, "md")?,
             },
             "qa" => TraceEvent::QuickAdapt {
                 t,
-                flow,
+                flow: flw(v)?,
                 cwnd: float(v, "cwnd")?,
+            },
+            "flow_done" => TraceEvent::FlowDone { t, flow: flw(v)? },
+            "queue_clear" => TraceEvent::QueueClear {
+                t,
+                link: num(v, "link")? as u32,
+                pkts: num(v, "pkts")?,
+                bytes: num(v, "bytes")?,
             },
             other => return Err(format!("unknown event kind `{other}`")),
         })
@@ -541,6 +596,7 @@ mod tests {
                 bytes: 4096,
                 ecn: false,
                 rtt: 14_000,
+                done: false,
             },
             TraceEvent::Nack {
                 t: 16,
@@ -573,6 +629,13 @@ mod tests {
                 flow: 0,
                 cwnd: 8192.0,
             },
+            TraceEvent::FlowDone { t: 22, flow: 0 },
+            TraceEvent::QueueClear {
+                t: 23,
+                link: 5,
+                pkts: 12,
+                bytes: 49_152,
+            },
         ]
     }
 
@@ -589,7 +652,9 @@ mod tests {
     #[test]
     fn classes_are_stable() {
         use EventClass::*;
-        let want = [Queue, Queue, Queue, Queue, Link, Cc, Rc, Rc, Lb, Cc, Cc, Cc];
+        let want = [
+            Queue, Queue, Queue, Queue, Link, Cc, Rc, Rc, Lb, Cc, Cc, Cc, Flow, Queue,
+        ];
         for (ev, w) in samples().iter().zip(want) {
             assert_eq!(ev.class(), w, "{ev:?}");
         }
@@ -603,6 +668,7 @@ mod tests {
             EventClass::Cc,
             EventClass::Rc,
             EventClass::Lb,
+            EventClass::Flow,
         ] {
             assert_eq!(EventClass::parse(c.name()).unwrap(), c);
         }

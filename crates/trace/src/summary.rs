@@ -37,6 +37,8 @@ pub struct FlowSummary {
     pub quick_adapts: u64,
     /// Epoch boundaries that applied a multiplicative decrease.
     pub md_epochs: u64,
+    /// Whether a flow-done event was observed.
+    pub completed: bool,
 }
 
 /// Per-link (egress queue) view of a trace.
@@ -56,6 +58,8 @@ pub struct QueueSummary {
     pub phantom_marks: u64,
     /// Packets lost on the link itself.
     pub losses: u64,
+    /// Packets purged from the queue by link failures.
+    pub cleared: u64,
     /// High-water mark of physical occupancy seen at enqueue (bytes).
     pub max_qlen: u64,
 }
@@ -79,13 +83,6 @@ impl TraceSummary {
         let mut n = 0u64;
         for ev in events {
             n += 1;
-            let f = flows.entry(ev.flow()).or_insert_with(|| FlowSummary {
-                flow: ev.flow(),
-                first_t: ev.t(),
-                ..FlowSummary::default()
-            });
-            f.first_t = f.first_t.min(ev.t());
-            f.last_t = f.last_t.max(ev.t());
             if let Some(link) = ev.link() {
                 let q = queues.entry(link).or_insert_with(|| QueueSummary {
                     link,
@@ -108,9 +105,20 @@ impl TraceSummary {
                         }
                     }
                     TraceEvent::LinkLoss { .. } => q.losses += 1,
+                    TraceEvent::QueueClear { pkts, .. } => q.cleared += pkts,
                     _ => {}
                 }
             }
+            let Some(flow) = ev.flow() else {
+                continue;
+            };
+            let f = flows.entry(flow).or_insert_with(|| FlowSummary {
+                flow,
+                first_t: ev.t(),
+                ..FlowSummary::default()
+            });
+            f.first_t = f.first_t.min(ev.t());
+            f.last_t = f.last_t.max(ev.t());
             match ev {
                 TraceEvent::Ack { bytes, ecn, .. } => {
                     f.acks += 1;
@@ -130,6 +138,7 @@ impl TraceSummary {
                 TraceEvent::EpochBoundary { md, .. } if md => {
                     f.md_epochs += 1;
                 }
+                TraceEvent::FlowDone { .. } => f.completed = true,
                 _ => {}
             }
         }
@@ -259,6 +268,7 @@ mod tests {
                 bytes: 8_000,
                 ecn: true,
                 rtt: 14_000,
+                done: false,
             },
             TraceEvent::CwndChange {
                 t: 8_000,

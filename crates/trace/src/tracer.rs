@@ -70,8 +70,12 @@ impl TraceConfig {
             }
         }
         if let Some(flows) = &self.flows {
-            if !flows.contains(&ev.flow()) {
-                return false;
+            // Events that carry no flow id (e.g. queue clears) are unaffected
+            // by this dimension, mirroring the link dimension below.
+            if let Some(flow) = ev.flow() {
+                if !flows.contains(&flow) {
+                    return false;
+                }
             }
         }
         if let Some(links) = &self.links {
@@ -103,6 +107,8 @@ enum Sink {
     },
     /// Streaming JSON-lines writer.
     Jsonl { out: Box<dyn Write + Send> },
+    /// Live in-process consumer (invariant checkers, custom aggregators).
+    Callback(Box<dyn FnMut(&TraceEvent) + Send>),
 }
 
 /// Event sink handed to the simulator. The disabled tracer costs one branch
@@ -165,6 +171,12 @@ impl Tracer {
         Tracer::with_sink(Some(Sink::Jsonl { out }), config)
     }
 
+    /// Hand events passing `config` to an in-process callback as they occur.
+    /// This is how `uno-testkit` arms live invariant checking on a run.
+    pub fn callback(f: Box<dyn FnMut(&TraceEvent) + Send>, config: TraceConfig) -> Self {
+        Tracer::with_sink(Some(Sink::Callback(f)), config)
+    }
+
     /// True when a sink is attached. Instrumentation sites branch on this
     /// before building an event, so the disabled path does no work.
     #[inline]
@@ -204,6 +216,7 @@ impl Tracer {
                     }
                 }
             }
+            Sink::Callback(f) => f(&ev),
         }
     }
 
@@ -256,6 +269,7 @@ mod tests {
             bytes: 4096,
             ecn: false,
             rtt: 14_000,
+            done: false,
         }
     }
 
@@ -295,7 +309,7 @@ mod tests {
         for i in 0..5 {
             t.emit(enq(i, 0));
         }
-        let kept: Vec<u32> = t.ring_events().iter().map(|e| e.flow()).collect();
+        let kept: Vec<u32> = t.ring_events().iter().filter_map(|e| e.flow()).collect();
         assert_eq!(kept, vec![2, 3, 4]);
         assert_eq!(t.emitted(), 5);
     }
@@ -307,6 +321,34 @@ mod tests {
         t.emit(enq(0, 0));
         assert_eq!(t.emitted(), 0);
         assert!(t.ring_events().is_empty());
+    }
+
+    #[test]
+    fn flowless_events_pass_flow_filter() {
+        let cfg = TraceConfig::parse("flows=1").unwrap();
+        assert!(cfg.accepts(&TraceEvent::QueueClear {
+            t: 0,
+            link: 9,
+            pkts: 1,
+            bytes: 4096,
+        }));
+    }
+
+    #[test]
+    fn callback_sink_sees_accepted_events() {
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        let mut t = Tracer::callback(
+            Box::new(move |ev| s2.lock().unwrap().push(*ev)),
+            TraceConfig::parse("flows=7").unwrap(),
+        );
+        assert!(t.enabled());
+        t.emit(enq(7, 1));
+        t.emit(enq(8, 1)); // filtered out
+        t.emit(ack(7));
+        assert_eq!(t.emitted(), 2);
+        assert_eq!(*seen.lock().unwrap(), vec![enq(7, 1), ack(7)]);
     }
 
     #[test]

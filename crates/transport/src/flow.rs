@@ -33,6 +33,16 @@ const TK_BLOCK: u64 = 3;
 /// Maximum NACK retries per block before relying on the sender RTO.
 const MAX_NACKS_PER_BLOCK: u8 = 8;
 
+/// Test-only fault-injection switches. `uno-testkit` plants these bugs to
+/// prove its invariant checkers catch them; production configs leave every
+/// switch off (the [`Default`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Declare an EC block complete one ACK early (classic off-by-one in the
+    /// sender's block accounting), violating completion soundness.
+    pub block_accounting_off_by_one: bool,
+}
+
 /// Static configuration of a [`MessageFlow`].
 #[derive(Clone, Debug)]
 pub struct FlowConfig {
@@ -60,6 +70,8 @@ pub struct FlowConfig {
     /// Receiver block timer (paper: estimated max queuing + transmission
     /// delay); only used with EC.
     pub block_timeout: Time,
+    /// Deliberate, test-only protocol bugs (all off by default).
+    pub faults: FaultInjection,
 }
 
 impl FlowConfig {
@@ -77,6 +89,7 @@ impl FlowConfig {
             lb: LbMode::Ecmp,
             dup_thresh: 16,
             block_timeout: base_rtt,
+            faults: FaultInjection::default(),
         }
     }
 }
@@ -533,6 +546,17 @@ impl MessageFlow {
         if s.acked {
             // Duplicate (e.g. spurious retransmission): no byte accounting,
             // but a piggybacked block-completion signal still counts.
+            if ctx.tracing() {
+                ctx.trace(TraceEvent::Ack {
+                    t: ctx.now,
+                    flow: ctx.flow.0,
+                    seq,
+                    bytes: 0,
+                    ecn: pkt.ecn,
+                    rtt: rtt_sample,
+                    done: pkt.block_complete,
+                });
+            }
             if self.cfg.ec.is_some() && pkt.block_complete {
                 self.finish_block(pkt.block as u64);
                 if self.blocks_done == self.nblocks {
@@ -579,6 +603,7 @@ impl MessageFlow {
                 bytes: pkt.acked_size as u64,
                 ecn: pkt.ecn,
                 rtt: rtt_sample,
+                done: pkt.block_complete,
             });
             self.trace_cc_deltas(before, ctx);
         }
@@ -588,9 +613,10 @@ impl MessageFlow {
         if self.cfg.ec.is_some() {
             let b = pkt.block as u64;
             let needed = self.block_data_count(b) as u16;
+            let done_at = self.block_done_thresh(b);
             if self.block_acked[b as usize] < needed {
                 self.block_acked[b as usize] += 1;
-                if self.block_acked[b as usize] == needed {
+                if self.block_acked[b as usize] == done_at {
                     self.blocks_done += 1;
                 }
             }
@@ -662,13 +688,29 @@ impl MessageFlow {
         }
     }
 
+    /// How many per-packet ACKs the sender counts before declaring a block
+    /// done. Equals the block's data-packet count unless the test-only
+    /// off-by-one fault is armed.
+    fn block_done_thresh(&self, b: u64) -> u16 {
+        let needed = self.block_data_count(b) as u16;
+        if self.cfg.faults.block_accounting_off_by_one {
+            needed.saturating_sub(1).max(1)
+        } else {
+            needed
+        }
+    }
+
     /// Mark EC block `b` fully settled at the sender (receiver decoded it):
     /// drop its packets from the in-flight/retransmission pipeline.
     fn finish_block(&mut self, b: u64) {
         let needed = self.block_data_count(b) as u16;
+        // Count the block at most once, even when the off-by-one fault made
+        // the ACK path count it early at `needed - 1`.
+        if self.block_acked[b as usize] < self.block_done_thresh(b) {
+            self.blocks_done += 1;
+        }
         if self.block_acked[b as usize] < needed {
             self.block_acked[b as usize] = needed;
-            self.blocks_done += 1;
         }
         for seq in self.block_seqs(b) {
             let s = &mut self.st[seq as usize];
