@@ -5,15 +5,99 @@
 //! mean FCT; the distribution over seeds is reported as violin statistics
 //! (the paper re-runs 100 times because a single run depends heavily on
 //! the initial path selection).
+//!
+//! `--fault-variant hard|gray|asymmetric|flap` selects the failure mode:
+//! `hard` (default) is the paper's clean link-down; the others are gray
+//! variants — silent probabilistic loss, a one-direction (ACK-path)
+//! blackhole, and Markov up/down flapping — run with per-flow graceful
+//! degradation enabled so every flow reaches a definite outcome, which the
+//! results table reports alongside the FCT distribution.
 
-use uno::metrics::ViolinSummary;
-use uno::sim::{MILLIS, SECONDS};
-use uno::{Experiment, ExperimentConfig};
+use uno::metrics::{OutcomeCounts, ViolinSummary};
+use uno::sim::{FaultEntry, FaultKind, FaultSpec, FaultTarget, MILLIS, SECONDS};
+use uno::{DegradationConfig, Experiment, ExperimentConfig};
 use uno_bench::{run_seeds_parallel, HarnessArgs};
 use uno_workloads::FlowSpec;
 
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FaultVariant {
+    /// Clean link-down of one forward border link (the paper's Fig. 13A).
+    Hard,
+    /// Gray failure: the link stays up but silently drops 5% of packets.
+    Gray,
+    /// Asymmetric: one *reverse* border link blackholes — data crosses,
+    /// ACKs on that path die.
+    Asymmetric,
+    /// Markov up/down flapping of one forward border link.
+    Flap,
+}
+
+impl FaultVariant {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "hard" => Some(FaultVariant::Hard),
+            "gray" => Some(FaultVariant::Gray),
+            "asymmetric" => Some(FaultVariant::Asymmetric),
+            "flap" => Some(FaultVariant::Flap),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            FaultVariant::Hard => "one failed border link",
+            FaultVariant::Gray => "gray loss (5%) on one border link",
+            FaultVariant::Asymmetric => "asymmetric reverse-path blackhole",
+            FaultVariant::Flap => "flapping border link (2 ms MTBF/MTTR)",
+        }
+    }
+
+    /// Fault-plane entry for this variant, against the seed-chosen victim.
+    fn fault_entry(self, idx: usize) -> Option<FaultEntry> {
+        let at = MILLIS / 2;
+        match self {
+            FaultVariant::Hard => None, // legacy schedule_link_down path
+            FaultVariant::Gray => Some(FaultEntry {
+                target: FaultTarget::BorderForward { idx },
+                kind: FaultKind::GrayLoss { p: 0.05 },
+                at,
+                until: None,
+            }),
+            FaultVariant::Asymmetric => Some(FaultEntry {
+                target: FaultTarget::BorderReverse { idx },
+                kind: FaultKind::Down,
+                at,
+                until: None,
+            }),
+            FaultVariant::Flap => Some(FaultEntry {
+                target: FaultTarget::BorderForward { idx },
+                kind: FaultKind::Flapping {
+                    mtbf: 2 * MILLIS,
+                    mttr: 2 * MILLIS,
+                },
+                at,
+                until: None,
+            }),
+        }
+    }
+}
+
 fn main() {
-    let args = HarnessArgs::parse();
+    let (args, extra) = HarnessArgs::parse_with_extra();
+    let mut variant = FaultVariant::Hard;
+    let mut it = extra.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fault-variant" => {
+                let v = it
+                    .next()
+                    .expect("--fault-variant needs hard|gray|asymmetric|flap");
+                variant = FaultVariant::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown fault variant `{v}`"));
+            }
+            other => panic!("unknown flag {other} (fig13a adds --fault-variant <kind>)"),
+        }
+    }
     let topo = args.topo();
     let runs: u64 = if args.full { 100 } else { 20 };
     let size = 5u64 << 20;
@@ -21,16 +105,24 @@ fn main() {
     let n_flows = 2 * topo.border_links as u32;
     let hosts = topo.hosts_per_dc() as u32;
 
-    println!("Figure 13A: one failed border link, {n_flows} x 5 MiB inter-DC flows, {runs} runs");
+    println!(
+        "Figure 13A: {}, {n_flows} x 5 MiB inter-DC flows, {runs} runs",
+        variant.label()
+    );
     println!("{:>9} | FCT across runs (ms)", "scheme");
     println!("----------+--------------------------------------------");
 
     for scheme in uno::SchemeSpec::fig13_matrix() {
         let name = scheme.name;
         let seeds: Vec<u64> = (0..runs).map(|i| args.seed + i).collect();
-        let means: Vec<f64> = run_seeds_parallel(&seeds, |seed| {
+        let results: Vec<(f64, OutcomeCounts)> = run_seeds_parallel(&seeds, |seed| {
             let mut cfg = ExperimentConfig::quick(scheme.clone(), seed);
             cfg.topo = topo.clone();
+            if variant != FaultVariant::Hard {
+                // Gray variants can permanently starve a flow; degrade it
+                // to a definite outcome instead of censoring at the horizon.
+                cfg.degradation = Some(DegradationConfig::default());
+            }
             let mut exp = Experiment::new(cfg);
             for i in 0..n_flows {
                 exp.add_spec(&FlowSpec {
@@ -42,22 +134,47 @@ fn main() {
                     start: 0,
                 });
             }
-            // Fail a seed-chosen border link shortly after start.
-            let victim =
-                exp.sim.topo.border_forward[(seed as usize) % exp.sim.topo.border_forward.len()];
-            exp.sim.schedule_link_down(victim, MILLIS / 2);
+            // The victim border link is seed-chosen, mirroring the paper's
+            // sensitivity to initial path selection.
+            let idx = (seed as usize) % exp.sim.topo.border_forward.len();
+            match variant.fault_entry(idx) {
+                Some(entry) => exp
+                    .sim
+                    .install_faults(&FaultSpec {
+                        faults: vec![entry],
+                    })
+                    .expect("valid fault spec"),
+                None => {
+                    let victim = exp.sim.topo.border_forward[idx];
+                    exp.sim.schedule_link_down(victim, MILLIS / 2);
+                }
+            }
             let r = exp.run(30 * SECONDS);
             uno_bench::record_manifest(r.manifest.clone());
             let fcts: Vec<f64> = r.fcts.iter().map(|f| f.fct() as f64 / 1e6).collect();
-            if r.all_completed {
+            let outcomes = OutcomeCounts::tally(&r.fcts, &r.failures, &r.censored);
+            let mean = if r.all_completed {
                 uno::metrics::mean(&fcts)
             } else {
                 f64::NAN
-            }
+            };
+            (mean, outcomes)
         });
-        let ok: Vec<f64> = means.iter().copied().filter(|m| m.is_finite()).collect();
+        let ok: Vec<f64> = results
+            .iter()
+            .map(|(m, _)| *m)
+            .filter(|m| m.is_finite())
+            .collect();
         let v = ViolinSummary::of(&ok);
-        let failed = means.len() - ok.len();
+        let failed = results.len() - ok.len();
+        let total = results
+            .iter()
+            .fold(OutcomeCounts::default(), |acc, (_, o)| OutcomeCounts {
+                completed: acc.completed + o.completed,
+                stalled: acc.stalled + o.stalled,
+                aborted: acc.aborted + o.aborted,
+                censored: acc.censored + o.censored,
+            });
         println!(
             "{name:>9} | min {:7.2}  p25 {:7.2}  med {:7.2}  p75 {:7.2}  max {:7.2}  mean {:7.2}{}",
             v.min,
@@ -67,7 +184,7 @@ fn main() {
             v.max,
             v.mean,
             if failed > 0 {
-                format!("  ({failed} runs incomplete)")
+                format!("  ({failed} runs incomplete; flows: {total})")
             } else {
                 String::new()
             }

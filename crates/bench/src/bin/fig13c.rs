@@ -9,8 +9,8 @@
 
 use rand::{Rng, SeedableRng};
 use uno::metrics::ViolinSummary;
-use uno::sim::{GilbertElliott, MILLIS, SECONDS};
-use uno::{Experiment, ExperimentConfig};
+use uno::sim::{FaultEntry, FaultKind, FaultSpec, FaultTarget, GilbertElliott, MILLIS, SECONDS};
+use uno::{DegradationConfig, Experiment, ExperimentConfig};
 use uno_bench::{run_seeds_parallel, HarnessArgs};
 use uno_workloads::{allreduce_ideal_time, allreduce_iteration};
 
@@ -35,14 +35,27 @@ fn main() {
             let volume = rng.gen_range((70u64 << 20)..(500u64 << 20)) / scale;
             let mut cfg = ExperimentConfig::quick(scheme.clone(), seed);
             cfg.topo = topo.clone();
+            // Under failure + loss an iteration can wedge; degrade wedged
+            // flows to a definite outcome instead of burning the horizon.
+            cfg.degradation = Some(DegradationConfig::default());
             let mut exp = Experiment::new(cfg);
             let specs = allreduce_iteration(groups, volume, topo.hosts_per_dc() as u32, &mut rng);
             exp.add_specs(&specs);
-            // One random border link fails mid-iteration...
+            // One random border link fails mid-iteration (through the fault
+            // plane, so the transition is traced and counted)...
             let nb = exp.sim.topo.border_forward.len();
-            let victim = exp.sim.topo.border_forward[rng.gen_range(0..nb)];
             exp.sim
-                .schedule_link_down(victim, rng.gen_range(MILLIS / 4..2 * MILLIS));
+                .install_faults(&FaultSpec {
+                    faults: vec![FaultEntry {
+                        target: FaultTarget::BorderForward {
+                            idx: rng.gen_range(0..nb),
+                        },
+                        kind: FaultKind::Down,
+                        at: rng.gen_range(MILLIS / 4..2 * MILLIS),
+                        until: None,
+                    }],
+                })
+                .expect("valid fault spec");
             // ...and every border link sees correlated random drops.
             let base = GilbertElliott::table1_setup1();
             let model = GilbertElliott::new(

@@ -59,27 +59,43 @@ pub struct HarnessArgs {
 impl HarnessArgs {
     /// Parse from `std::env::args` (flags: `--full`, `--seed N`, `--params`).
     pub fn parse() -> Self {
-        let mut args = HarnessArgs {
+        let (args, extra) = Self::parse_with_extra();
+        if let Some(other) = extra.first() {
+            panic!("unknown flag {other} (use --full/--quick/--seed N/--params)");
+        }
+        args
+    }
+
+    /// Parse the shared flags, returning unrecognized arguments (in order)
+    /// for the figure binary to interpret itself instead of panicking.
+    pub fn parse_with_extra() -> (Self, Vec<String>) {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`HarnessArgs::parse_with_extra`] over an explicit argument list.
+    pub fn parse_from<I: Iterator<Item = String>>(args: I) -> (Self, Vec<String>) {
+        let mut parsed = HarnessArgs {
             full: false,
             seed: 1,
             params_only: false,
         };
-        let mut it = std::env::args().skip(1);
+        let mut extra = Vec::new();
+        let mut it = args;
         while let Some(a) = it.next() {
             match a.as_str() {
-                "--full" => args.full = true,
-                "--quick" => args.full = false,
-                "--params" => args.params_only = true,
+                "--full" => parsed.full = true,
+                "--quick" => parsed.full = false,
+                "--params" => parsed.params_only = true,
                 "--seed" => {
-                    args.seed = it
+                    parsed.seed = it
                         .next()
                         .and_then(|s| s.parse().ok())
                         .expect("--seed needs an integer");
                 }
-                other => panic!("unknown flag {other} (use --full/--quick/--seed N/--params)"),
+                _ => extra.push(a),
             }
         }
-        args
+        (parsed, extra)
     }
 
     /// Topology for this run: the paper's k=8 dual fat-tree under `--full`,
@@ -247,6 +263,15 @@ mod tests {
         assert_eq!(fmt_bytes(2048), "2.0 KiB");
         assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
         assert_eq!(fmt_bytes(1 << 30), "1.0 GiB");
+    }
+
+    #[test]
+    fn parse_from_splits_shared_and_extra_flags() {
+        let argv = ["--seed", "7", "--fault-variant", "gray", "--full"];
+        let (args, extra) = HarnessArgs::parse_from(argv.iter().map(|s| s.to_string()));
+        assert_eq!(args.seed, 7);
+        assert!(args.full);
+        assert_eq!(extra, vec!["--fault-variant", "gray"]);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! `uno-trace-summarize`), optionally gated by a `--trace-filter` spec.
 
 use serde::{Deserialize, Serialize};
+use uno::metrics::OutcomeCounts;
 use uno::sim::{
-    GilbertElliott, RunManifest, Time, TopologyParams, TraceConfig, Tracer, MILLIS, SECONDS,
+    FaultSpec, GilbertElliott, RunManifest, Time, TopologyParams, TraceConfig, Tracer, MILLIS,
+    SECONDS,
 };
-use uno::{Experiment, ExperimentConfig, SchemeSpec};
+use uno::{DegradationConfig, Experiment, ExperimentConfig, SchemeSpec};
 use uno_erasure::EcParams;
 use uno_transport::{LbMode, PlbParams};
 use uno_workloads::{incast, permutation, poisson_mix, Cdf, FlowSpec, PoissonMixParams};
@@ -99,6 +101,13 @@ struct Scenario {
     /// Apply a uniform per-packet loss rate to all border links.
     #[serde(default)]
     border_loss: f64,
+    /// Declarative fault-plane spec (gray loss, degraded links, flapping,
+    /// asymmetric blackholes, ...). Also loadable from a separate file via
+    /// `--faults <spec.json>`. When any fault is present, per-flow graceful
+    /// degradation (stall watchdog + bounded retries) is enabled so every
+    /// flow terminates with a definite outcome.
+    #[serde(default)]
+    faults: Option<FaultSpec>,
 }
 
 fn default_k() -> usize {
@@ -117,6 +126,12 @@ struct Output {
     scheme: String,
     flows: usize,
     completed: usize,
+    /// Flows terminated by the stall watchdog (definite non-completion).
+    stalled: usize,
+    /// Flows aborted by the bounded-retry logic (definite non-completion).
+    aborted: usize,
+    /// Flows still running at the horizon (no definite outcome).
+    censored: usize,
     sim_time_ms: f64,
     mean_fct_ms: f64,
     p99_fct_ms: f64,
@@ -140,14 +155,15 @@ fn template() -> Scenario {
         horizon_ms: 10_000,
         fail_border_links: 0,
         border_loss: 0.0,
+        faults: None,
     }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("uno-scenario: {msg}");
     eprintln!(
-        "usage: uno-scenario <scenario.json> [--trace <out.jsonl>] \
-         [--trace-filter <spec>] | --print-template"
+        "usage: uno-scenario <scenario.json> [--faults <spec.json>] \
+         [--trace <out.jsonl>] [--trace-filter <spec>] | --print-template"
     );
     std::process::exit(2);
 }
@@ -155,12 +171,16 @@ fn die(msg: &str) -> ! {
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut scenario_path: Option<String> = None;
+    let mut faults_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut trace_filter = TraceConfig::all();
     let mut print_template = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--print-template" => print_template = true,
+            "--faults" => {
+                faults_path = Some(args.next().unwrap_or_else(|| die("--faults needs a path")));
+            }
             "--trace" => {
                 trace_path = Some(args.next().unwrap_or_else(|| die("--trace needs a path")));
             }
@@ -187,8 +207,20 @@ fn main() {
     };
     let text = std::fs::read_to_string(&arg)
         .unwrap_or_else(|e| die(&format!("cannot read scenario file {arg}: {e}")));
-    let sc: Scenario =
+    let mut sc: Scenario =
         serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("invalid scenario JSON: {e}")));
+    if let Some(path) = &faults_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read fault spec {path}: {e}")));
+        let extra = FaultSpec::from_json(&text)
+            .unwrap_or_else(|e| die(&format!("invalid fault spec {path}: {e}")));
+        // Faults from the CLI accumulate on top of any embedded in the
+        // scenario file.
+        sc.faults
+            .get_or_insert_with(FaultSpec::empty)
+            .faults
+            .extend(extra.faults);
+    }
     let tracer = match &trace_path {
         Some(path) => Tracer::jsonl_file(path, trace_filter)
             .unwrap_or_else(|e| die(&format!("cannot open trace file {path}: {e}"))),
@@ -246,8 +278,19 @@ fn run_scenario(sc: &Scenario, tracer: Tracer) -> Output {
 
     let mut cfg = ExperimentConfig::quick(scheme, sc.seed);
     cfg.topo = topo;
+    let has_faults = sc.faults.as_ref().is_some_and(|f| !f.faults.is_empty());
+    if has_faults {
+        // Under injected faults every flow must reach a definite outcome
+        // instead of retrying into the horizon.
+        cfg.degradation = Some(DegradationConfig::default());
+    }
     let mut exp = Experiment::new(cfg);
     exp.sim.set_tracer(tracer);
+    if let Some(spec) = &sc.faults {
+        exp.sim
+            .install_faults(spec)
+            .unwrap_or_else(|e| die(&format!("invalid fault spec: {e}")));
+    }
     exp.add_specs(&specs);
     for i in 0..sc.fail_border_links.min(exp.sim.topo.border_forward.len()) {
         let l = exp.sim.topo.border_forward[i];
@@ -270,10 +313,14 @@ fn run_scenario(sc: &Scenario, tracer: Tracer) -> Output {
     let r = exp.run(horizon.max(SECONDS / 100));
 
     let fcts_ms: Vec<f64> = r.fcts.iter().map(|f| f.fct() as f64 / 1e6).collect();
+    let outcomes = OutcomeCounts::tally(&r.fcts, &r.failures, &r.censored);
     Output {
         scheme: r.scheme.clone(),
         flows: r.flows,
-        completed: r.fcts.len(),
+        completed: outcomes.completed,
+        stalled: outcomes.stalled,
+        aborted: outcomes.aborted,
+        censored: outcomes.censored,
         sim_time_ms: r.sim_time as f64 / 1e6,
         mean_fct_ms: uno::metrics::mean(&fcts_ms),
         p99_fct_ms: uno::metrics::percentile(&fcts_ms, 0.99),
@@ -315,6 +362,7 @@ mod tests {
             horizon_ms: 5_000,
             fail_border_links: 0,
             border_loss: 0.0,
+            faults: None,
         };
         let out = run_scenario(&sc, Tracer::disabled());
         assert_eq!(out.flows, 3);
@@ -345,9 +393,112 @@ mod tests {
             horizon_ms: 10_000,
             fail_border_links: 1,
             border_loss: 0.001,
+            faults: None,
         };
         let out = run_scenario(&sc, Tracer::disabled());
         assert_eq!(out.completed, 1);
+    }
+
+    #[test]
+    fn fault_plane_scenario_is_deterministic_and_terminates() {
+        use uno::sim::{FaultEntry, FaultKind, FaultTarget};
+        // Gray loss + flapping on the forward border, plus a permanent
+        // asymmetric blackhole of every reverse border link: data crosses,
+        // ACKs die, and graceful degradation must terminate the inter flow.
+        let faults = FaultSpec {
+            faults: vec![
+                FaultEntry {
+                    target: FaultTarget::BorderForward { idx: 0 },
+                    kind: FaultKind::GrayLoss { p: 0.05 },
+                    at: 0,
+                    until: Some(20 * MILLIS),
+                },
+                FaultEntry {
+                    target: FaultTarget::BorderForward { idx: 1 },
+                    kind: FaultKind::Flapping {
+                        mtbf: 5 * MILLIS,
+                        mttr: 5 * MILLIS,
+                    },
+                    at: 0,
+                    until: Some(50 * MILLIS),
+                },
+                FaultEntry {
+                    target: FaultTarget::BorderReverse { idx: 0 },
+                    kind: FaultKind::Down,
+                    at: 0,
+                    until: None,
+                },
+                FaultEntry {
+                    target: FaultTarget::BorderReverse { idx: 1 },
+                    kind: FaultKind::Down,
+                    at: 0,
+                    until: None,
+                },
+                FaultEntry {
+                    target: FaultTarget::BorderReverse { idx: 2 },
+                    kind: FaultKind::Down,
+                    at: 0,
+                    until: None,
+                },
+                FaultEntry {
+                    target: FaultTarget::BorderReverse { idx: 3 },
+                    kind: FaultKind::Down,
+                    at: 0,
+                    until: None,
+                },
+            ],
+        };
+        let sc = Scenario {
+            k: 4,
+            scheme: SchemeSel::Uno,
+            workload: WorkloadSel::Flows(vec![
+                FlowSpec {
+                    src_dc: 0,
+                    src_idx: 0,
+                    dst_dc: 1,
+                    dst_idx: 1,
+                    size: 1 << 20,
+                    start: 0,
+                },
+                FlowSpec {
+                    src_dc: 0,
+                    src_idx: 2,
+                    dst_dc: 0,
+                    dst_idx: 3,
+                    size: 256 << 10,
+                    start: 0,
+                },
+            ]),
+            seed: 11,
+            horizon_ms: 30_000,
+            fail_border_links: 0,
+            border_loss: 0.0,
+            faults: Some(faults),
+        };
+        // The scenario (including its fault spec) survives a JSON round trip.
+        let json = serde_json::to_string(&sc).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults.as_ref().unwrap().faults.len(), 6);
+
+        let run = || {
+            let mut out = run_scenario(&back, Tracer::disabled());
+            // Wall-clock fields legitimately vary between runs; everything
+            // simulated must not.
+            out.manifest.wall_seconds = 0.0;
+            out.manifest.events_per_sec = 0.0;
+            serde_json::to_string(&out).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must reproduce byte-identical output");
+
+        let out = run_scenario(&back, Tracer::disabled());
+        // The intra flow completes; the ACK-blackholed inter flow reaches a
+        // definite stalled/aborted outcome instead of censoring.
+        assert_eq!(out.completed, 1);
+        assert_eq!(out.stalled + out.aborted, 1);
+        assert_eq!(out.censored, 0);
+        assert!(out.sim_time_ms < 30_000.0);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 
 use serde::{Deserialize, Serialize};
 use uno_sim::{
-    FctRecord, FlowClass, FlowId, FlowMeta, NetworkStats, PhantomParams, QueueSampler, RunManifest,
-    Simulator, Time, Topology, TopologyParams, MILLIS,
+    FailRecord, FctRecord, FlowClass, FlowId, FlowMeta, NetworkStats, PhantomParams, QueueSampler,
+    RunManifest, Simulator, Time, Topology, TopologyParams, MILLIS,
 };
 use uno_transport::{
     Bbr, CcAlgorithm, CcConfig, FaultInjection, FlowConfig, Gemini, LbMode, MessageFlow, Mprdma,
@@ -32,6 +32,31 @@ pub struct ExperimentConfig {
     /// Test-only fault injection applied to every flow's transport (all off
     /// by default; `uno-testkit` arms these to validate its checkers).
     pub faults: FaultInjection,
+    /// Graceful-degradation knobs (stall watchdog + bounded-retry abort)
+    /// applied to every flow's transport. `None` keeps the legacy behaviour:
+    /// flows under a permanent fault retry until the horizon and show up as
+    /// censored FCTs. Fault-injecting drivers should enable this so such
+    /// flows terminate with a definite [`uno_sim::FlowOutcome`] instead.
+    pub degradation: Option<DegradationConfig>,
+}
+
+/// Per-flow graceful-degradation knobs (see [`FlowConfig::with_degradation`]).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DegradationConfig {
+    /// Watchdog check period in RTOs; two consecutive zero-progress checks
+    /// declare the flow stalled.
+    pub stall_rtos: u32,
+    /// Consecutive zero-progress RTOs before the sender aborts.
+    pub max_rto_retries: u32,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            stall_rtos: 8,
+            max_rto_retries: 12,
+        }
+    }
 }
 
 impl ExperimentConfig {
@@ -43,6 +68,7 @@ impl ExperimentConfig {
             seed,
             record_progress: false,
             faults: FaultInjection::default(),
+            degradation: None,
         }
     }
 
@@ -54,6 +80,7 @@ impl ExperimentConfig {
             seed,
             record_progress: false,
             faults: FaultInjection::default(),
+            degradation: None,
         }
     }
 }
@@ -78,7 +105,12 @@ pub struct ExperimentResults {
     /// Lower-bound records (end = horizon) for flows that did not complete;
     /// include them in tail statistics to avoid censoring bias.
     pub censored: Vec<FctRecord>,
-    /// Whether every flow completed within the horizon.
+    /// Flows that terminated without completing (stalled by the watchdog or
+    /// aborted by the bounded-retry logic) — definite outcomes, unlike the
+    /// censored lower bounds above.
+    pub failures: Vec<FailRecord>,
+    /// Whether every flow completed *successfully* within the horizon
+    /// (stalled/aborted flows terminate the run but do not count).
     pub all_completed: bool,
     /// Final simulation time.
     pub sim_time: Time,
@@ -186,6 +218,9 @@ impl Experiment {
         };
         fc.block_timeout = base_rtt;
         fc.faults = self.cfg.faults;
+        if let Some(d) = self.cfg.degradation {
+            fc = fc.with_degradation(d.stall_rtos, d.max_rto_retries);
+        }
 
         let flow = MessageFlow::new(fc, cc);
         let mut meta = FlowMeta {
@@ -210,14 +245,17 @@ impl Experiment {
 
     /// Run to completion (or `horizon`) and collect results.
     pub fn run(mut self, horizon: Time) -> ExperimentResults {
-        let all_completed = self.sim.run_to_completion(horizon);
+        // The engine counts failed flows as terminated (the run stops
+        // waiting on them); `all_completed` means genuinely all-successful.
+        let terminated = self.sim.run_to_completion(horizon);
+        let all_completed = terminated && self.sim.failures.is_empty();
         self.collect(all_completed)
     }
 
     /// Run until `horizon` regardless of completion (open-loop workloads).
     pub fn run_for(mut self, horizon: Time) -> ExperimentResults {
         self.sim.run_until(horizon);
-        let done = self.sim.num_completed() == self.sim.num_flows();
+        let done = self.sim.num_completed() == self.sim.num_flows() && self.sim.failures.is_empty();
         self.collect(done)
     }
 
@@ -235,6 +273,7 @@ impl Experiment {
             scheme: cfg.scheme.name.to_string(),
             stats: sim.network_stats(),
             censored: sim.censored_fcts(),
+            failures: sim.failures.clone(),
             all_completed,
             sim_time: sim.now(),
             flows: sim.num_flows(),
@@ -375,6 +414,39 @@ mod tests {
         assert_eq!(dup_thresh_for(LbMode::Ecmp), 16);
         assert_eq!(dup_thresh_for(LbMode::Spray), 128);
         assert_eq!(dup_thresh_for(LbMode::UnoLb { subflows: 10 }), 80);
+    }
+
+    #[test]
+    fn faulted_run_terminates_with_definite_outcomes() {
+        use uno_sim::{FaultEntry, FaultKind, FaultSpec, FaultTarget, FlowOutcome};
+        let mut cfg = ExperimentConfig::quick(SchemeSpec::uno(), 21);
+        cfg.degradation = Some(DegradationConfig::default());
+        let mut e = Experiment::new(cfg);
+        // Permanently blackhole the reverse border direction: inter-DC data
+        // arrives but its ACKs never return (an asymmetric gray failure).
+        let n = e.sim.topo.border_reverse.len();
+        e.sim
+            .install_faults(&FaultSpec {
+                faults: (0..n)
+                    .map(|idx| FaultEntry {
+                        target: FaultTarget::BorderReverse { idx },
+                        kind: FaultKind::Down,
+                        at: 0,
+                        until: None,
+                    })
+                    .collect(),
+            })
+            .unwrap();
+        e.add_specs(&[spec(0, 0, 1, 1, 1 << 20), spec(0, 2, 0, 3, 256 << 10)]);
+        let r = e.run(30 * SECONDS);
+        // The intra flow completes; the inter flow terminates with a
+        // definite failure outcome instead of running to the horizon.
+        assert!(!r.all_completed);
+        assert_eq!(r.fcts.len(), 1);
+        assert_eq!(r.failures.len(), 1);
+        assert_ne!(r.failures[0].outcome, FlowOutcome::Completed);
+        assert!(r.censored.is_empty(), "no censored flows under degradation");
+        assert!(r.sim_time < 30 * SECONDS, "gave up early, not at horizon");
     }
 
     #[test]

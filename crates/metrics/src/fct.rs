@@ -2,9 +2,65 @@
 //! (§5.1: "mean and tail (99th percentile) FCT").
 
 use serde::{Deserialize, Serialize};
-use uno_sim::{FctRecord, FlowClass, Time};
+use uno_sim::{FailRecord, FctRecord, FlowClass, FlowOutcome, Time};
 
 use crate::stats::{mean, percentile_of_sorted};
+
+/// Definite-outcome accounting for a run. Under fault injection, flows can
+/// terminate without completing (stalled by the watchdog, aborted by the
+/// bounded-retry logic) or survive to the horizon with no verdict at all
+/// (censored). Reporting these counts next to FCT summaries keeps
+/// gray-failure results honest: a scheme that "wins" on mean FCT while
+/// abandoning half its flows is not winning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Flows that finished successfully.
+    pub completed: usize,
+    /// Flows the stall watchdog terminated.
+    pub stalled: usize,
+    /// Flows the bounded-retry logic aborted.
+    pub aborted: usize,
+    /// Flows still running at the horizon (no definite outcome).
+    pub censored: usize,
+}
+
+impl OutcomeCounts {
+    /// Tally a run's completion, failure, and censored records.
+    pub fn tally(fcts: &[FctRecord], failures: &[FailRecord], censored: &[FctRecord]) -> Self {
+        OutcomeCounts {
+            completed: fcts.len(),
+            stalled: failures
+                .iter()
+                .filter(|f| f.outcome == FlowOutcome::Stalled)
+                .count(),
+            aborted: failures
+                .iter()
+                .filter(|f| f.outcome == FlowOutcome::Aborted)
+                .count(),
+            censored: censored.len(),
+        }
+    }
+
+    /// Total flows accounted for.
+    pub fn total(&self) -> usize {
+        self.completed + self.stalled + self.aborted + self.censored
+    }
+
+    /// True when every flow reached a definite outcome (nothing censored).
+    pub fn all_terminated(&self) -> bool {
+        self.censored == 0
+    }
+}
+
+impl std::fmt::Display for OutcomeCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "completed={} stalled={} aborted={} censored={}",
+            self.completed, self.stalled, self.aborted, self.censored
+        )
+    }
+}
 
 /// Summary of a set of FCTs, in seconds.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -189,5 +245,40 @@ mod tests {
     fn slowdowns_without_ideal_panics() {
         let t = FctTable::new(vec![rec(0, 1, FlowClass::Intra)]);
         let _ = t.slowdowns(None);
+    }
+
+    #[test]
+    fn outcome_counts_tally_and_display() {
+        let fail = |id: u32, outcome| FailRecord {
+            flow: FlowId(id),
+            size: 1 << 20,
+            start: 0,
+            end: 1_000,
+            class: FlowClass::Inter,
+            outcome,
+        };
+        let c = OutcomeCounts::tally(
+            &[rec(0, 100, FlowClass::Intra)],
+            &[
+                fail(1, FlowOutcome::Stalled),
+                fail(2, FlowOutcome::Aborted),
+                fail(3, FlowOutcome::Stalled),
+            ],
+            &[rec(4, 500, FlowClass::Inter)],
+        );
+        assert_eq!(
+            c,
+            OutcomeCounts {
+                completed: 1,
+                stalled: 2,
+                aborted: 1,
+                censored: 1
+            }
+        );
+        assert_eq!(c.total(), 5);
+        assert!(!c.all_terminated());
+        assert_eq!(c.to_string(), "completed=1 stalled=2 aborted=1 censored=1");
+        let done = OutcomeCounts { censored: 0, ..c };
+        assert!(done.all_terminated());
     }
 }

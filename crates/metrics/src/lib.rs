@@ -12,7 +12,7 @@ pub mod series;
 pub mod stats;
 pub mod table;
 
-pub use fct::{FctSummary, FctTable};
+pub use fct::{FctSummary, FctTable, OutcomeCounts};
 pub use series::{jain_fairness, rates_from_progress, RatePoint, TimeSeriesStats};
 pub use stats::{mean, percentile, percentile_of_sorted, ViolinSummary};
 pub use table::TextTable;

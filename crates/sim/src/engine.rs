@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use uno_trace::{Counters, TraceEvent, Tracer};
 
 use crate::event::{Event, EventQueue};
+use crate::fault::{exp_dwell, FaultKind, FaultPlane, FaultSpec, LinkHealth};
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::loss::GilbertElliott;
 use crate::packet::Packet;
@@ -67,6 +68,40 @@ impl FctRecord {
     }
 }
 
+/// Terminal disposition of a flow. Every flow that terminates is exactly
+/// one of these; flows still running at the horizon have no outcome yet
+/// (they show up as censored FCTs instead).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FlowOutcome {
+    /// Delivered every byte.
+    Completed,
+    /// The stall watchdog declared the flow dead: no cumulative-ACK
+    /// progress for its stall horizon.
+    Stalled,
+    /// The bounded-retry budget ran out: too many consecutive RTOs with no
+    /// progress.
+    Aborted,
+}
+
+/// Record for a flow that terminated without completing (stalled or
+/// aborted), the failure-side counterpart of [`FctRecord`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FailRecord {
+    /// The flow.
+    pub flow: FlowId,
+    /// Application bytes it was supposed to transfer.
+    pub size: u64,
+    /// Start time.
+    pub start: Time,
+    /// Time the flow gave up.
+    pub end: Time,
+    /// Intra or inter.
+    pub class: FlowClass,
+    /// Why it gave up ([`FlowOutcome::Stalled`] or [`FlowOutcome::Aborted`]).
+    pub outcome: FlowOutcome,
+}
+
 /// Actions a flow emits from its callbacks.
 #[derive(Clone, Debug)]
 pub enum Action {
@@ -81,6 +116,9 @@ pub enum Action {
     },
     /// Declare the flow complete (records the FCT).
     Complete,
+    /// Declare the flow terminally failed (stalled or aborted); the flow
+    /// leaves the simulator and a [`FailRecord`] is kept instead of an FCT.
+    Fail(FlowOutcome),
     /// Report cumulative acknowledged bytes (rate time-series).
     Progress(u64),
 }
@@ -118,6 +156,14 @@ impl Ctx<'_> {
     /// Declare the flow complete.
     pub fn complete(&mut self) {
         self.actions.push(Action::Complete);
+    }
+
+    /// Declare the flow terminally failed: it stops participating in the
+    /// simulation and is recorded as stalled/aborted rather than hanging
+    /// the run. `outcome` must not be [`FlowOutcome::Completed`].
+    pub fn fail(&mut self, outcome: FlowOutcome) {
+        debug_assert_ne!(outcome, FlowOutcome::Completed, "use complete()");
+        self.actions.push(Action::Fail(outcome));
     }
 
     /// Report cumulative acked bytes (recorded only when the flow was added
@@ -164,6 +210,7 @@ struct FlowSlot {
     meta: FlowMeta,
     logic: Option<Box<dyn FlowLogic>>,
     done: bool,
+    outcome: Option<FlowOutcome>,
     record_progress: bool,
 }
 
@@ -227,9 +274,14 @@ pub struct Simulator {
     now: Time,
     rng: SmallRng,
     flows: Vec<FlowSlot>,
-    completed_flows: usize,
+    terminated_flows: usize,
     /// Completion records, in completion order.
     pub fcts: Vec<FctRecord>,
+    /// Failure records (stalled/aborted flows), in failure order.
+    pub failures: Vec<FailRecord>,
+    /// Installed fault plane (empty unless [`Simulator::install_faults`]
+    /// was called).
+    pub fault: FaultPlane,
     /// Registered queue samplers.
     pub samplers: Vec<QueueSampler>,
     /// Per-flow progress time-series (empty unless enabled per flow).
@@ -252,8 +304,10 @@ impl Simulator {
             now: 0,
             rng: SmallRng::seed_from_u64(seed),
             flows: Vec::new(),
-            completed_flows: 0,
+            terminated_flows: 0,
             fcts: Vec::new(),
+            failures: Vec::new(),
+            fault: FaultPlane::default(),
             samplers: Vec::new(),
             progress: Vec::new(),
             action_buf: Vec::new(),
@@ -278,9 +332,15 @@ impl Simulator {
         self.flows.len()
     }
 
-    /// Number of completed flows.
+    /// Number of flows that delivered every byte.
     pub fn num_completed(&self) -> usize {
-        self.completed_flows
+        self.fcts.len()
+    }
+
+    /// Number of terminated flows: completed plus failed (stalled/aborted).
+    /// A run is over when this reaches [`Simulator::num_flows`].
+    pub fn num_terminated(&self) -> usize {
+        self.terminated_flows
     }
 
     /// Register a flow; its [`FlowLogic::on_start`] runs at `meta.start`.
@@ -301,6 +361,7 @@ impl Simulator {
             meta,
             logic: Some(logic),
             done: false,
+            outcome: None,
             record_progress,
         });
         self.progress.push(Vec::new());
@@ -344,6 +405,35 @@ impl Simulator {
     /// Schedule a link recovery at absolute time `t`.
     pub fn schedule_link_up(&mut self, link: LinkId, t: Time) {
         self.events.push(t, Event::LinkUp(link));
+    }
+
+    /// Resolve and install a declarative fault schedule. Every onset and
+    /// healing transition becomes an ordinary event, so fault timing is as
+    /// deterministic as the rest of the simulation. Errors on invalid
+    /// targets or parameters; installing on top of an earlier spec replaces
+    /// nothing (faults accumulate).
+    pub fn install_faults(&mut self, spec: &FaultSpec) -> Result<(), String> {
+        let plane = FaultPlane::resolve(spec, &self.topo)?;
+        let base = self.fault.entries.len() as u32;
+        for (i, e) in plane.entries.iter().enumerate() {
+            self.events.push(e.at, Event::FaultStart(base + i as u32));
+            if let Some(until) = e.until {
+                self.events.push(until, Event::FaultEnd(base + i as u32));
+            }
+        }
+        self.fault.entries.extend(plane.entries);
+        Ok(())
+    }
+
+    /// Terminal outcome of flow `id`, if it has one yet.
+    pub fn flow_outcome(&self, id: FlowId) -> Option<FlowOutcome> {
+        self.flows[id.index()].outcome
+    }
+
+    /// Terminal outcomes for every flow, in flow-id order (`None` = still
+    /// running at the current time).
+    pub fn flow_outcomes(&self) -> Vec<Option<FlowOutcome>> {
+        self.flows.iter().map(|s| s.outcome).collect()
     }
 
     /// Register a periodic occupancy sampler on `link`, starting at `start`.
@@ -406,6 +496,19 @@ impl Simulator {
         c.set("link.losses", s.link_losses);
         c.set("link.tx_packets", s.tx_packets);
         c.set("link.tx_bytes", s.tx_bytes);
+        if !self.fault.is_empty() {
+            c.set("fault.transitions", self.fault.transitions);
+            c.set("fault.downs", self.fault.downs);
+        }
+        if !self.failures.is_empty() {
+            let aborted = self
+                .failures
+                .iter()
+                .filter(|f| f.outcome == FlowOutcome::Aborted)
+                .count() as u64;
+            c.set("flow.aborted", aborted);
+            c.set("flow.stalled", self.failures.len() as u64 - aborted);
+        }
         for slot in &self.flows {
             if let Some(logic) = &slot.logic {
                 logic.report_counters(&mut c);
@@ -448,7 +551,7 @@ impl Simulator {
             self.now = t;
             self.dispatch(ev);
             self.events_processed += 1;
-            if !self.flows.is_empty() && self.completed_flows == self.flows.len() {
+            if !self.flows.is_empty() && self.terminated_flows == self.flows.len() {
                 all_done = true;
                 break;
             }
@@ -459,16 +562,16 @@ impl Simulator {
         self.wall_nanos += wall_start.elapsed().as_nanos() as u64;
     }
 
-    /// Run until every registered flow completes or `hard_limit` is reached.
-    /// Returns true when all flows completed.
+    /// Run until every registered flow terminates (completes or fails) or
+    /// `hard_limit` is reached. Returns true when all flows terminated.
     pub fn run_to_completion(&mut self, hard_limit: Time) -> bool {
         self.run_until(hard_limit);
-        self.completed_flows == self.flows.len()
+        self.terminated_flows == self.flows.len()
     }
 
     fn dispatch(&mut self, ev: Event) {
         match ev {
-            Event::Arrive(link, pkt) => self.handle_arrive(link, pkt),
+            Event::Arrive(link, pkt, epoch) => self.handle_arrive(link, pkt, epoch),
             Event::LinkFree(link) => {
                 let l = &mut self.topo.links[link.index()];
                 l.busy = false;
@@ -482,28 +585,8 @@ impl Simulator {
             Event::FlowStart(flow) => self.call_flow(flow, |logic, ctx| {
                 logic.on_start(ctx);
             }),
-            Event::LinkDown(link) => {
-                let l = &mut self.topo.links[link.index()];
-                l.up = false;
-                let purged_bytes = l.queue.bytes();
-                let dropped = l.queue.clear();
-                l.lost_packets += dropped as u64;
-                if dropped > 0 && self.tracer.enabled() {
-                    self.tracer.emit(TraceEvent::QueueClear {
-                        t: self.now,
-                        link: link.0,
-                        pkts: dropped as u64,
-                        bytes: purged_bytes,
-                    });
-                }
-            }
-            Event::LinkUp(link) => {
-                let l = &mut self.topo.links[link.index()];
-                l.up = true;
-                if !l.busy && !l.queue.is_empty() {
-                    self.start_transmit(link);
-                }
-            }
+            Event::LinkDown(link) => self.take_link_down(link),
+            Event::LinkUp(link) => self.bring_link_up(link),
             Event::Sample(idx) => {
                 let s = &mut self.samplers[idx as usize];
                 let link = &mut self.topo.links[s.link.index()];
@@ -514,12 +597,160 @@ impl Simulator {
                 let interval = s.interval;
                 self.events.push(self.now + interval, Event::Sample(idx));
             }
+            Event::FaultStart(idx) => self.fault_start(idx),
+            Event::FaultEnd(idx) => self.fault_end(idx),
+            Event::FaultFlap(idx) => self.fault_flap(idx),
         }
     }
 
-    fn handle_arrive(&mut self, link: LinkId, pkt: Packet) {
+    /// Fail `link`: purge its queue (counting the drops), bump the failure
+    /// epoch so in-flight packets die, and mark it down.
+    fn take_link_down(&mut self, link: LinkId) {
         let l = &mut self.topo.links[link.index()];
-        if !l.up {
+        if l.up {
+            l.epoch = l.epoch.wrapping_add(1);
+        }
+        l.up = false;
+        let purged_bytes = l.queue.bytes();
+        let dropped = l.queue.clear();
+        l.lost_packets += dropped as u64;
+        if dropped > 0 && self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::QueueClear {
+                t: self.now,
+                link: link.0,
+                pkts: dropped as u64,
+                bytes: purged_bytes,
+            });
+        }
+    }
+
+    /// Restore `link` and kick transmission if packets queued meanwhile.
+    fn bring_link_up(&mut self, link: LinkId) {
+        let l = &mut self.topo.links[link.index()];
+        l.up = true;
+        if !l.busy && !l.queue.is_empty() {
+            self.start_transmit(link);
+        }
+    }
+
+    /// Emit a fault-transition trace event and bump the plane's counters.
+    fn note_fault_transition(&mut self, link: LinkId, up: bool) {
+        self.fault.transitions += 1;
+        if !up {
+            self.fault.downs += 1;
+        }
+        if self.tracer.enabled() {
+            self.tracer.emit(TraceEvent::FaultTransition {
+                t: self.now,
+                link: link.0,
+                up,
+            });
+        }
+    }
+
+    fn fault_start(&mut self, idx: u32) {
+        let e = &mut self.fault.entries[idx as usize];
+        e.active = true;
+        let kind = e.kind;
+        let links = e.links.clone();
+        match kind {
+            FaultKind::Down => {
+                for &l in &links {
+                    self.take_link_down(l);
+                    self.note_fault_transition(l, false);
+                }
+            }
+            FaultKind::GrayLoss { p } => {
+                for &l in &links {
+                    self.topo.links[l.index()].health.gray_loss = p;
+                    self.note_fault_transition(l, false);
+                }
+            }
+            FaultKind::Degraded { factor } => {
+                for &l in &links {
+                    self.topo.links[l.index()].health.capacity_factor = factor;
+                    self.note_fault_transition(l, false);
+                }
+            }
+            FaultKind::Delay { extra, jitter } => {
+                for &l in &links {
+                    let h = &mut self.topo.links[l.index()].health;
+                    h.extra_delay = extra;
+                    h.jitter = jitter;
+                    self.note_fault_transition(l, false);
+                }
+            }
+            FaultKind::Flapping { mtbf, .. } => {
+                // The Markov process starts in the up state; schedule the
+                // first failure after an exponential up-dwell.
+                self.fault.entries[idx as usize].flap_up = true;
+                let dwell = exp_dwell(&mut self.rng, mtbf);
+                self.events.push(self.now + dwell, Event::FaultFlap(idx));
+            }
+        }
+    }
+
+    fn fault_flap(&mut self, idx: u32) {
+        let e = &mut self.fault.entries[idx as usize];
+        if !e.active {
+            return; // the fault healed while this toggle was in flight
+        }
+        let FaultKind::Flapping { mtbf, mttr } = e.kind else {
+            return;
+        };
+        e.flap_up = !e.flap_up;
+        let up = e.flap_up;
+        let links = e.links.clone();
+        for &l in &links {
+            if up {
+                self.bring_link_up(l);
+            } else {
+                self.take_link_down(l);
+            }
+            self.note_fault_transition(l, up);
+        }
+        let dwell = exp_dwell(&mut self.rng, if up { mtbf } else { mttr });
+        self.events.push(self.now + dwell, Event::FaultFlap(idx));
+    }
+
+    fn fault_end(&mut self, idx: u32) {
+        let e = &mut self.fault.entries[idx as usize];
+        if !e.active {
+            return;
+        }
+        e.active = false;
+        let kind = e.kind;
+        let was_up = e.flap_up;
+        let links = e.links.clone();
+        match kind {
+            FaultKind::Down => {
+                for &l in &links {
+                    self.bring_link_up(l);
+                    self.note_fault_transition(l, true);
+                }
+            }
+            FaultKind::GrayLoss { .. } | FaultKind::Degraded { .. } | FaultKind::Delay { .. } => {
+                for &l in &links {
+                    self.topo.links[l.index()].health = LinkHealth::default();
+                    self.note_fault_transition(l, true);
+                }
+            }
+            FaultKind::Flapping { .. } => {
+                if !was_up {
+                    for &l in &links {
+                        self.bring_link_up(l);
+                        self.note_fault_transition(l, true);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_arrive(&mut self, link: LinkId, pkt: Packet, epoch: u32) {
+        let l = &mut self.topo.links[link.index()];
+        // A stale epoch means the link failed while this packet was on the
+        // wire: the packet is lost even if the link has since recovered.
+        if !l.up || epoch != l.epoch {
             l.lost_packets += 1;
             if self.tracer.enabled() {
                 self.tracer.emit(TraceEvent::LinkLoss {
@@ -545,6 +776,21 @@ impl Simulator {
                 return;
             }
         }
+        // Gray fault: silent per-packet drop at rate p while active.
+        if l.health.gray_loss > 0.0 && self.rng.gen::<f64>() < l.health.gray_loss {
+            let l = &mut self.topo.links[link.index()];
+            l.lost_packets += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::LinkLoss {
+                    t: self.now,
+                    link: link.0,
+                    flow: pkt.flow.0,
+                    seq: pkt.seq,
+                });
+            }
+            return;
+        }
+        let l = &mut self.topo.links[link.index()];
         let node = l.to;
         if self.topo.nodes[node.index()].kind.is_host() {
             if pkt.dst == node {
@@ -622,11 +868,23 @@ impl Simulator {
         let Some(pkt) = l.queue.dequeue() else {
             return;
         };
-        let ser = serialization_time(pkt.size as u64, l.bps);
+        // Degraded-capacity faults stretch serialization by scaling the
+        // effective line rate.
+        let bps = if l.health.capacity_factor < 1.0 {
+            ((l.bps as f64 * l.health.capacity_factor) as u64).max(1)
+        } else {
+            l.bps
+        };
+        let ser = serialization_time(pkt.size as u64, bps);
         l.busy = true;
         l.tx_packets += 1;
         l.tx_bytes += pkt.size as u64;
-        let delay = l.delay;
+        // Delay faults add fixed latency plus uniform per-packet jitter.
+        let mut delay = l.delay + l.health.extra_delay;
+        if l.health.jitter > 0 {
+            delay += self.rng.gen_range(0..=l.health.jitter);
+        }
+        let epoch = l.epoch;
         if self.tracer.enabled() {
             self.tracer.emit(TraceEvent::Dequeue {
                 t: self.now,
@@ -637,7 +895,7 @@ impl Simulator {
         }
         self.events.push(self.now + ser, Event::LinkFree(link));
         self.events
-            .push(self.now + ser + delay, Event::Arrive(link, pkt));
+            .push(self.now + ser + delay, Event::Arrive(link, pkt, epoch));
     }
 
     fn call_flow<F>(&mut self, flow: FlowId, f: F)
@@ -682,7 +940,8 @@ impl Simulator {
                     let slot = &mut self.flows[flow.index()];
                     if !slot.done {
                         slot.done = true;
-                        self.completed_flows += 1;
+                        slot.outcome = Some(FlowOutcome::Completed);
+                        self.terminated_flows += 1;
                         self.fcts.push(FctRecord {
                             flow,
                             size: slot.meta.size,
@@ -694,6 +953,31 @@ impl Simulator {
                             self.tracer.emit(TraceEvent::FlowDone {
                                 t: self.now,
                                 flow: flow.0,
+                            });
+                        }
+                    }
+                }
+                Action::Fail(outcome) => {
+                    let slot = &mut self.flows[flow.index()];
+                    if !slot.done {
+                        slot.done = true;
+                        slot.outcome = Some(outcome);
+                        // Failed flows count toward termination: a run in
+                        // which every flow completed *or* gave up is over.
+                        self.terminated_flows += 1;
+                        self.failures.push(FailRecord {
+                            flow,
+                            size: slot.meta.size,
+                            start: slot.meta.start,
+                            end: self.now,
+                            class: slot.meta.class,
+                            outcome,
+                        });
+                        if self.tracer.enabled() {
+                            self.tracer.emit(TraceEvent::FlowFail {
+                                t: self.now,
+                                flow: flow.0,
+                                aborted: outcome == FlowOutcome::Aborted,
                             });
                         }
                     }
@@ -865,6 +1149,41 @@ mod tests {
         assert!(!sim.run_to_completion(50 * crate::time::MILLIS));
         assert!(sim.network_stats().link_losses > 0 || sim.network_stats().queue_drops > 0);
         assert_eq!(sim.fcts.len(), 0);
+
+        // In-flight case: a packet already propagating on a link when it
+        // fails must be dropped *and counted against that link*, even
+        // though the link recovers before the packet would have arrived.
+        let mut sim = small_sim(31);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 1));
+        let up = sim.topo.host_uplink(src);
+        // ser(4096 B @ 100 Gbps) ≈ 328 ns, prop ≈ 1166 ns: the packet is
+        // on the wire during [328, 1494). Fail inside that window, recover
+        // before arrival.
+        sim.schedule_link_down(up, 600);
+        sim.schedule_link_up(up, 700);
+        sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 4096,
+                start: 0,
+                class: FlowClass::Intra,
+            },
+            Box::new(Blaster {
+                src,
+                dst,
+                n: 1,
+                acked: 0,
+                mtu: 4096,
+            }),
+        );
+        assert!(!sim.run_to_completion(10 * crate::time::MILLIS));
+        assert_eq!(
+            sim.per_link_stats()[up.index()].losses,
+            1,
+            "mid-flight packet must be counted on the failed link"
+        );
+        assert!(sim.fcts.is_empty(), "the packet must not be delivered");
     }
 
     #[test]
@@ -1144,6 +1463,269 @@ mod tests {
         // Blaster has no retransmission: with 50% loss it cannot finish.
         assert!(!sim.run_to_completion(crate::time::SECONDS));
         assert!(sim.network_stats().link_losses > 50);
+    }
+
+    fn one_pkt_flow(sim: &mut Simulator, src: NodeId, dst: NodeId, class: FlowClass) {
+        sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 4096,
+                start: 0,
+                class,
+            },
+            Box::new(Blaster {
+                src,
+                dst,
+                n: 1,
+                acked: 0,
+                mtu: 4096,
+            }),
+        );
+    }
+
+    fn spec_one(
+        target: crate::fault::FaultTarget,
+        kind: FaultKind,
+        until: Option<Time>,
+    ) -> FaultSpec {
+        FaultSpec {
+            faults: vec![crate::fault::FaultEntry {
+                target,
+                kind,
+                at: 0,
+                until,
+            }],
+        }
+    }
+
+    #[test]
+    fn gray_loss_fault_eats_packets_then_heals() {
+        use crate::fault::FaultTarget;
+        let mut sim = small_sim(41);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 1));
+        let up = sim.topo.host_uplink(src);
+        // Certain loss until 100 µs; the flow's only packet dies silently.
+        sim.install_faults(&spec_one(
+            FaultTarget::Link { id: up.0 },
+            FaultKind::GrayLoss { p: 1.0 },
+            Some(100 * MICROS),
+        ))
+        .unwrap();
+        one_pkt_flow(&mut sim, src, dst, FlowClass::Intra);
+        assert!(!sim.run_to_completion(50 * MICROS));
+        assert!(sim.per_link_stats()[up.index()].losses >= 1);
+        // Onset + healing, one link each.
+        sim.run_until(200 * MICROS);
+        assert_eq!(sim.fault.transitions, 2);
+        assert_eq!(sim.fault.downs, 1);
+        assert!(
+            sim.topo.links[up.index()].health.is_healthy(),
+            "healing must clear the gray state"
+        );
+    }
+
+    #[test]
+    fn degraded_capacity_stretches_serialization() {
+        use crate::fault::FaultTarget;
+        let fct_with = |factor: Option<f64>| {
+            let mut sim = small_sim(42);
+            let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 1));
+            if let Some(f) = factor {
+                let up = sim.topo.host_uplink(src);
+                sim.install_faults(&spec_one(
+                    FaultTarget::Link { id: up.0 },
+                    FaultKind::Degraded { factor: f },
+                    None,
+                ))
+                .unwrap();
+            }
+            one_pkt_flow(&mut sim, src, dst, FlowClass::Intra);
+            assert!(sim.run_to_completion(crate::time::SECONDS));
+            sim.fcts[0].fct()
+        };
+        let healthy = fct_with(None);
+        let degraded = fct_with(Some(0.1));
+        // 10x slower serialization on one hop: strictly slower end to end.
+        let extra = serialization_time(4096, 10 * GBPS) - serialization_time(4096, 100 * GBPS);
+        assert!(
+            degraded >= healthy + extra / 2,
+            "degraded {degraded} healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn delay_fault_adds_latency() {
+        use crate::fault::FaultTarget;
+        let mut sim = small_sim(43);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 1));
+        let up = sim.topo.host_uplink(src);
+        sim.install_faults(&spec_one(
+            FaultTarget::Link { id: up.0 },
+            FaultKind::Delay {
+                extra: 500 * MICROS,
+                jitter: 0,
+            },
+            None,
+        ))
+        .unwrap();
+        one_pkt_flow(&mut sim, src, dst, FlowClass::Intra);
+        assert!(sim.run_to_completion(crate::time::SECONDS));
+        assert!(sim.fcts[0].fct() >= 500 * MICROS);
+    }
+
+    #[test]
+    fn asymmetric_border_blackhole_kills_acks_only() {
+        use crate::fault::{FaultEntry, FaultTarget};
+        let mut sim = small_sim(44);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(1, 0));
+        // Permanently blackhole every reverse border link: data reaches the
+        // receiver, but ACKs die crossing back.
+        let spec = FaultSpec {
+            faults: (0..sim.topo.border_reverse.len())
+                .map(|idx| FaultEntry {
+                    target: FaultTarget::BorderReverse { idx },
+                    kind: FaultKind::Down,
+                    at: 0,
+                    until: None,
+                })
+                .collect(),
+        };
+        sim.install_faults(&spec).unwrap();
+        one_pkt_flow(&mut sim, src, dst, FlowClass::Inter);
+        assert!(!sim.run_to_completion(50 * crate::time::MILLIS));
+        let fwd_tx: u64 = sim
+            .topo
+            .border_forward
+            .iter()
+            .map(|l| sim.per_link_stats()[l.index()].tx_packets)
+            .sum();
+        let rev_losses: u64 = sim
+            .topo
+            .border_reverse
+            .iter()
+            .map(|l| sim.per_link_stats()[l.index()].losses)
+            .sum();
+        assert!(fwd_tx >= 1, "data must still cross the forward direction");
+        assert!(rev_losses >= 1, "the ACK must die on the reverse direction");
+        assert!(sim.fcts.is_empty());
+    }
+
+    #[test]
+    fn flapping_fault_is_deterministic() {
+        use crate::fault::FaultTarget;
+        let run = || {
+            let mut sim = small_sim(45);
+            let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 8));
+            let up = sim.topo.host_uplink(src);
+            sim.install_faults(&spec_one(
+                FaultTarget::Link { id: up.0 },
+                FaultKind::Flapping {
+                    mtbf: 20 * MICROS,
+                    mttr: 20 * MICROS,
+                },
+                Some(crate::time::MILLIS),
+            ))
+            .unwrap();
+            sim.add_flow(
+                FlowMeta {
+                    src,
+                    dst,
+                    size: 200 * 4096,
+                    start: 0,
+                    class: FlowClass::Intra,
+                },
+                Box::new(Blaster {
+                    src,
+                    dst,
+                    n: 200,
+                    acked: 0,
+                    mtu: 4096,
+                }),
+            );
+            sim.run_until(2 * crate::time::MILLIS);
+            (
+                sim.fault.transitions,
+                sim.network_stats().link_losses,
+                sim.counter_snapshot().to_json(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must give identical flap schedules");
+        assert!(a.0 >= 3, "the link must actually flap (got {})", a.0);
+        // After the healing time the link is up again.
+    }
+
+    #[test]
+    fn switch_fault_downs_all_attached_links() {
+        use crate::fault::FaultTarget;
+        let mut sim = small_sim(46);
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(1, 0));
+        let border_node = sim.topo.links[sim.topo.border_forward[0].index()].from;
+        sim.install_faults(&spec_one(
+            FaultTarget::Switch {
+                node: border_node.0,
+            },
+            FaultKind::Down,
+            None,
+        ))
+        .unwrap();
+        one_pkt_flow(&mut sim, src, dst, FlowClass::Inter);
+        assert!(!sim.run_to_completion(50 * crate::time::MILLIS));
+        assert!(sim.fcts.is_empty());
+        assert!(sim.network_stats().link_losses >= 1);
+        for l in &sim.topo.links {
+            if l.from == border_node || l.to == border_node {
+                assert!(!l.up, "link {} must be down", l.id);
+            }
+        }
+    }
+
+    #[test]
+    fn fail_action_records_outcome_and_terminates_run() {
+        struct GiveUp;
+        impl FlowLogic for GiveUp {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(10 * MICROS, 0);
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx) {}
+            fn on_timer(&mut self, _token: u64, ctx: &mut Ctx) {
+                ctx.fail(FlowOutcome::Stalled);
+            }
+        }
+        let mut sim = small_sim(47);
+        sim.set_tracer(Tracer::ring(1024));
+        let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(0, 1));
+        let id = sim.add_flow(
+            FlowMeta {
+                src,
+                dst,
+                size: 4096,
+                start: 0,
+                class: FlowClass::Intra,
+            },
+            Box::new(GiveUp),
+        );
+        // The run terminates as soon as the only flow gives up — it does
+        // not spin to the horizon.
+        sim.run_until(crate::time::SECONDS);
+        assert_eq!(sim.now(), 10 * MICROS);
+        assert_eq!(sim.flow_outcome(id), Some(FlowOutcome::Stalled));
+        assert_eq!(sim.flow_outcomes(), vec![Some(FlowOutcome::Stalled)]);
+        assert!(sim.fcts.is_empty());
+        assert_eq!(sim.failures.len(), 1);
+        assert_eq!(sim.failures[0].outcome, FlowOutcome::Stalled);
+        // Failed flows are terminal, not censored.
+        assert!(sim.censored_fcts().is_empty());
+        assert!(sim
+            .tracer
+            .ring_events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::FlowFail { aborted: false, .. })));
+        let c = sim.counter_snapshot();
+        assert_eq!(c.get("flow.stalled"), 1);
+        assert_eq!(c.get("flow.aborted"), 0);
     }
 
     #[test]

@@ -12,8 +12,11 @@ use crate::time::Time;
 pub enum Event {
     /// A link finished serializing a packet; start the next one if queued.
     LinkFree(LinkId),
-    /// A packet reaches the far end of a link (post propagation).
-    Arrive(LinkId, Packet),
+    /// A packet reaches the far end of a link (post propagation). Carries
+    /// the link's failure epoch at transmission time: if the link went down
+    /// while the packet was propagating, the epochs no longer match and the
+    /// packet is lost even if the link has since recovered.
+    Arrive(LinkId, Packet, u32),
     /// A flow-requested timer fires with an opaque token.
     FlowTimer {
         /// The flow whose timer fired.
@@ -29,6 +32,12 @@ pub enum Event {
     LinkUp(LinkId),
     /// A periodic statistics sampler ticks.
     Sample(u32),
+    /// An installed fault (by fault-plane index) reaches its onset time.
+    FaultStart(u32),
+    /// An installed fault reaches its healing time.
+    FaultEnd(u32),
+    /// A flapping fault's Markov process toggles between up and down.
+    FaultFlap(u32),
 }
 
 #[derive(Debug)]

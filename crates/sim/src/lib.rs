@@ -32,6 +32,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod loss;
 pub mod packet;
@@ -40,9 +41,10 @@ pub mod time;
 pub mod topology;
 
 pub use engine::{
-    Action, Ctx, FctRecord, FlowClass, FlowLogic, FlowMeta, LinkStats, NetworkStats, QueueSampler,
-    Simulator,
+    Action, Ctx, FailRecord, FctRecord, FlowClass, FlowLogic, FlowMeta, FlowOutcome, LinkStats,
+    NetworkStats, QueueSampler, Simulator,
 };
+pub use fault::{FaultEntry, FaultKind, FaultPlane, FaultSpec, FaultTarget, LinkHealth};
 // Observability vocabulary, re-exported so dependents need not name
 // `uno-trace` directly.
 pub use ids::{FlowId, LinkId, NodeId};

@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::LinkHealth;
 use crate::ids::{LinkId, NodeId};
 use crate::loss::GilbertElliott;
 use crate::packet::Packet;
@@ -130,6 +131,12 @@ pub struct Link {
     pub busy: bool,
     /// False when the link has failed.
     pub up: bool,
+    /// Failure epoch: bumped every time the link goes down, so in-flight
+    /// packets stamped with an older epoch die even if the link recovers
+    /// before they would have arrived.
+    pub epoch: u32,
+    /// Dynamic fault-plane state (gray loss, degraded capacity, delay).
+    pub health: LinkHealth,
     /// Optional stochastic loss process applied on arrival.
     pub loss: Option<GilbertElliott>,
     /// Packets successfully transmitted.
@@ -518,6 +525,8 @@ impl Topology {
             queue,
             busy: false,
             up: true,
+            epoch: 0,
+            health: LinkHealth::default(),
             loss: None,
             tx_packets: 0,
             tx_bytes: 0,

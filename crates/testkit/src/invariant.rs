@@ -571,11 +571,14 @@ impl InvariantChecker for RecoveryLiveness {
                 self.pending.entry(flow).or_insert((t, "nack"));
             }
             // Evidence of forward progress: a packet of the flow entered
-            // (or was refused by) the network, or the flow finished.
+            // (or was refused by) the network, or the flow reached a
+            // terminal outcome (a stalled/aborted declaration *is* the
+            // answer to a recovery that cannot succeed).
             TraceEvent::Enqueue { flow, .. }
             | TraceEvent::Drop { flow, .. }
             | TraceEvent::LinkLoss { flow, .. }
-            | TraceEvent::FlowDone { flow, .. } => {
+            | TraceEvent::FlowDone { flow, .. }
+            | TraceEvent::FlowFail { flow, .. } => {
                 self.pending.remove(&flow);
             }
             _ => {}
@@ -594,6 +597,135 @@ impl InvariantChecker for RecoveryLiveness {
                         "{kind} at {t}ns never answered by {end}ns (grace {}ns): \
                          recovery stalled",
                         spec.liveness_grace
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 9. Outcome soundness: a flow reaches at most one terminal state —
+//    completed (`FlowDone`) or failed (`FlowFail`) — never both and never
+//    twice. With `require_outcome` armed (permanent-fault runs), every
+//    spec flow must have exactly one by run end.
+// ---------------------------------------------------------------------------
+
+/// Exactly-one-terminal-outcome discipline per flow.
+#[derive(Default)]
+pub struct OutcomeSoundness {
+    terminal: HashMap<u32, (Time, &'static str)>,
+}
+
+impl OutcomeSoundness {
+    fn terminate(&mut self, t: Time, flow: u32, what: &'static str, out: &mut Vec<Violation>) {
+        if let Some(&(t0, first)) = self.terminal.get(&flow) {
+            out.push(Violation {
+                invariant: "outcome-soundness",
+                t,
+                flow: Some(flow),
+                link: None,
+                detail: format!("flow declared {what} but was already {first} at {t0}ns"),
+            });
+            return;
+        }
+        self.terminal.insert(flow, (t, what));
+    }
+}
+
+impl InvariantChecker for OutcomeSoundness {
+    fn name(&self) -> &'static str {
+        "outcome-soundness"
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent, _spec: &NetSpec, out: &mut Vec<Violation>) {
+        match *ev {
+            TraceEvent::FlowDone { t, flow } => self.terminate(t, flow, "completed", out),
+            TraceEvent::FlowFail { t, flow, aborted } => {
+                self.terminate(t, flow, if aborted { "aborted" } else { "stalled" }, out)
+            }
+            _ => {}
+        }
+    }
+
+    fn at_end(&mut self, end: Time, spec: &NetSpec, out: &mut Vec<Violation>) {
+        if !spec.require_outcome {
+            return;
+        }
+        for f in &spec.flows {
+            if !self.terminal.contains_key(&f.id) {
+                out.push(Violation {
+                    invariant: "outcome-soundness",
+                    t: end,
+                    flow: Some(f.id),
+                    link: None,
+                    detail: "flow never reached a terminal outcome (completed, stalled, \
+                             or aborted) by run end"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 10. Watchdog liveness: a flow that stops making delivery progress must
+//     eventually be declared done, stalled, or aborted. A non-terminal flow
+//     whose last ACK is older than the stall horizon at run end means the
+//     graceful-degradation watchdog is broken (or disarmed when it should
+//     not be).
+// ---------------------------------------------------------------------------
+
+/// Zero-progress flows must reach a terminal outcome within the horizon.
+#[derive(Default)]
+pub struct WatchdogLiveness {
+    last_progress: HashMap<u32, Time>,
+    terminal: HashSet<u32>,
+}
+
+impl InvariantChecker for WatchdogLiveness {
+    fn name(&self) -> &'static str {
+        "watchdog-liveness"
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent, _spec: &NetSpec, out: &mut Vec<Violation>) {
+        let _ = out;
+        match *ev {
+            // Delivery progress: an ACK reached the sender.
+            TraceEvent::Ack { t, flow, .. } => {
+                self.last_progress.insert(flow, t);
+            }
+            // Send-side activity only *starts* the clock for a flow; a
+            // sender retransmitting into a blackhole enqueues forever
+            // without delivering anything, and must not look alive.
+            TraceEvent::Enqueue { t, flow, .. }
+            | TraceEvent::Drop { t, flow, .. }
+            | TraceEvent::Timeout { t, flow, .. }
+            | TraceEvent::Nack { t, flow, .. } => {
+                self.last_progress.entry(flow).or_insert(t);
+            }
+            TraceEvent::FlowDone { flow, .. } | TraceEvent::FlowFail { flow, .. } => {
+                self.terminal.insert(flow);
+            }
+            _ => {}
+        }
+    }
+
+    fn at_end(&mut self, end: Time, spec: &NetSpec, out: &mut Vec<Violation>) {
+        if spec.stall_horizon == 0 {
+            return;
+        }
+        for (&flow, &t) in &self.last_progress {
+            if !self.terminal.contains(&flow) && end.saturating_sub(t) >= spec.stall_horizon {
+                out.push(Violation {
+                    invariant: "watchdog-liveness",
+                    t,
+                    flow: Some(flow),
+                    link: None,
+                    detail: format!(
+                        "no delivery progress since {t}ns and no terminal outcome by \
+                         {end}ns (stall horizon {}ns): the watchdog never fired",
+                        spec.stall_horizon
                     ),
                 });
             }
@@ -634,7 +766,7 @@ pub struct InvariantSuite {
 }
 
 impl InvariantSuite {
-    /// The standard stack-wide suite: all eight invariants.
+    /// The standard stack-wide suite: all ten invariants.
     pub fn standard(spec: NetSpec) -> Self {
         InvariantSuite::with_checkers(
             spec,
@@ -647,6 +779,8 @@ impl InvariantSuite {
                 Box::<CompletionSoundness>::default(),
                 Box::<RttSanity>::default(),
                 Box::<RecoveryLiveness>::default(),
+                Box::<OutcomeSoundness>::default(),
+                Box::<WatchdogLiveness>::default(),
             ],
         )
     }
@@ -759,6 +893,8 @@ mod tests {
             }],
             liveness_grace: 1_000_000,
             max_nacks_per_block: 8,
+            require_outcome: false,
+            stall_horizon: 1_000_000,
         }
     }
 
@@ -1008,6 +1144,98 @@ mod tests {
             qlen: 4096,
         });
         assert!(s.finalize(11_000_000).violations.is_empty());
+    }
+
+    #[test]
+    fn double_terminal_outcomes_are_flagged() {
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<OutcomeSoundness>::default()]);
+        s.on_event(&TraceEvent::FlowDone { t: 100, flow: 0 });
+        s.on_event(&TraceEvent::FlowFail {
+            t: 200,
+            flow: 0,
+            aborted: true,
+        });
+        let r = s.finalize(300);
+        assert_eq!(r.violations.len(), 1);
+        assert!(
+            r.violations[0].detail.contains("already completed"),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn missing_outcome_is_flagged_only_when_required() {
+        // require_outcome off: a flow with no terminal event is fine.
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<OutcomeSoundness>::default()]);
+        assert!(s.finalize(1_000).violations.is_empty());
+
+        // require_outcome on: the spec's flow 0 never terminated.
+        let mut req = spec();
+        req.require_outcome = true;
+        let mut s = InvariantSuite::with_checkers(req, vec![Box::<OutcomeSoundness>::default()]);
+        let r = s.finalize(1_000);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "outcome-soundness");
+
+        // A stalled declaration satisfies the requirement.
+        let mut req = spec();
+        req.require_outcome = true;
+        let mut s = InvariantSuite::with_checkers(req, vec![Box::<OutcomeSoundness>::default()]);
+        s.on_event(&TraceEvent::FlowFail {
+            t: 500,
+            flow: 0,
+            aborted: false,
+        });
+        assert!(s.finalize(1_000).violations.is_empty());
+    }
+
+    #[test]
+    fn silent_zero_progress_flow_breaks_watchdog_liveness() {
+        // A flow retransmits into a blackhole (enqueues, no ACKs) and never
+        // gets a terminal outcome: the watchdog should have fired.
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<WatchdogLiveness>::default()]);
+        s.on_event(&TraceEvent::Enqueue {
+            t: 1_000,
+            link: 0,
+            flow: 0,
+            seq: 0,
+            size: 4096,
+            qlen: 4096,
+        });
+        // Stall horizon is 1ms in the fixture spec; end 10ms later.
+        let r = s.finalize(10_000_000);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "watchdog-liveness");
+
+        // Same history but the flow is declared stalled: clean.
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<WatchdogLiveness>::default()]);
+        s.on_event(&TraceEvent::Enqueue {
+            t: 1_000,
+            link: 0,
+            flow: 0,
+            seq: 0,
+            size: 4096,
+            qlen: 4096,
+        });
+        s.on_event(&TraceEvent::FlowFail {
+            t: 2_000_000,
+            flow: 0,
+            aborted: false,
+        });
+        assert!(s.finalize(10_000_000).violations.is_empty());
+
+        // Recent delivery progress also keeps the flow alive.
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<WatchdogLiveness>::default()]);
+        s.on_event(&TraceEvent::Ack {
+            t: 9_500_000,
+            flow: 0,
+            seq: 0,
+            bytes: 4096,
+            ecn: false,
+            rtt: 2_000,
+            done: false,
+        });
+        assert!(s.finalize(10_000_000).violations.is_empty());
     }
 
     #[test]

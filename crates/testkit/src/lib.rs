@@ -5,9 +5,10 @@
 //! 1. **Protocol invariants** ([`invariant`]): stack-wide safety and
 //!    liveness properties — queue byte conservation, capacity bounds, cwnd
 //!    bounds, counter monotonicity, NACK discipline, UnoRC completion
-//!    soundness, RTT sanity, recovery liveness — evaluated online from the
-//!    `uno-trace` event stream. Arming them is a tracer choice, so the
-//!    simulator's hot paths pay nothing when checking is off.
+//!    soundness, RTT sanity, recovery liveness, terminal-outcome soundness,
+//!    and watchdog liveness — evaluated online from the `uno-trace` event
+//!    stream. Arming them is a tracer choice, so the simulator's hot paths
+//!    pay nothing when checking is off.
 //! 2. **Differential oracles** ([`naive_rs`], [`fluid`]): an independent
 //!    O(n·k) Reed–Solomon reference checked byte-for-byte against
 //!    `uno-erasure`, and a fluid-model throughput bound checked against

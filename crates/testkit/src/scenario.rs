@@ -10,8 +10,10 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Value;
-use uno::{CcKind, Experiment, ExperimentConfig, SchemeSpec};
-use uno_sim::{GilbertElliott, LinkId, Time, MILLIS, SECONDS};
+use uno::{CcKind, DegradationConfig, Experiment, ExperimentConfig, SchemeSpec};
+use uno_sim::{
+    FaultEntry, FaultKind, FaultSpec, FaultTarget, GilbertElliott, LinkId, Time, MILLIS, SECONDS,
+};
 use uno_workloads::FlowSpec;
 
 use crate::invariant::{ArmedChecker, Violation};
@@ -73,6 +75,57 @@ pub enum Fault {
         /// Window end (ns).
         until: Time,
     },
+    /// Gray failure through the fault plane: one border link silently
+    /// drops packets while still looking up.
+    Gray {
+        /// Forward (DC0→DC1) border set, else the reverse.
+        fwd: bool,
+        /// Index into the border-link set (taken modulo its length).
+        idx: u32,
+        /// Drop probability in permille (clamped to 1–999).
+        permille: u32,
+        /// Onset time (ns).
+        at: Time,
+        /// Healing time (ns); `0` means the fault is permanent.
+        until: Time,
+    },
+    /// Asymmetric blackhole: one *reverse* border link goes down for good —
+    /// data still crosses, ACKs on that path die. Always permanent, so the
+    /// runner arms graceful degradation and expects definite outcomes.
+    Asym {
+        /// Index into the reverse border-link set (modulo its length).
+        idx: u32,
+        /// Onset time (ns).
+        at: Time,
+    },
+    /// Markov up/down flapping of one border link.
+    Flap {
+        /// Forward (DC0→DC1) border set, else the reverse.
+        fwd: bool,
+        /// Index into the border-link set (taken modulo its length).
+        idx: u32,
+        /// Mean up-dwell (ns).
+        mtbf: Time,
+        /// Mean down-dwell (ns).
+        mttr: Time,
+        /// Onset time (ns).
+        at: Time,
+        /// Healing time (ns); `0` means the fault is permanent.
+        until: Time,
+    },
+}
+
+impl Fault {
+    /// True when the fault is guaranteed to heal, so every flow it touches
+    /// can still finish. Permanent faults flip the runner into
+    /// graceful-degradation mode instead.
+    pub fn heals(&self) -> bool {
+        match *self {
+            Fault::LinkDown { .. } | Fault::Loss { .. } => true,
+            Fault::Gray { until, .. } | Fault::Flap { until, .. } => until > 0,
+            Fault::Asym { .. } => false,
+        }
+    }
 }
 
 /// A complete, deterministic full-stack test case.
@@ -149,21 +202,57 @@ impl Scenario {
             .collect();
         let nfaults = rng.gen_range(0..4usize);
         let faults = (0..nfaults)
-            .map(|_| {
-                if rng.gen_bool(0.5) {
-                    Fault::LinkDown {
-                        fwd: rng.gen_bool(0.5),
-                        idx: rng.gen_range(0..8u32),
-                        at: rng.gen_range(0..4 * MILLIS),
-                        up_after: MILLIS + rng.gen_range(0..40 * MILLIS),
-                    }
-                } else {
+            .map(|_| match rng.gen_range(0..10u32) {
+                0..=2 => Fault::LinkDown {
+                    fwd: rng.gen_bool(0.5),
+                    idx: rng.gen_range(0..8u32),
+                    at: rng.gen_range(0..4 * MILLIS),
+                    up_after: MILLIS + rng.gen_range(0..40 * MILLIS),
+                },
+                3..=5 => {
                     let from = rng.gen_range(0..3 * MILLIS);
                     Fault::Loss {
                         link: rng.gen_range(0..4096u32),
                         permille: 1 + rng.gen_range(0..40u32),
                         from,
                         until: from + MILLIS + rng.gen_range(0..8 * MILLIS),
+                    }
+                }
+                6 | 7 => {
+                    let at = rng.gen_range(0..3 * MILLIS);
+                    // One in four gray faults never heals: the stall
+                    // watchdog, not recovery, must deliver the outcome.
+                    let until = if rng.gen_bool(0.25) {
+                        0
+                    } else {
+                        at + MILLIS + rng.gen_range(0..20 * MILLIS)
+                    };
+                    Fault::Gray {
+                        fwd: rng.gen_bool(0.5),
+                        idx: rng.gen_range(0..8u32),
+                        permille: 1 + rng.gen_range(0..400u32),
+                        at,
+                        until,
+                    }
+                }
+                8 => Fault::Asym {
+                    idx: rng.gen_range(0..8u32),
+                    at: rng.gen_range(0..3 * MILLIS),
+                },
+                _ => {
+                    let at = rng.gen_range(0..3 * MILLIS);
+                    let until = if rng.gen_bool(0.25) {
+                        0
+                    } else {
+                        at + 2 * MILLIS + rng.gen_range(0..30 * MILLIS)
+                    };
+                    Fault::Flap {
+                        fwd: rng.gen_bool(0.5),
+                        idx: rng.gen_range(0..8u32),
+                        mtbf: MILLIS / 2 + rng.gen_range(0..8 * MILLIS),
+                        mttr: MILLIS / 2 + rng.gen_range(0..8 * MILLIS),
+                        at,
+                        until,
                     }
                 }
             })
@@ -223,6 +312,41 @@ impl Scenario {
                     ("link", Value::U64(link as u64)),
                     ("permille", Value::U64(permille as u64)),
                     ("from", Value::U64(from)),
+                    ("until", Value::U64(until)),
+                ]),
+                Fault::Gray {
+                    fwd,
+                    idx,
+                    permille,
+                    at,
+                    until,
+                } => obj(vec![
+                    ("kind", Value::Str("gray".to_string())),
+                    ("fwd", Value::Bool(fwd)),
+                    ("idx", Value::U64(idx as u64)),
+                    ("permille", Value::U64(permille as u64)),
+                    ("at", Value::U64(at)),
+                    ("until", Value::U64(until)),
+                ]),
+                Fault::Asym { idx, at } => obj(vec![
+                    ("kind", Value::Str("asym".to_string())),
+                    ("idx", Value::U64(idx as u64)),
+                    ("at", Value::U64(at)),
+                ]),
+                Fault::Flap {
+                    fwd,
+                    idx,
+                    mtbf,
+                    mttr,
+                    at,
+                    until,
+                } => obj(vec![
+                    ("kind", Value::Str("flap".to_string())),
+                    ("fwd", Value::Bool(fwd)),
+                    ("idx", Value::U64(idx as u64)),
+                    ("mtbf", Value::U64(mtbf)),
+                    ("mttr", Value::U64(mttr)),
+                    ("at", Value::U64(at)),
                     ("until", Value::U64(until)),
                 ]),
             })
@@ -285,6 +409,25 @@ impl Scenario {
                         link: num(f, "link")? as u32,
                         permille: num(f, "permille")? as u32,
                         from: num(f, "from")?,
+                        until: num(f, "until")?,
+                    }),
+                    "gray" => Ok(Fault::Gray {
+                        fwd: boolean(f, "fwd")?,
+                        idx: num(f, "idx")? as u32,
+                        permille: num(f, "permille")? as u32,
+                        at: num(f, "at")?,
+                        until: num(f, "until")?,
+                    }),
+                    "asym" => Ok(Fault::Asym {
+                        idx: num(f, "idx")? as u32,
+                        at: num(f, "at")?,
+                    }),
+                    "flap" => Ok(Fault::Flap {
+                        fwd: boolean(f, "fwd")?,
+                        idx: num(f, "idx")? as u32,
+                        mtbf: num(f, "mtbf")?,
+                        mttr: num(f, "mttr")?,
+                        at: num(f, "at")?,
                         until: num(f, "until")?,
                     }),
                     other => Err(format!("unknown fault kind `{other}`")),
@@ -355,6 +498,14 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
     let mut cfg = ExperimentConfig::quick(scheme.clone(), sc.seed);
     cfg.topo.queue_bytes = (sc.queue_kib.max(64) as u64) << 10;
     cfg.faults.block_accounting_off_by_one = sc.inject_block_bug;
+    // A fault that never heals can starve a flow forever; arm the stall
+    // watchdog and bounded retries so every flow still reaches a definite
+    // outcome, and hold the run to that (weaker) expectation instead of
+    // full completion. Healing-only scenarios keep the legacy contract.
+    let permanent = sc.faults.iter().any(|f| !f.heals());
+    if permanent {
+        cfg.degradation = Some(DegradationConfig::default());
+    }
     let mut e = Experiment::new(cfg);
 
     // Normalise workload addressing against the actual topology and add
@@ -438,6 +589,8 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
                 flows,
                 liveness_grace: SECONDS / 2,
                 max_nacks_per_block: 8,
+                require_outcome: permanent,
+                stall_horizon: 3 * SECONDS,
             },
             topo.links.len() as u32,
             topo.border_forward.clone(),
@@ -449,7 +602,25 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
 
     // Schedule link failures up front; loss windows need live edits to the
     // loss process, so collect their boundaries and step through them.
+    // Gray/asym/flap faults go through the fault plane, which drives its
+    // own transitions off the event queue.
     let mut loss_edges: Vec<(Time, u32, Option<u32>)> = Vec::new();
+    let mut plane: Vec<FaultEntry> = Vec::new();
+    let border_target = |fwd: bool, idx: u32| -> Option<FaultTarget> {
+        let set = if fwd { &border_fwd } else { &border_rev };
+        if set.is_empty() {
+            return None;
+        }
+        let idx = idx as usize % set.len();
+        Some(if fwd {
+            FaultTarget::BorderForward { idx }
+        } else {
+            FaultTarget::BorderReverse { idx }
+        })
+    };
+    // `until == 0` encodes permanence; any other value is clamped past the
+    // onset so the entry always passes fault-plane validation.
+    let heal = |at: Time, until: Time| -> Option<Time> { (until > 0).then_some(until.max(at + 1)) };
     for f in &sc.faults {
         match *f {
             Fault::LinkDown {
@@ -476,7 +647,60 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
                 loss_edges.push((from, l, Some(permille.clamp(1, 999))));
                 loss_edges.push((until.max(from + 1), l, None));
             }
+            Fault::Gray {
+                fwd,
+                idx,
+                permille,
+                at,
+                until,
+            } => {
+                if let Some(target) = border_target(fwd, idx) {
+                    plane.push(FaultEntry {
+                        target,
+                        kind: FaultKind::GrayLoss {
+                            p: permille.clamp(1, 999) as f64 / 1000.0,
+                        },
+                        at,
+                        until: heal(at, until),
+                    });
+                }
+            }
+            Fault::Asym { idx, at } => {
+                if let Some(target) = border_target(false, idx) {
+                    plane.push(FaultEntry {
+                        target,
+                        kind: FaultKind::Down,
+                        at,
+                        until: None,
+                    });
+                }
+            }
+            Fault::Flap {
+                fwd,
+                idx,
+                mtbf,
+                mttr,
+                at,
+                until,
+            } => {
+                if let Some(target) = border_target(fwd, idx) {
+                    plane.push(FaultEntry {
+                        target,
+                        kind: FaultKind::Flapping {
+                            mtbf: mtbf.max(1),
+                            mttr: mttr.max(1),
+                        },
+                        at,
+                        until: heal(at, until),
+                    });
+                }
+            }
         }
+    }
+    if !plane.is_empty() {
+        e.sim
+            .install_faults(&FaultSpec { faults: plane })
+            .expect("scenario fault plane resolves against its own topology");
     }
     loss_edges.sort_by_key(|&(t, l, on)| (t, l, on.is_none()));
     for (t, l, edge) in loss_edges {
@@ -494,7 +718,28 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
     let completed = e.sim.num_completed() == specs.len();
     let report = armed.finish(sim_end);
     let mut violations = report.violations;
-    if !completed {
+    if permanent {
+        // Some flows may legitimately never finish; graceful degradation
+        // must still give every one a definite outcome.
+        let terminated = e.sim.num_terminated();
+        if terminated != specs.len() {
+            violations.push(Violation {
+                invariant: "completion",
+                t: sim_end,
+                flow: None,
+                link: None,
+                detail: format!(
+                    "{}/{} flows reached a definite outcome ({} completed, {} \
+                     failed) despite the armed watchdog: a permanent fault \
+                     must stall or abort flows, never wedge them",
+                    terminated,
+                    specs.len(),
+                    e.sim.num_completed(),
+                    e.sim.failures.len()
+                ),
+            });
+        }
+    } else if !completed {
         violations.push(Violation {
             invariant: "completion",
             t: sim_end,
@@ -540,6 +785,90 @@ mod tests {
             let back2 = Scenario::from_json(&sc.to_json_pretty()).unwrap();
             assert_eq!(sc, back2, "seed {seed} (pretty)");
         }
+    }
+
+    #[test]
+    fn new_fault_kinds_round_trip_and_classify() {
+        let sc = Scenario {
+            seed: 3,
+            scheme: 0,
+            queue_kib: 512,
+            flows: vec![FlowDesc {
+                src_dc: 0,
+                src_idx: 0,
+                dst_dc: 1,
+                dst_idx: 1,
+                size: 8 * 4096,
+                start: 0,
+            }],
+            faults: vec![
+                Fault::Gray {
+                    fwd: true,
+                    idx: 0,
+                    permille: 50,
+                    at: 0,
+                    until: 5 * MILLIS,
+                },
+                Fault::Asym { idx: 1, at: MILLIS },
+                Fault::Flap {
+                    fwd: false,
+                    idx: 2,
+                    mtbf: MILLIS,
+                    mttr: MILLIS,
+                    at: 0,
+                    until: 0,
+                },
+            ],
+            horizon: 10 * SECONDS,
+            inject_block_bug: false,
+        };
+        let back = Scenario::from_json(&sc.to_json_pretty()).unwrap();
+        assert_eq!(sc, back);
+        assert!(sc.faults[0].heals());
+        assert!(!sc.faults[1].heals()); // asym is always permanent
+        assert!(!sc.faults[2].heals()); // until == 0 means permanent
+    }
+
+    #[test]
+    fn permanent_blackhole_scenario_degrades_gracefully() {
+        // Every reverse border link blackholed: the inter-DC flow can never
+        // see an ACK, so only graceful degradation keeps this scenario
+        // clean — and the run must end well before the horizon.
+        let sc = Scenario {
+            seed: 7,
+            scheme: 0,
+            queue_kib: 512,
+            flows: vec![
+                FlowDesc {
+                    src_dc: 0,
+                    src_idx: 0,
+                    dst_dc: 1,
+                    dst_idx: 1,
+                    size: 64 * 4096,
+                    start: 0,
+                },
+                FlowDesc {
+                    src_dc: 0,
+                    src_idx: 2,
+                    dst_dc: 0,
+                    dst_idx: 3,
+                    size: 16 * 4096,
+                    start: 0,
+                },
+            ],
+            faults: (0..8).map(|idx| Fault::Asym { idx, at: MILLIS }).collect(),
+            horizon: 10 * SECONDS,
+            inject_block_bug: false,
+        };
+        let out = run_scenario(&sc);
+        assert!(
+            !out.failed(),
+            "first violation: {:?} (of {})",
+            out.violations.first(),
+            out.violations.len()
+        );
+        assert!(!out.completed, "the blackholed inter flow cannot complete");
+        assert!(out.sim_end < sc.horizon, "the stalled flow wedged the run");
     }
 
     #[test]

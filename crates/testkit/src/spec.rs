@@ -102,6 +102,15 @@ pub struct NetSpec {
     /// Per-block NACK budget the receiver must respect (UnoRC gives up and
     /// falls back to sender RTOs beyond this).
     pub max_nacks_per_block: u64,
+    /// When true, every flow must reach exactly one terminal outcome
+    /// (`FlowDone` or `FlowFail`) by run end. Armed for runs containing a
+    /// permanent fault, where graceful degradation — not completion — is
+    /// the contract.
+    pub require_outcome: bool,
+    /// How long a live (non-terminal) flow may go without any delivery
+    /// progress before the watchdog-liveness checker declares the stall
+    /// watchdog broken. `0` disables the check.
+    pub stall_horizon: Time,
 }
 
 impl NetSpec {

@@ -217,6 +217,29 @@ pub enum TraceEvent {
         /// Bytes discarded.
         bytes: u64,
     },
+    /// The fault plane changed a link's health state (hard down, gray loss,
+    /// degraded capacity, added delay, flap transition, or healing back).
+    /// Carries no flow id.
+    FaultTransition {
+        /// Simulation time (ns).
+        t: Time,
+        /// Affected link.
+        link: u32,
+        /// True when the link returned to fully healthy service, false when
+        /// a fault (of any kind) took effect.
+        up: bool,
+    },
+    /// The flow gave up without delivering its message: either the stall
+    /// watchdog declared it dead or the bounded-retry budget ran out.
+    FlowFail {
+        /// Simulation time (ns).
+        t: Time,
+        /// Flow.
+        flow: u32,
+        /// True for a bounded-retry abort, false for a stall-watchdog
+        /// verdict.
+        aborted: bool,
+    },
 }
 
 /// Float formatting identical to the JSON printer's: integral finite values
@@ -246,7 +269,9 @@ impl TraceEvent {
             | TraceEvent::EpochBoundary { t, .. }
             | TraceEvent::QuickAdapt { t, .. }
             | TraceEvent::FlowDone { t, .. }
-            | TraceEvent::QueueClear { t, .. } => t,
+            | TraceEvent::QueueClear { t, .. }
+            | TraceEvent::FaultTransition { t, .. }
+            | TraceEvent::FlowFail { t, .. } => t,
         }
     }
 
@@ -265,8 +290,9 @@ impl TraceEvent {
             | TraceEvent::CwndChange { flow, .. }
             | TraceEvent::EpochBoundary { flow, .. }
             | TraceEvent::QuickAdapt { flow, .. }
-            | TraceEvent::FlowDone { flow, .. } => Some(flow),
-            TraceEvent::QueueClear { .. } => None,
+            | TraceEvent::FlowDone { flow, .. }
+            | TraceEvent::FlowFail { flow, .. } => Some(flow),
+            TraceEvent::QueueClear { .. } | TraceEvent::FaultTransition { .. } => None,
         }
     }
 
@@ -278,7 +304,8 @@ impl TraceEvent {
             | TraceEvent::Drop { link, .. }
             | TraceEvent::Mark { link, .. }
             | TraceEvent::LinkLoss { link, .. }
-            | TraceEvent::QueueClear { link, .. } => Some(link),
+            | TraceEvent::QueueClear { link, .. }
+            | TraceEvent::FaultTransition { link, .. } => Some(link),
             _ => None,
         }
     }
@@ -291,14 +318,14 @@ impl TraceEvent {
             | TraceEvent::Drop { .. }
             | TraceEvent::Mark { .. }
             | TraceEvent::QueueClear { .. } => EventClass::Queue,
-            TraceEvent::LinkLoss { .. } => EventClass::Link,
+            TraceEvent::LinkLoss { .. } | TraceEvent::FaultTransition { .. } => EventClass::Link,
             TraceEvent::Ack { .. }
             | TraceEvent::CwndChange { .. }
             | TraceEvent::EpochBoundary { .. }
             | TraceEvent::QuickAdapt { .. } => EventClass::Cc,
             TraceEvent::Nack { .. } | TraceEvent::Timeout { .. } => EventClass::Rc,
             TraceEvent::Reroute { .. } => EventClass::Lb,
-            TraceEvent::FlowDone { .. } => EventClass::Flow,
+            TraceEvent::FlowDone { .. } | TraceEvent::FlowFail { .. } => EventClass::Flow,
         }
     }
 
@@ -319,6 +346,8 @@ impl TraceEvent {
             TraceEvent::QuickAdapt { .. } => "qa",
             TraceEvent::FlowDone { .. } => "flow_done",
             TraceEvent::QueueClear { .. } => "queue_clear",
+            TraceEvent::FaultTransition { .. } => "fault",
+            TraceEvent::FlowFail { .. } => "flow_fail",
         }
     }
 
@@ -417,6 +446,12 @@ impl TraceEvent {
                 link, pkts, bytes, ..
             } => {
                 let _ = write!(out, r#","link":{link},"pkts":{pkts},"bytes":{bytes}"#);
+            }
+            TraceEvent::FaultTransition { link, up, .. } => {
+                let _ = write!(out, r#","link":{link},"up":{up}"#);
+            }
+            TraceEvent::FlowFail { flow, aborted, .. } => {
+                let _ = write!(out, r#","flow":{flow},"aborted":{aborted}"#);
             }
         }
         out.push('}');
@@ -544,6 +579,16 @@ impl TraceEvent {
                 pkts: num(v, "pkts")?,
                 bytes: num(v, "bytes")?,
             },
+            "fault" => TraceEvent::FaultTransition {
+                t,
+                link: num(v, "link")? as u32,
+                up: boolean(v, "up")?,
+            },
+            "flow_fail" => TraceEvent::FlowFail {
+                t,
+                flow: flw(v)?,
+                aborted: boolean(v, "aborted")?,
+            },
             other => return Err(format!("unknown event kind `{other}`")),
         })
     }
@@ -636,6 +681,16 @@ mod tests {
                 pkts: 12,
                 bytes: 49_152,
             },
+            TraceEvent::FaultTransition {
+                t: 24,
+                link: 2,
+                up: false,
+            },
+            TraceEvent::FlowFail {
+                t: 25,
+                flow: 1,
+                aborted: true,
+            },
         ]
     }
 
@@ -653,7 +708,7 @@ mod tests {
     fn classes_are_stable() {
         use EventClass::*;
         let want = [
-            Queue, Queue, Queue, Queue, Link, Cc, Rc, Rc, Lb, Cc, Cc, Cc, Flow, Queue,
+            Queue, Queue, Queue, Queue, Link, Cc, Rc, Rc, Lb, Cc, Cc, Cc, Flow, Queue, Link, Flow,
         ];
         for (ev, w) in samples().iter().zip(want) {
             assert_eq!(ev.class(), w, "{ev:?}");

@@ -39,6 +39,9 @@ pub struct FlowSummary {
     pub md_epochs: u64,
     /// Whether a flow-done event was observed.
     pub completed: bool,
+    /// Whether a flow-fail event (watchdog stall or retry-budget abort) was
+    /// observed.
+    pub failed: bool,
 }
 
 /// Per-link (egress queue) view of a trace.
@@ -60,6 +63,8 @@ pub struct QueueSummary {
     pub losses: u64,
     /// Packets purged from the queue by link failures.
     pub cleared: u64,
+    /// Fault-plane transitions (fault onset or healing) on this link.
+    pub fault_transitions: u64,
     /// High-water mark of physical occupancy seen at enqueue (bytes).
     pub max_qlen: u64,
 }
@@ -106,6 +111,7 @@ impl TraceSummary {
                     }
                     TraceEvent::LinkLoss { .. } => q.losses += 1,
                     TraceEvent::QueueClear { pkts, .. } => q.cleared += pkts,
+                    TraceEvent::FaultTransition { .. } => q.fault_transitions += 1,
                     _ => {}
                 }
             }
@@ -139,6 +145,7 @@ impl TraceSummary {
                     f.md_epochs += 1;
                 }
                 TraceEvent::FlowDone { .. } => f.completed = true,
+                TraceEvent::FlowFail { .. } => f.failed = true,
                 _ => {}
             }
         }

@@ -19,7 +19,9 @@
 use std::collections::VecDeque;
 
 use uno_erasure::EcParams;
-use uno_sim::{Counters, Ctx, FlowLogic, NodeId, Packet, PacketKind, Time, TraceEvent};
+use uno_sim::{
+    Counters, Ctx, FlowLogic, FlowOutcome, NodeId, Packet, PacketKind, Time, TraceEvent,
+};
 
 use crate::cc::{AckEvent, CcAlgorithm};
 use crate::lb::{LbMode, LoadBalancer};
@@ -29,6 +31,7 @@ use crate::rtt::RttEstimator;
 const TK_RTO: u64 = 1;
 const TK_PACE: u64 = 2;
 const TK_BLOCK: u64 = 3;
+const TK_WATCHDOG: u64 = 4;
 
 /// Maximum NACK retries per block before relying on the sender RTO.
 const MAX_NACKS_PER_BLOCK: u8 = 8;
@@ -70,6 +73,16 @@ pub struct FlowConfig {
     /// Receiver block timer (paper: estimated max queuing + transmission
     /// delay); only used with EC.
     pub block_timeout: Time,
+    /// Stall watchdog: check cumulative-ACK progress every `n × rto`; two
+    /// consecutive checks without progress terminate the flow as
+    /// [`FlowOutcome::Stalled`]. `None` disables the watchdog (flows under a
+    /// permanent fault then run until the experiment horizon, i.e. legacy
+    /// censored-FCT behaviour).
+    pub stall_rtos: Option<u32>,
+    /// Abort after this many *consecutive* RTO firings with no delivered-byte
+    /// progress between them ([`FlowOutcome::Aborted`]). `None` retries
+    /// forever.
+    pub max_rto_retries: Option<u32>,
     /// Deliberate, test-only protocol bugs (all off by default).
     pub faults: FaultInjection,
 }
@@ -89,8 +102,18 @@ impl FlowConfig {
             lb: LbMode::Ecmp,
             dup_thresh: 16,
             block_timeout: base_rtt,
+            stall_rtos: None,
+            max_rto_retries: None,
             faults: FaultInjection::default(),
         }
+    }
+
+    /// Enable graceful degradation (stall watchdog + bounded-retry abort)
+    /// with the given knobs, for runs that inject faults.
+    pub fn with_degradation(mut self, stall_rtos: u32, max_rto_retries: u32) -> Self {
+        self.stall_rtos = Some(stall_rtos);
+        self.max_rto_retries = Some(max_rto_retries);
+        self
     }
 }
 
@@ -167,6 +190,16 @@ pub struct MessageFlow {
     // Pacing (lazy single timer).
     pace_next: Time,
     pace_pending: bool,
+    // Graceful degradation (both paths only active when configured).
+    failed: bool,
+    /// Delivered bytes at the last watchdog check.
+    watchdog_delivered: u64,
+    /// Consecutive watchdog checks without delivered-byte progress.
+    stall_strikes: u32,
+    /// Consecutive genuine RTO firings without delivered-byte progress.
+    rtos_since_progress: u32,
+    /// Delivered bytes at the last genuine RTO.
+    delivered_at_last_rto: u64,
 
     // --- receiver ---
     rx_bitmap: Vec<u64>,
@@ -226,6 +259,11 @@ impl MessageFlow {
             rtx_packets: 0,
             pace_next: 0,
             pace_pending: false,
+            failed: false,
+            watchdog_delivered: 0,
+            stall_strikes: 0,
+            rtos_since_progress: 0,
+            delivered_at_last_rto: 0,
             rx_bitmap: vec![0; (total_wire as usize).div_ceil(64)],
             rx_block_count: vec![0; nblocks as usize],
             rx_block_done: vec![false; nblocks as usize],
@@ -253,6 +291,12 @@ impl MessageFlow {
     /// True once the transfer completed.
     pub fn is_complete(&self) -> bool {
         self.completed
+    }
+
+    /// True once the flow terminated without completing (stall watchdog or
+    /// bounded-retry abort fired).
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 
     /// Bytes currently believed in flight (diagnostics).
@@ -376,7 +420,7 @@ impl MessageFlow {
     // ------------------------------------------------------------------
 
     fn pump(&mut self, ctx: &mut Ctx) {
-        while !self.completed {
+        while !self.completed && !self.failed {
             // Pacing gate (rate-based controllers).
             if self.cc.pacing_bps().is_some() && ctx.now < self.pace_next {
                 self.ensure_pace_timer(ctx);
@@ -488,7 +532,7 @@ impl MessageFlow {
 
     fn on_rto_timer(&mut self, ctx: &mut Ctx) {
         self.rto_pending = false;
-        if self.completed || self.inflight == 0 {
+        if self.completed || self.failed || self.inflight == 0 {
             return;
         }
         if ctx.now < self.rto_deadline {
@@ -499,6 +543,19 @@ impl MessageFlow {
         }
         // Genuine RTO: everything outstanding is presumed lost.
         self.rto_count += 1;
+        // Bounded-retry abort: consecutive RTOs with zero delivered-byte
+        // progress mean the path (or its reverse) is gone, not congested.
+        if self.delivered > self.delivered_at_last_rto {
+            self.rtos_since_progress = 0;
+        }
+        self.delivered_at_last_rto = self.delivered;
+        self.rtos_since_progress += 1;
+        if let Some(max) = self.cfg.max_rto_retries {
+            if self.rtos_since_progress > max {
+                self.fail(FlowOutcome::Aborted, ctx);
+                return;
+            }
+        }
         let before = if ctx.tracing() {
             Some(self.cc_snapshot())
         } else {
@@ -540,7 +597,13 @@ impl MessageFlow {
     fn on_ack(&mut self, pkt: Packet, ctx: &mut Ctx) {
         let seq = pkt.seq;
         let rtt_sample = ctx.now.saturating_sub(pkt.sent_at).max(1);
-        self.rtt.sample(rtt_sample);
+        // Karn's algorithm: an ACK for a packet that was ever retransmitted
+        // is ambiguous (it may acknowledge any copy), so it must not feed
+        // the RTT estimator — a stale-copy ACK measured against the newest
+        // transmission would collapse the RTO below the real RTT.
+        if self.st[seq as usize].rtx == 0 {
+            self.rtt.sample(rtt_sample);
+        }
         self.rto_backoff = 0;
         let s = &mut self.st[seq as usize];
         if s.acked {
@@ -772,6 +835,59 @@ impl MessageFlow {
         }
     }
 
+    /// Terminate the flow with a definite non-success outcome. The engine
+    /// records it in the failure table and stops waiting on this flow.
+    fn fail(&mut self, outcome: FlowOutcome, ctx: &mut Ctx) {
+        if !self.completed && !self.failed {
+            self.failed = true;
+            ctx.progress(self.delivered);
+            ctx.fail(outcome);
+        }
+    }
+
+    /// Current retransmission timeout (shared by the RTO and watchdog paths).
+    fn current_rto(&self) -> Time {
+        self.rtt.rto(self.cfg.min_rto, 3 * self.cfg.base_rtt.max(1))
+    }
+
+    fn arm_watchdog(&mut self, ctx: &mut Ctx) {
+        if let Some(n) = self.cfg.stall_rtos {
+            ctx.set_timer(self.current_rto() * n.max(1) as Time, TK_WATCHDOG);
+        }
+    }
+
+    /// Stall watchdog: fires every `stall_rtos × rto`. Zero cumulative-ACK
+    /// progress between two consecutive checks declares the flow
+    /// [`FlowOutcome::Stalled`]; a single zero-progress check already pokes
+    /// the load balancer so UnoLB can try another path before we give up.
+    fn on_watchdog_timer(&mut self, ctx: &mut Ctx) {
+        if self.completed || self.failed {
+            return;
+        }
+        if self.delivered > self.watchdog_delivered {
+            self.watchdog_delivered = self.delivered;
+            self.stall_strikes = 0;
+        } else {
+            self.stall_strikes += 1;
+            let before = if ctx.tracing() {
+                Some(self.cc_snapshot())
+            } else {
+                None
+            };
+            if let Some(lb) = self.lb.as_mut() {
+                lb.on_nack_or_timeout(ctx.now, ctx.rng);
+            }
+            if let Some(before) = before {
+                self.trace_cc_deltas(before, ctx);
+            }
+            if self.stall_strikes >= 2 {
+                self.fail(FlowOutcome::Stalled, ctx);
+                return;
+            }
+        }
+        self.arm_watchdog(ctx);
+    }
+
     // ------------------------------------------------------------------
     // Receiver half
     // ------------------------------------------------------------------
@@ -856,10 +972,16 @@ impl MessageFlow {
 impl FlowLogic for MessageFlow {
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.lb = Some(LoadBalancer::new(self.cfg.lb, self.cfg.base_rtt, ctx.rng));
+        self.arm_watchdog(ctx);
         self.pump(ctx);
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        if self.failed {
+            // Terminated: late arrivals (e.g. ACKs already on the wire when
+            // the watchdog gave up) must not resurrect the flow.
+            return;
+        }
         match pkt.kind {
             PacketKind::Data => self.on_data(pkt, ctx),
             PacketKind::Ack => self.on_ack(pkt, ctx),
@@ -875,6 +997,7 @@ impl FlowLogic for MessageFlow {
                 self.pump(ctx);
             }
             TK_BLOCK => self.on_block_timer((token >> 8) as usize, ctx),
+            TK_WATCHDOG => self.on_watchdog_timer(ctx),
             t => unreachable!("unknown timer token {t}"),
         }
     }
@@ -887,7 +1010,13 @@ impl FlowLogic for MessageFlow {
         counters.add("rc.rtos", self.rto_count);
         counters.add("rc.fast_rtx", self.fast_rtx_count);
         counters.add("rc.retransmits", self.rtx_packets);
+        counters.add("rc.rtt_samples", self.rtt.samples());
         counters.add("lb.reroutes", self.lb.as_ref().map_or(0, |lb| lb.reroutes));
+        // Degradation diagnostics only exist when the machinery is enabled,
+        // so fault-free runs keep their historical counter snapshots.
+        if self.cfg.stall_rtos.is_some() {
+            counters.add("rc.stall_strikes", self.stall_strikes as u64);
+        }
     }
 }
 

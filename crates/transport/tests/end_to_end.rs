@@ -262,6 +262,118 @@ fn incast_flows_all_complete_and_share() {
 }
 
 #[test]
+fn karn_excludes_rtt_samples_from_retransmissions() {
+    let mut sim = sim(13);
+    let s = sim.topo.host(0, 0);
+    let up = sim.topo.host_uplink(s);
+    // The uplink is dark for the first millisecond: the original copy (and
+    // any RTO copies queued meanwhile) die, and the copy that finally lands
+    // is a retransmission. Karn's rule forbids sampling its ACK.
+    sim.schedule_link_down(up, 0);
+    sim.schedule_link_up(up, MILLIS);
+    add_unocc_flow(&mut sim, (0, 0), (0, 9), 4096, None, LbMode::Ecmp);
+    assert!(sim.run_to_completion(SECONDS));
+    let c = sim.counter_snapshot();
+    assert!(c.get("rc.retransmits") >= 1);
+    assert_eq!(
+        c.get("rc.rtt_samples"),
+        0,
+        "an ACK for a retransmitted packet is ambiguous and must not feed the estimator"
+    );
+}
+
+fn blackhole_reverse_border(sim: &mut Simulator) {
+    use uno_sim::{FaultEntry, FaultKind, FaultSpec, FaultTarget};
+    let spec = FaultSpec {
+        faults: (0..sim.topo.border_reverse.len())
+            .map(|idx| FaultEntry {
+                target: FaultTarget::BorderReverse { idx },
+                kind: FaultKind::Down,
+                at: 0,
+                until: None,
+            })
+            .collect(),
+    };
+    sim.install_faults(&spec).unwrap();
+}
+
+fn add_degraded_inter_flow(sim: &mut Simulator, fc_tweak: impl FnOnce(&mut FlowConfig)) {
+    let s = sim.topo.host(0, 0);
+    let d = sim.topo.host(1, 0);
+    let cfg = cc_config(&sim.topo, true);
+    let base_rtt = sim.topo.base_rtt(s, d);
+    let mut fc = FlowConfig::basic(s, d, 1 << 20, base_rtt);
+    fc_tweak(&mut fc);
+    let flow = MessageFlow::new(fc, Box::new(UnoCc::new(cfg)));
+    sim.add_flow(
+        FlowMeta {
+            src: s,
+            dst: d,
+            size: 1 << 20,
+            start: 0,
+            class: FlowClass::Inter,
+        },
+        Box::new(flow),
+    );
+}
+
+#[test]
+fn watchdog_stalls_flow_on_blackholed_reverse_path() {
+    use uno_sim::{FlowId, FlowOutcome};
+    // Asymmetric gray failure: data crosses the border, every ACK dies on
+    // the way back. The stall watchdog must terminate the flow instead of
+    // letting it retry until the experiment horizon.
+    let mut sim = sim(12);
+    blackhole_reverse_border(&mut sim);
+    add_degraded_inter_flow(&mut sim, |fc| {
+        *fc = fc.clone().with_degradation(4, 16);
+    });
+    assert!(
+        sim.run_to_completion(30 * SECONDS),
+        "flow must terminate with a definite outcome instead of hanging"
+    );
+    assert!(sim.fcts.is_empty(), "the flow cannot have completed");
+    assert_eq!(sim.failures.len(), 1);
+    assert_eq!(sim.flow_outcome(FlowId(0)), Some(FlowOutcome::Stalled));
+    // The watchdog gave up long before the horizon.
+    assert!(sim.now() < SECONDS, "stalled too late: {}", sim.now());
+}
+
+#[test]
+fn bounded_retries_abort_flow_on_blackholed_reverse_path() {
+    use uno_sim::{FlowId, FlowOutcome};
+    let mut sim = sim(14);
+    blackhole_reverse_border(&mut sim);
+    add_degraded_inter_flow(&mut sim, |fc| {
+        // Abort path only: three consecutive zero-progress RTOs give up.
+        fc.max_rto_retries = Some(2);
+    });
+    assert!(sim.run_to_completion(30 * SECONDS));
+    assert!(sim.fcts.is_empty());
+    assert_eq!(sim.flow_outcome(FlowId(0)), Some(FlowOutcome::Aborted));
+    assert_eq!(sim.failures[0].outcome, FlowOutcome::Aborted);
+    assert!(sim.now() < SECONDS, "aborted too late: {}", sim.now());
+}
+
+#[test]
+fn degradation_knobs_do_not_fire_on_healthy_paths() {
+    use uno_sim::FlowId;
+    // A healthy inter-DC flow with the watchdog and retry bound armed must
+    // still complete normally — degradation is a last resort, not a tax.
+    let mut sim = sim(15);
+    add_degraded_inter_flow(&mut sim, |fc| {
+        *fc = fc.clone().with_degradation(4, 8);
+    });
+    assert!(sim.run_to_completion(2 * SECONDS));
+    assert_eq!(sim.fcts.len(), 1);
+    assert!(sim.failures.is_empty());
+    assert_eq!(
+        sim.flow_outcome(FlowId(0)),
+        Some(uno_sim::FlowOutcome::Completed)
+    );
+}
+
+#[test]
 fn deterministic_across_runs() {
     let run = || {
         let mut s = sim(77);
