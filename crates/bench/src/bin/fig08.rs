@@ -30,8 +30,11 @@ fn main() {
     );
     println!();
 
-    // Top: Uno fairness per scenario.
-    for (label, n_intra, n_inter) in scenarios {
+    let sweep = args.sweep();
+
+    // Top: Uno fairness per scenario. The three scenarios are independent
+    // cells; the sweep returns them in scenario order whatever `--jobs` is.
+    let fairness = sweep.run(scenarios.to_vec(), |_, (label, n_intra, n_inter)| {
         let specs = incast(n_intra, n_inter, size, hosts);
         let r = run_experiment(
             SchemeSpec::uno().with_lb(LbMode::Spray),
@@ -41,6 +44,9 @@ fn main() {
             true,
             60 * SECONDS,
         );
+        (label, r)
+    });
+    for (label, r) in fairness {
         let bin = 10 * MILLIS;
         let horizon = r.sim_time;
         let series: Vec<Vec<uno::metrics::RatePoint>> = r
@@ -68,26 +74,36 @@ fn main() {
         println!();
     }
 
-    // Bottom: FCT comparison across schemes.
-    for (label, n_intra, n_inter) in scenarios {
-        let specs = incast(n_intra, n_inter, size, hosts);
-        let mut table = TextTable::new(["scheme", "mean FCT (ms)", "p99 FCT (ms)", "max FCT (ms)"]);
+    // Bottom: FCT comparison across schemes. Flatten scheme x scenario into
+    // nine independent cells and fan them across the sweep runner.
+    let mut cells = Vec::new();
+    for (_, n_intra, n_inter) in scenarios {
         for scheme in [
             SchemeSpec::uno().with_lb(LbMode::Spray),
             SchemeSpec::gemini().with_lb(LbMode::Spray),
             SchemeSpec::mprdma_bbr().with_lb(LbMode::Spray),
         ] {
-            let name = scheme.name;
-            let r = run_experiment(
-                scheme,
-                topo.clone(),
-                &specs,
-                args.seed,
-                false,
-                120 * SECONDS,
-            );
-            let t = FctTable::new(r.fcts);
-            let s = t.summary();
+            cells.push((n_intra, n_inter, scheme));
+        }
+    }
+    let rows = sweep.run(cells, |_, (n_intra, n_inter, scheme)| {
+        let specs = incast(n_intra, n_inter, size, hosts);
+        let name = scheme.name;
+        let r = run_experiment(
+            scheme,
+            topo.clone(),
+            &specs,
+            args.seed,
+            false,
+            120 * SECONDS,
+        );
+        (name, FctTable::new(r.fcts).summary())
+    });
+    let mut rows = rows.into_iter();
+    for (label, _, _) in scenarios {
+        let mut table = TextTable::new(["scheme", "mean FCT (ms)", "p99 FCT (ms)", "max FCT (ms)"]);
+        for _ in 0..3 {
+            let (name, s) = rows.next().expect("one row per scheme cell");
             table.row([
                 name.to_string(),
                 format!("{:.3}", s.mean_s * 1e3),

@@ -26,12 +26,30 @@ pub fn record_manifest(m: RunManifest) {
     MANIFESTS.lock().expect("manifest lock").push(m);
 }
 
-/// Drain every recorded manifest into `results/MANIFEST_<figure>.json`
-/// (sorted by scheme name and seed so parallel seed runs produce a stable
-/// file apart from wall-clock fields). Returns the path written.
+/// Drain every recorded manifest into `results/MANIFEST_<figure>.json`.
+/// Parallel sweeps record manifests in completion order, so the sort key
+/// covers enough simulated fields (name, scheme, seed, sim time, event
+/// count) to make the file stable apart from wall-clock fields no matter
+/// how the cells interleaved. Returns the path written.
 pub fn write_manifests(figure: &str) -> PathBuf {
     let mut v = std::mem::take(&mut *MANIFESTS.lock().expect("manifest lock"));
-    v.sort_by(|a, b| (a.name.as_str(), a.seed).cmp(&(b.name.as_str(), b.seed)));
+    v.sort_by(|a, b| {
+        let ka = (
+            a.name.as_str(),
+            a.scheme.as_str(),
+            a.seed,
+            a.sim_time_ns,
+            a.events_processed,
+        );
+        let kb = (
+            b.name.as_str(),
+            b.scheme.as_str(),
+            b.seed,
+            b.sim_time_ns,
+            b.events_processed,
+        );
+        ka.cmp(&kb)
+    });
     let dir = Path::new("results");
     std::fs::create_dir_all(dir).expect("create results/");
     let path = dir.join(format!("MANIFEST_{figure}.json"));
@@ -54,14 +72,18 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Print the Table 2 parameter set and exit.
     pub params_only: bool,
+    /// Worker threads for independent experiment cells (`--jobs N`;
+    /// 0 = one per available core).
+    pub jobs: usize,
 }
 
 impl HarnessArgs {
-    /// Parse from `std::env::args` (flags: `--full`, `--seed N`, `--params`).
+    /// Parse from `std::env::args` (flags: `--full`, `--seed N`, `--params`,
+    /// `--jobs N`).
     pub fn parse() -> Self {
         let (args, extra) = Self::parse_with_extra();
         if let Some(other) = extra.first() {
-            panic!("unknown flag {other} (use --full/--quick/--seed N/--params)");
+            panic!("unknown flag {other} (use --full/--quick/--seed N/--jobs N/--params)");
         }
         args
     }
@@ -78,6 +100,7 @@ impl HarnessArgs {
             full: false,
             seed: 1,
             params_only: false,
+            jobs: 0,
         };
         let mut extra = Vec::new();
         let mut it = args;
@@ -92,10 +115,21 @@ impl HarnessArgs {
                         .and_then(|s| s.parse().ok())
                         .expect("--seed needs an integer");
                 }
+                "--jobs" => {
+                    parsed.jobs = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--jobs needs an integer");
+                }
                 _ => extra.push(a),
             }
         }
         (parsed, extra)
+    }
+
+    /// Sweep runner honouring this invocation's `--jobs`.
+    pub fn sweep(&self) -> SweepRunner {
+        SweepRunner::new(self.jobs)
     }
 
     /// Topology for this run: the paper's k=8 dual fat-tree under `--full`,
@@ -192,40 +226,72 @@ pub fn run_experiment(
     r
 }
 
-/// Run `f(seed)` for each seed on a small thread pool, preserving order.
-/// Independent simulation runs are embarrassingly parallel; the simulator
-/// itself stays single-threaded for determinism.
+/// Fans independent experiment cells — (scheme × load × seed) tuples, or
+/// anything else `Send` — across a rayon thread pool with **deterministic**
+/// semantics: results come back in cell order regardless of which worker
+/// finished first, and each cell derives its randomness from its own seed
+/// ([`cell_seed`]), never from thread identity or wall clock. Consequently
+/// `--jobs 1` and `--jobs 8` produce byte-identical per-cell results (the
+/// bench crate's `sweep_determinism` test holds the runner to this).
+///
+/// The simulator itself stays single-threaded; all parallelism lives here,
+/// across independent runs.
+pub struct SweepRunner {
+    pool: rayon::ThreadPool,
+}
+
+impl SweepRunner {
+    /// Runner with `jobs` worker threads (0 = one per available core).
+    pub fn new(jobs: usize) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build()
+            .expect("sweep thread pool");
+        SweepRunner { pool }
+    }
+
+    /// Worker threads this runner fans out across.
+    pub fn jobs(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// Run `f(index, cell)` for every cell, in parallel, collecting results
+    /// in cell order.
+    pub fn run<C, T, F>(&self, cells: Vec<C>, f: F) -> Vec<T>
+    where
+        C: Send,
+        T: Send,
+        F: Fn(usize, C) -> T + Sync,
+    {
+        use rayon::prelude::*;
+        self.pool.install(|| {
+            cells
+                .into_par_iter()
+                .enumerate()
+                .map(|(i, c)| f(i, c))
+                .collect()
+        })
+    }
+}
+
+/// Deterministic per-cell seed derivation: a splitmix64 finalizer over the
+/// base seed and the cell index. Cells get well-separated RNG streams that
+/// depend only on `(base, index)` — not on job count or execution order.
+pub fn cell_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run `f(seed)` for each seed in parallel, preserving order (convenience
+/// wrapper over [`SweepRunner`] with the default thread budget).
 pub fn run_seeds_parallel<T, F>(seeds: &[u64], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(seeds.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<T>>> = seeds
-        .iter()
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= seeds.len() {
-                    break;
-                }
-                let v = f(seeds[i]);
-                *results[i].lock() = Some(v);
-            });
-        }
-    })
-    .expect("worker panicked");
-    results
-        .into_iter()
-        .map(|c| c.into_inner().expect("all seeds ran"))
-        .collect()
+    SweepRunner::new(0).run(seeds.to_vec(), |_, s| f(s))
 }
 
 /// Human-readable bytes.
@@ -255,6 +321,27 @@ mod tests {
         let seeds: Vec<u64> = (0..16).collect();
         let out = run_seeds_parallel(&seeds, |s| s * 10);
         assert_eq!(out, (0..16).map(|s| s * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_runner_orders_results_and_reports_jobs() {
+        let runner = SweepRunner::new(3);
+        assert_eq!(runner.jobs(), 3);
+        let cells: Vec<(u64, u64)> = (0..12).map(|i| (i, i * i)).collect();
+        let out = runner.run(cells.clone(), |idx, (a, b)| (idx, a + b));
+        let want: Vec<(usize, u64)> = cells.iter().map(|&(a, b)| (a as usize, a + b)).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn cell_seed_is_deterministic_and_separated() {
+        assert_eq!(cell_seed(42, 0), cell_seed(42, 0));
+        let seeds: Vec<u64> = (0..64).map(|i| cell_seed(1, i)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "per-cell seeds must not collide");
+        assert_ne!(cell_seed(1, 0), cell_seed(2, 0), "base seed must matter");
     }
 
     #[test]

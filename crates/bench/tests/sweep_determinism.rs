@@ -1,0 +1,65 @@
+//! Satellite: parallel sweeps must be bit-for-bit deterministic.
+//!
+//! Runs a scaled-down Figure 8 slice (scheme x incast-scenario cells) through
+//! [`SweepRunner`] at `--jobs 1` and `--jobs 8` and asserts the per-cell FCT
+//! summaries and counter snapshots are byte-identical. Wall-clock fields
+//! (`wall_seconds`, `events_per_sec`) legitimately differ between runs and
+//! are zeroed before comparison; everything simulated must match exactly.
+
+use uno::metrics::FctTable;
+use uno::sim::{TopologyParams, SECONDS};
+use uno::SchemeSpec;
+use uno_bench::{run_experiment, SweepRunner};
+use uno_transport::LbMode;
+use uno_workloads::incast;
+
+/// One sweep cell: (scenario label, intra senders, inter senders, scheme).
+fn cells() -> Vec<(&'static str, usize, usize, SchemeSpec)> {
+    let scenarios = [("4 intra", 4usize, 0usize), ("2 intra + 2 inter", 2, 2)];
+    let mut v = Vec::new();
+    for (label, n_intra, n_inter) in scenarios {
+        for scheme in [
+            SchemeSpec::uno().with_lb(LbMode::Spray),
+            SchemeSpec::gemini().with_lb(LbMode::Spray),
+        ] {
+            v.push((label, n_intra, n_inter, scheme));
+        }
+    }
+    v
+}
+
+/// Run the slice at the given job count, returning one canonical JSON string
+/// per cell (in cell order) covering the FCT summary and the full counter
+/// snapshot, with wall-clock fields zeroed.
+fn run_slice(jobs: usize) -> Vec<String> {
+    let topo = TopologyParams::small();
+    let size = 1u64 << 20; // small flows: the test must stay fast in debug
+    let hosts = topo.hosts_per_dc() as u32;
+    let runner = SweepRunner::new(jobs);
+    runner.run(cells(), |_, (label, n_intra, n_inter, scheme)| {
+        let specs = incast(n_intra, n_inter, size, hosts);
+        let r = run_experiment(scheme, topo.clone(), &specs, 1, false, 60 * SECONDS);
+        let summary = FctTable::new(r.fcts).summary();
+        let mut manifest = r.manifest;
+        manifest.wall_seconds = 0.0;
+        manifest.events_per_sec = 0.0;
+        format!(
+            "{label}|{scheme}|mean={:.9}|p99={:.9}|max={:.9}|manifest={}",
+            summary.mean_s,
+            summary.p99_s,
+            summary.max_s,
+            manifest.to_json(),
+            scheme = manifest.scheme,
+        )
+    })
+}
+
+#[test]
+fn jobs8_matches_jobs1_byte_for_byte() {
+    let serial = run_slice(1);
+    let parallel = run_slice(8);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a, b, "cell {i} diverged between --jobs 1 and --jobs 8");
+    }
+}

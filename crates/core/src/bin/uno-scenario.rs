@@ -163,6 +163,7 @@ fn die(msg: &str) -> ! {
     eprintln!("uno-scenario: {msg}");
     eprintln!(
         "usage: uno-scenario <scenario.json> [--faults <spec.json>] \
+         [--seeds <n>] [--jobs <n>] \
          [--trace <out.jsonl>] [--trace-filter <spec>] | --print-template"
     );
     std::process::exit(2);
@@ -175,11 +176,28 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut trace_filter = TraceConfig::all();
     let mut print_template = false;
+    let mut seeds: usize = 1;
+    let mut jobs: usize = 0;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--print-template" => print_template = true,
             "--faults" => {
                 faults_path = Some(args.next().unwrap_or_else(|| die("--faults needs a path")));
+            }
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seeds needs a positive integer"));
+                if seeds == 0 {
+                    die("--seeds needs a positive integer");
+                }
+            }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs an integer"));
             }
             "--trace" => {
                 trace_path = Some(args.next().unwrap_or_else(|| die("--trace needs a path")));
@@ -221,13 +239,46 @@ fn main() {
             .faults
             .extend(extra.faults);
     }
-    let tracer = match &trace_path {
-        Some(path) => Tracer::jsonl_file(path, trace_filter)
-            .unwrap_or_else(|e| die(&format!("cannot open trace file {path}: {e}"))),
-        None => Tracer::disabled(),
-    };
-    let out = run_scenario(&sc, tracer);
-    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    if seeds == 1 {
+        let tracer = match &trace_path {
+            Some(path) => Tracer::jsonl_file(path, trace_filter)
+                .unwrap_or_else(|e| die(&format!("cannot open trace file {path}: {e}"))),
+            None => Tracer::disabled(),
+        };
+        let out = run_scenario(&sc, tracer);
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+        return;
+    }
+
+    // Seed sweep: run the scenario at seeds base..base+n in parallel and
+    // print a JSON array, ordered by seed regardless of `--jobs`. A single
+    // simulation is inherently serial, so parallelism fans out across seeds.
+    if trace_path.is_some() {
+        die("--trace is only meaningful for a single run; drop --seeds or --trace");
+    }
+    let outs = run_seed_sweep(&sc, seeds, jobs);
+    println!("{}", serde_json::to_string_pretty(&outs).unwrap());
+}
+
+/// Run `sc` at `n` consecutive seeds (`sc.seed .. sc.seed + n`) across a
+/// `jobs`-wide thread pool (0 = one per core), preserving seed order.
+fn run_seed_sweep(sc: &Scenario, n: usize, jobs: usize) -> Vec<Output> {
+    use rayon::prelude::*;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(jobs)
+        .build()
+        .unwrap_or_else(|e| die(&format!("cannot build thread pool: {e}")));
+    let cells: Vec<u64> = (0..n as u64).map(|i| sc.seed.wrapping_add(i)).collect();
+    pool.install(|| {
+        cells
+            .into_par_iter()
+            .map(|seed| {
+                let mut cell = sc.clone();
+                cell.seed = seed;
+                run_scenario(&cell, Tracer::disabled())
+            })
+            .collect()
+    })
 }
 
 fn run_scenario(sc: &Scenario, tracer: Tracer) -> Output {

@@ -1,0 +1,341 @@
+//! The benchmark suite: event-queue microbenches, an end-to-end incast
+//! step-rate bench, and the fig08-slice sweep macrobench.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use uno::sim::event::{Event, EventQueue};
+use uno::sim::{Time, TopologyParams, SECONDS};
+use uno::{Experiment, ExperimentConfig, SchemeSpec};
+use uno_bench::SweepRunner;
+use uno_trace::RateMeter;
+use uno_transport::LbMode;
+use uno_workloads::incast;
+
+use crate::{cpu_time_nanos, peak_rss_kib, BenchResult, PerfReport};
+
+/// Time `f` by process CPU time where available (stable on shared hosts),
+/// falling back to wall clock. Only valid while the process is effectively
+/// single-threaded, i.e. the microbenches.
+fn time_cpu<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    match cpu_time_nanos() {
+        Some(before) => {
+            let r = f();
+            let after = cpu_time_nanos().expect("procfs was readable a moment ago");
+            (r, after.saturating_sub(before).max(1))
+        }
+        None => {
+            let started = Instant::now();
+            let r = f();
+            (r, (started.elapsed().as_nanos() as u64).max(1))
+        }
+    }
+}
+
+/// Run every benchmark and assemble the report. `quick` shrinks workloads
+/// for the CI smoke lane; `rev` labels the output file.
+pub fn run_all(quick: bool, rev: String) -> PerfReport {
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!("[uno-perfkit] running {mode} suite (rev {rev})");
+    let mut benches = Vec::new();
+
+    // Microbench: scheduler ops/sec, calendar queue vs. reference heap on
+    // the identical hold-model workload, plus the headline ratio.
+    let (calendar, heap) = event_queue_pair(quick);
+    let speedup = ratio_bench(
+        "event_queue_speedup",
+        calendar.value,
+        heap.value,
+        "calendar-queue ops/sec over reference-heap ops/sec",
+    );
+    benches.extend([calendar, heap, speedup]);
+
+    // End-to-end engine throughput on one incast experiment.
+    benches.push(incast_step_rate(quick));
+
+    // Macrobench: the fig08 FCT slice, sequential vs. 8-way sweep. The
+    // parallel rows are wall-clock claims bounded by the host's core count
+    // (a 1-core container cannot beat ~1.0x no matter the code), so they
+    // are informational: recorded in every report, never gated.
+    let seq = fig08_slice(quick, 1);
+    let mut par = fig08_slice(quick, 8);
+    let mut speedup = ratio_bench(
+        "fig08_slice_speedup",
+        seq.value,
+        par.value,
+        "sequential wall-clock over 8-job wall-clock",
+    );
+    par.gated = false;
+    speedup.gated = false;
+    benches.extend([seq, par, speedup]);
+
+    PerfReport {
+        rev,
+        mode: mode.to_string(),
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        peak_rss_kib: peak_rss_kib(),
+        benches,
+    }
+}
+
+fn ratio_bench(name: &str, numerator: f64, denominator: f64, what: &str) -> BenchResult {
+    let value = if denominator > 0.0 {
+        numerator / denominator
+    } else {
+        0.0
+    };
+    eprintln!("[uno-perfkit] {name}: {value:.2}x ({what})");
+    BenchResult {
+        name: name.to_string(),
+        value,
+        unit: "x".to_string(),
+        higher_is_better: true,
+        gated: true,
+        wall_seconds: 0.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event-queue microbench
+// ---------------------------------------------------------------------------
+
+/// Deterministic LCG (no external RNG dep needed for a microbench driver).
+#[inline]
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+/// Hold-model time increment, shaped like the engine's event mix: mostly
+/// sub-100µs serialization/ACK steps, some multi-ms timers, a tail of
+/// far-future RTOs that lands in the calendar queue's overflow heap.
+#[inline]
+fn hold_dt(state: &mut u64) -> u64 {
+    let r = lcg(state);
+    match r % 100 {
+        0..=69 => lcg(state) % 100_000,
+        70..=94 => lcg(state) % 4_000_000,
+        _ => lcg(state) % 100_000_000,
+    }
+}
+
+/// The engine's pre-calendar scheduler: a `(time, seq)`-ordered binary heap
+/// carrying the same `Event` payloads, kept here as the microbench
+/// comparison point. (The `uno-sim` copy is `#[cfg(test)]`-gated and not
+/// exported.)
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    next_seq: u64,
+}
+
+struct HeapEntry {
+    time: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl HeapQueue {
+    fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+    #[inline]
+    fn push(&mut self, time: Time, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(HeapEntry { time, seq, event }));
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+}
+
+/// Number of (pop, push) pairs and held events for the hold-model bench.
+fn hold_params(quick: bool) -> (usize, usize) {
+    if quick {
+        (20_000, 4_000_000)
+    } else {
+        (50_000, 16_000_000)
+    }
+}
+
+/// Repetitions per microbench; the best rep is reported. Interference on a
+/// shared host only ever slows a run down, so max-of-N estimates the
+/// machine's true speed far more stably than a single sample.
+const QUEUE_REPS: usize = 3;
+
+fn event_queue_pair(quick: bool) -> (BenchResult, BenchResult) {
+    let (hold, pairs) = hold_params(quick);
+
+    // Calendar queue (the engine's scheduler).
+    let calendar = best_of(QUEUE_REPS, "event_queue_calendar", || {
+        let mut q = EventQueue::new();
+        let mut state = 0x5EED_0001u64;
+        let mut t: Time = 0;
+        for i in 0..hold {
+            q.push(t + hold_dt(&mut state), Event::Sample(i as u32));
+        }
+        let (_, nanos) = time_cpu(|| {
+            for _ in 0..pairs {
+                let (pt, ev) = q.pop().expect("queue stays at hold size");
+                t = pt;
+                q.push(t + hold_dt(&mut state), ev);
+            }
+        });
+        assert_eq!(q.len(), hold, "hold model must preserve queue size");
+        let mut meter = RateMeter::new();
+        meter.record_nanos(pairs as u64, nanos);
+        meter
+    });
+
+    // Reference heap, identical workload, payloads, and RNG stream.
+    let heap = best_of(QUEUE_REPS, "event_queue_heap", || {
+        let mut q = HeapQueue::new();
+        let mut state = 0x5EED_0001u64;
+        let mut t: Time = 0;
+        for i in 0..hold {
+            q.push(t + hold_dt(&mut state), Event::Sample(i as u32));
+        }
+        let (_, nanos) = time_cpu(|| {
+            for _ in 0..pairs {
+                let (pt, ev) = q.pop().expect("queue stays at hold size");
+                t = pt;
+                q.push(t + hold_dt(&mut state), ev);
+            }
+        });
+        let mut meter = RateMeter::new();
+        meter.record_nanos(pairs as u64, nanos);
+        meter
+    });
+    (calendar, heap)
+}
+
+/// Run `rep` repetitions of a throughput microbench and keep the fastest.
+fn best_of(reps: usize, name: &str, mut run: impl FnMut() -> RateMeter) -> BenchResult {
+    let mut best = RateMeter::new();
+    let mut total_wall = 0.0;
+    for _ in 0..reps {
+        let m = run();
+        total_wall += m.seconds();
+        if m.per_sec() > best.per_sec() {
+            best = m;
+        }
+    }
+    eprintln!(
+        "[uno-perfkit] {name}: {:.2} Mops/s (best of {reps})",
+        best.per_sec() / 1e6
+    );
+    BenchResult {
+        name: name.to_string(),
+        value: best.per_sec(),
+        unit: "ops/sec".to_string(),
+        higher_is_better: true,
+        gated: true,
+        wall_seconds: total_wall,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end benches
+// ---------------------------------------------------------------------------
+
+/// Engine events/sec on a mixed intra+inter incast (the simulator's own
+/// run-loop meter, so this measures dispatch + transport + queueing, not
+/// just the scheduler).
+fn incast_step_rate(quick: bool) -> BenchResult {
+    let topo = TopologyParams::small();
+    let size: u64 = if quick { 16 << 20 } else { 128 << 20 };
+    let specs = incast(4, 4, size, topo.hosts_per_dc() as u32);
+    let mut best = 0.0f64;
+    let mut total_wall = 0.0;
+    let mut events = 0;
+    for _ in 0..3 {
+        let mut cfg = ExperimentConfig::quick(SchemeSpec::uno().with_lb(LbMode::Spray), 1);
+        cfg.topo = topo.clone();
+        let mut exp = Experiment::new(cfg);
+        exp.add_specs(&specs);
+        let (r, nanos) = time_cpu(|| exp.run(120 * SECONDS));
+        assert!(r.all_completed, "incast bench must run to completion");
+        total_wall += r.manifest.wall_seconds;
+        events = r.manifest.events_processed;
+        best = best.max(events as f64 * 1e9 / nanos as f64);
+    }
+    eprintln!(
+        "[uno-perfkit] incast_step_rate: {:.2} Mevents/s ({events} events, best of 3)",
+        best / 1e6,
+    );
+    BenchResult {
+        name: "incast_step_rate".to_string(),
+        value: best,
+        unit: "events/sec".to_string(),
+        higher_is_better: true,
+        gated: true,
+        wall_seconds: total_wall,
+    }
+}
+
+/// The fig08 FCT slice (3 incast scenarios × 3 schemes) through the sweep
+/// runner at the given job count; the metric is total wall-clock.
+fn fig08_slice(quick: bool, jobs: usize) -> BenchResult {
+    let topo = TopologyParams::small();
+    let size: u64 = if quick { 32 << 20 } else { 128 << 20 };
+    let hosts = topo.hosts_per_dc() as u32;
+    let scenarios = [(8usize, 0usize), (0, 8), (4, 4)];
+    let mut cells = Vec::new();
+    for (n_intra, n_inter) in scenarios {
+        for scheme in [
+            SchemeSpec::uno().with_lb(LbMode::Spray),
+            SchemeSpec::gemini().with_lb(LbMode::Spray),
+            SchemeSpec::mprdma_bbr().with_lb(LbMode::Spray),
+        ] {
+            cells.push((n_intra, n_inter, scheme));
+        }
+    }
+    let runner = SweepRunner::new(jobs);
+    let started = Instant::now();
+    let flows: Vec<usize> = runner.run(cells, |_, (n_intra, n_inter, scheme)| {
+        let specs = incast(n_intra, n_inter, size, hosts);
+        let mut cfg = ExperimentConfig::quick(scheme, 1);
+        cfg.topo = topo.clone();
+        let mut exp = Experiment::new(cfg);
+        exp.add_specs(&specs);
+        exp.run(120 * SECONDS).flows
+    });
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(flows.iter().sum::<usize>(), 9 * 8, "every cell must run");
+    let name = format!("fig08_slice_{}", if jobs == 1 { "seq" } else { "par8" });
+    eprintln!("[uno-perfkit] {name}: {wall:.2}s wall");
+    BenchResult {
+        name,
+        value: wall,
+        unit: "seconds".to_string(),
+        higher_is_better: false,
+        gated: true,
+        wall_seconds: wall,
+    }
+}

@@ -11,7 +11,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use uno_trace::{Counters, TraceEvent, Tracer};
+use uno_trace::{Counters, RateMeter, TraceEvent, Tracer};
 
 use crate::event::{Event, EventQueue};
 use crate::fault::{exp_dwell, FaultKind, FaultPlane, FaultSpec, LinkHealth};
@@ -286,13 +286,18 @@ pub struct Simulator {
     pub samplers: Vec<QueueSampler>,
     /// Per-flow progress time-series (empty unless enabled per flow).
     pub progress: Vec<Vec<(Time, u64)>>,
-    action_buf: Vec<Action>,
+    /// Free list of action buffers for [`Simulator::call_flow`]: buffers
+    /// are checked out per callback and returned with their capacity
+    /// intact, so the steady-state hot path performs no allocation.
+    action_pool: Vec<Vec<Action>>,
     /// Total events processed (for engine benchmarking).
     pub events_processed: u64,
     /// Structured event sink (defaults to disabled; see [`Tracer`]).
     pub tracer: Tracer,
-    /// Wall-clock nanoseconds spent inside [`Simulator::run_until`].
-    wall_nanos: u64,
+    /// Engine-speed meter: events processed per wall-clock second spent
+    /// inside [`Simulator::run_until`] (consumed by run manifests and
+    /// `uno-perfkit`).
+    meter: RateMeter,
 }
 
 impl Simulator {
@@ -310,10 +315,10 @@ impl Simulator {
             fault: FaultPlane::default(),
             samplers: Vec::new(),
             progress: Vec::new(),
-            action_buf: Vec::new(),
+            action_pool: Vec::new(),
             events_processed: 0,
             tracer: Tracer::disabled(),
-            wall_nanos: 0,
+            meter: RateMeter::new(),
         }
     }
 
@@ -519,17 +524,13 @@ impl Simulator {
 
     /// Wall-clock seconds spent inside the run loop so far.
     pub fn wall_seconds(&self) -> f64 {
-        self.wall_nanos as f64 / 1e9
+        self.meter.seconds()
     }
 
     /// Engine throughput: events processed per wall-clock second (0 before
     /// the first [`Simulator::run_until`] call).
     pub fn events_per_sec(&self) -> f64 {
-        if self.wall_nanos == 0 {
-            0.0
-        } else {
-            self.events_processed as f64 * 1e9 / self.wall_nanos as f64
-        }
+        self.meter.per_sec()
     }
 
     /// Process events until simulated time exceeds `end` (which becomes the
@@ -541,6 +542,7 @@ impl Simulator {
         // state, which is driven exclusively by the virtual clock `self.now`
         // — `uno-testkit`'s wallclock-determinism test enforces this.
         let wall_start = std::time::Instant::now();
+        let events_before = self.events_processed;
         let mut all_done = false;
         while let Some(t) = self.events.peek_time() {
             if t > end {
@@ -559,7 +561,8 @@ impl Simulator {
         if !all_done {
             self.now = self.now.max(end);
         }
-        self.wall_nanos += wall_start.elapsed().as_nanos() as u64;
+        self.meter
+            .record(self.events_processed - events_before, wall_start.elapsed());
     }
 
     /// Run until every registered flow terminates (completes or fails) or
@@ -909,7 +912,7 @@ impl Simulator {
         let Some(mut logic) = slot.logic.take() else {
             return;
         };
-        let mut actions = std::mem::take(&mut self.action_buf);
+        let mut actions = self.action_pool.pop().unwrap_or_default();
         actions.clear();
         {
             let mut ctx = Ctx {
@@ -924,9 +927,8 @@ impl Simulator {
         }
         self.flows[flow.index()].logic = Some(logic);
         // Apply actions (may recurse into enqueue but not into flows).
-        let drained: Vec<Action> = std::mem::take(&mut actions);
-        self.action_buf = actions;
-        for action in drained {
+        // Draining in place keeps the buffer's capacity for the free list.
+        for action in actions.drain(..) {
             match action {
                 Action::Send(pkt) => {
                     let uplink = self.topo.host_uplink(pkt.src);
@@ -989,6 +991,7 @@ impl Simulator {
                 }
             }
         }
+        self.action_pool.push(actions);
     }
 }
 

@@ -1,4 +1,27 @@
-//! Discrete-event calendar queue.
+//! Discrete-event scheduler: a bucketed timing wheel (calendar queue) with
+//! a binary-heap overflow for far-future events.
+//!
+//! The engine's former scheduler was a plain `BinaryHeap`, which costs
+//! `O(log n)` cache-hostile sift operations per push/pop once hundreds of
+//! thousands of events are pending. This queue keeps the exact same public
+//! API and the exact same `(time, seq)` total order (FIFO tie-breaking at
+//! equal times), but schedules into an array of time buckets:
+//!
+//! * the **wheel** covers a sliding window of `NUM_BUCKETS` ticks of
+//!   `1 << BUCKET_SHIFT` ns each (1.024 µs buckets, a ~4.2 ms window —
+//!   wide enough for serialization/propagation events, intra-DC RTOs and
+//!   the 2×inter-RTT timers that dominate the engine's traffic);
+//! * events beyond the window go to a **heap fallback** and migrate into
+//!   the wheel when the cursor reaches their neighbourhood — each event is
+//!   touched at most once extra, so the amortized cost stays `O(1)`;
+//! * a bucket is sorted (descending, so `Vec::pop` yields the minimum)
+//!   only when the cursor reaches it; pushes into the already-sorted
+//!   cursor bucket use a binary-search insert, which keeps the
+//!   schedule-at-now path correct and cheap.
+//!
+//! Bucket vectors retain their capacity across laps of the wheel, so after
+//! warm-up the hot path allocates nothing: the wheel doubles as a free
+//! list for event storage.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -40,11 +63,26 @@ pub enum Event {
     FaultFlap(u32),
 }
 
+/// Nanoseconds per bucket, as a shift (1.024 µs).
+const BUCKET_SHIFT: u32 = 10;
+/// Buckets in the wheel (must be a power of two). Window ≈ 4.19 ms.
+const NUM_BUCKETS: usize = 4096;
+const BUCKET_MASK: u64 = (NUM_BUCKETS - 1) as u64;
+/// Words in the occupancy bitmap.
+const WORDS: usize = NUM_BUCKETS / 64;
+
 #[derive(Debug)]
 struct Entry {
     time: Time,
     seq: u64,
     event: Event,
+}
+
+impl Entry {
+    #[inline]
+    fn tick(&self) -> u64 {
+        self.time >> BUCKET_SHIFT
+    }
 }
 
 impl PartialEq for Entry {
@@ -64,50 +102,234 @@ impl Ord for Entry {
     }
 }
 
-/// Min-heap of timestamped events with FIFO tie-breaking for determinism.
-#[derive(Debug, Default)]
+/// Timestamped event queue with FIFO tie-breaking for determinism.
+///
+/// Pops in strict `(time, seq)` order, where `seq` is the push order — the
+/// same contract the previous `BinaryHeap` scheduler provided (a replayed
+/// push/pop trace produces an identical pop order; `uno-sim`'s differential
+/// test holds the two implementations against each other).
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Entry>>,
+    /// The wheel: bucket `i` holds entries whose tick ≡ `i` (mod
+    /// `NUM_BUCKETS`) within the current window `[cur_tick, cur_tick + N)`.
+    buckets: Vec<Vec<Entry>>,
+    /// One bit per bucket: set while the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// Tick of the cursor. All wheel entries live in
+    /// `[cur_tick, cur_tick + NUM_BUCKETS)`; only `pop`/`peek_time` advance
+    /// it (to the global minimum tick), so it never passes a pending event.
+    cur_tick: u64,
+    /// Tick whose bucket is currently sorted (descending by `(time, seq)`).
+    sorted_tick: Option<u64>,
+    /// Entries currently in the wheel.
+    wheel_len: usize,
+    /// Far-future events (tick beyond the window at push time). Entries
+    /// migrate into the wheel when the cursor catches up.
+    overflow: BinaryHeap<Reverse<Entry>>,
     next_seq: u64,
+    /// Largest time ever popped: the queue's notion of "now". Pushes are
+    /// never scheduled before it (see [`EventQueue::push`]).
+    floor: Time,
+    len: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
     /// Create an empty queue.
     pub fn new() -> Self {
-        Self::default()
+        EventQueue {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            cur_tick: 0,
+            sorted_tick: None,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            next_seq: 0,
+            floor: 0,
+            len: 0,
+        }
     }
 
     /// Schedule `event` at absolute time `time`.
+    ///
+    /// `time` must not precede the time of the last popped event (the
+    /// simulation clock): the engine guarantees this by clamping timers to
+    /// `now`. A past time would corrupt a calendar queue's bucket order, so
+    /// it is clamped to the queue floor here — scheduling *at* the floor is
+    /// fine and orders after already-queued events of the same time (FIFO).
     pub fn push(&mut self, time: Time, event: Event) {
+        debug_assert!(
+            time >= self.floor,
+            "event scheduled at {time} ns, before the queue floor {} ns",
+            self.floor
+        );
+        let time = time.max(self.floor);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let e = Entry { time, seq, event };
+        self.len += 1;
+        if e.tick() >= self.cur_tick + NUM_BUCKETS as u64 {
+            self.overflow.push(Reverse(e));
+        } else {
+            self.insert_wheel(e);
+        }
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        let idx = self.normalize()?;
+        let e = self.buckets[idx]
+            .pop()
+            .expect("normalized bucket non-empty");
+        if self.buckets[idx].is_empty() {
+            self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+        }
+        self.wheel_len -= 1;
+        self.len -= 1;
+        self.floor = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        let idx = self.normalize()?;
+        self.buckets[idx].last().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Place an entry (whose tick is within the current window) into its
+    /// wheel bucket. The cursor bucket stays sorted via binary insert; any
+    /// other bucket is append-only until the cursor reaches it.
+    fn insert_wheel(&mut self, e: Entry) {
+        let tick = e.tick();
+        debug_assert!(tick < self.cur_tick + NUM_BUCKETS as u64);
+        let idx = (tick & BUCKET_MASK) as usize;
+        self.occupied[idx / 64] |= 1u64 << (idx % 64);
+        let bucket = &mut self.buckets[idx];
+        if self.sorted_tick == Some(tick) {
+            // Descending order: everything greater than `e` stays in front,
+            // so `e` pops after earlier entries and after same-time entries
+            // with a smaller seq (FIFO).
+            let pos = bucket.partition_point(|x| x > &e);
+            bucket.insert(pos, e);
+        } else {
+            bucket.push(e);
+        }
+        self.wheel_len += 1;
+    }
+
+    /// Advance the cursor to the global minimum tick, migrate overflow
+    /// entries that now fall inside the window, and sort the cursor bucket.
+    /// Returns the cursor bucket's index, whose *last* element is the
+    /// global minimum entry; `None` when the queue is empty.
+    fn normalize(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let wheel_tick = if self.wheel_len > 0 {
+            let idx = self.next_occupied((self.cur_tick & BUCKET_MASK) as usize);
+            Some(self.buckets[idx][0].tick())
+        } else {
+            None
+        };
+        let over_tick = self.overflow.peek().map(|Reverse(e)| e.tick());
+        let target = match (wheel_tick, over_tick) {
+            (Some(w), Some(o)) => w.min(o),
+            (Some(w), None) => w,
+            (None, Some(o)) => o,
+            (None, None) => unreachable!("len > 0 but no entries"),
+        };
+        self.cur_tick = target;
+        // Pull far-future entries that the new window now covers. Each
+        // overflow entry migrates at most once, so this is O(1) amortized.
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            if e.tick() < target + NUM_BUCKETS as u64 {
+                let Reverse(e) = self.overflow.pop().expect("peeked");
+                self.insert_wheel(e);
+            } else {
+                break;
+            }
+        }
+        let idx = (target & BUCKET_MASK) as usize;
+        if self.sorted_tick != Some(target) {
+            self.buckets[idx].sort_unstable_by(|a, b| b.cmp(a));
+            self.sorted_tick = Some(target);
+        }
+        Some(idx)
+    }
+
+    /// Index of the first occupied bucket at or (circularly) after
+    /// `from_idx`. Wheel ticks all lie within one window of `NUM_BUCKETS`
+    /// ticks, so circular index order equals tick order.
+    fn next_occupied(&self, from_idx: usize) -> usize {
+        debug_assert!(self.wheel_len > 0);
+        let (word, bit) = (from_idx / 64, from_idx % 64);
+        let masked = self.occupied[word] & (!0u64 << bit);
+        if masked != 0 {
+            return word * 64 + masked.trailing_zeros() as usize;
+        }
+        for i in 1..=WORDS {
+            let w = (word + i) % WORDS;
+            if self.occupied[w] != 0 {
+                return w * 64 + self.occupied[w].trailing_zeros() as usize;
+            }
+        }
+        unreachable!("wheel_len > 0 but no occupied bucket");
+    }
+}
+
+/// Reference scheduler: the original `BinaryHeap` implementation, kept as
+/// the differential oracle for the calendar queue (`tests` below replay
+/// randomized push/pop traces through both and require identical output).
+#[cfg(test)]
+pub(crate) struct ReferenceHeapQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    next_seq: u64,
+}
+
+#[cfg(test)]
+impl ReferenceHeapQueue {
+    pub(crate) fn new() -> Self {
+        ReferenceHeapQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, time: Time, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { time, seq, event }));
     }
 
-    /// Pop the earliest event.
-    pub fn pop(&mut self) -> Option<(Time, Event)> {
+    pub(crate) fn pop(&mut self) -> Option<(Time, Event)> {
         self.heap.pop().map(|Reverse(e)| (e.time, e.event))
     }
 
-    /// Time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(e)| e.time)
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.heap.len()
-    }
-
-    /// True when no events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn pops_in_time_order() {
@@ -142,5 +364,121 @@ mod tests {
         assert!(!q.is_empty());
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_round_trip_through_overflow() {
+        let mut q = EventQueue::new();
+        let window = (NUM_BUCKETS as u64) << BUCKET_SHIFT;
+        // Mix of near events and events far beyond one wheel window.
+        q.push(3 * window, Event::Sample(3));
+        q.push(100, Event::Sample(0));
+        q.push(10 * window, Event::Sample(4));
+        q.push(window - 1, Event::Sample(1));
+        q.push(window + 7, Event::Sample(2));
+        let order: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::Sample(s) => s,
+                e => panic!("unexpected {e:?}"),
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn schedule_at_now_orders_after_queued_same_time_events() {
+        // A push at exactly the current floor (schedule-at-now, the engine's
+        // `Timer { at: at.max(now) }` path) must order after events already
+        // queued for that same time — FIFO on seq, never before them.
+        let mut q = EventQueue::new();
+        q.push(50, Event::Sample(0));
+        q.push(100, Event::Sample(1));
+        q.push(100, Event::Sample(2));
+        assert_eq!(q.pop().unwrap().0, 50); // floor is now 50
+        q.push(100, Event::Sample(3)); // same time as queued events
+        q.push(100, Event::Sample(4));
+        let order: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|(t, e)| {
+                assert_eq!(t, 100);
+                match e {
+                    Event::Sample(s) => s,
+                    e => panic!("unexpected {e:?}"),
+                }
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_at_floor_after_drain_still_works() {
+        // Drain the queue completely, then schedule at exactly the floor
+        // and in the near past-window of the cursor position.
+        let mut q = EventQueue::new();
+        q.push(1_000_000, Event::Sample(0));
+        assert_eq!(q.pop().unwrap().0, 1_000_000);
+        assert!(q.is_empty());
+        q.push(1_000_000, Event::Sample(1)); // exactly at the floor
+        q.push(1_000_001, Event::Sample(2));
+        assert_eq!(q.pop().unwrap().0, 1_000_000);
+        assert_eq!(q.pop().unwrap().0, 1_000_001);
+        assert!(q.pop().is_none());
+    }
+
+    /// The satellite differential oracle: 1M randomized (time, seq)
+    /// push/pop operations replayed through the calendar queue and the
+    /// reference heap must produce an identical pop order.
+    #[test]
+    fn differential_oracle_vs_reference_heap_1m_ops() {
+        let mut rng = SmallRng::seed_from_u64(0xCA1E_0DA2);
+        let mut cal = EventQueue::new();
+        let mut heap = ReferenceHeapQueue::new();
+        let mut now: Time = 0;
+        let mut ops: u64 = 0;
+        let window = (NUM_BUCKETS as u64) << BUCKET_SHIFT;
+        while ops < 1_000_000 {
+            // Bias towards pushes while small, pops while large, mirroring
+            // an engine run's grow/drain phases.
+            let push = cal.len() < 4 || (cal.len() < 200_000 && rng.gen_bool(0.55));
+            if push {
+                // Times span same-tick, same-window, and far-future
+                // (overflow) cases, plus exact schedule-at-now ties.
+                let dt = match rng.gen_range(0..10u32) {
+                    0 => 0,
+                    1..=4 => rng.gen_range(0..2_000),
+                    5..=7 => rng.gen_range(0..window / 2),
+                    8 => rng.gen_range(0..2 * window),
+                    _ => rng.gen_range(0..8 * window),
+                };
+                let tag = ops as u32;
+                cal.push(now + dt, Event::Sample(tag));
+                heap.push(now + dt, Event::Sample(tag));
+            } else {
+                let (tc, ec) = cal.pop().expect("calendar queue non-empty");
+                let (th, eh) = heap.pop().expect("reference heap non-empty");
+                assert_eq!(tc, th, "pop time diverged at op {ops}");
+                match (ec, eh) {
+                    (Event::Sample(a), Event::Sample(b)) => {
+                        assert_eq!(a, b, "pop order diverged at op {ops}");
+                    }
+                    _ => unreachable!(),
+                }
+                assert!(tc >= now, "time went backwards");
+                now = tc;
+            }
+            assert_eq!(cal.len(), heap.len());
+            ops += 1;
+        }
+        // Drain both completely and compare the tail too.
+        while let Some((tc, ec)) = cal.pop() {
+            let (th, eh) = heap.pop().expect("same length");
+            assert_eq!(tc, th);
+            match (ec, eh) {
+                (Event::Sample(a), Event::Sample(b)) => assert_eq!(a, b),
+                _ => unreachable!(),
+            }
+        }
+        assert!(heap.pop().is_none());
     }
 }

@@ -55,4 +55,6 @@ pub use time::{Bps, Time, GBPS, MICROS, MILLIS, NANOS, SECONDS};
 pub use topology::{
     ecmp_pick, HostCoords, Link, LinkClass, Node, NodeKind, PhantomParams, Topology, TopologyParams,
 };
-pub use uno_trace::{Counters, RunManifest, TraceConfig, TraceEvent, TraceSummary, Tracer};
+pub use uno_trace::{
+    Counters, RateMeter, RunManifest, TraceConfig, TraceEvent, TraceSummary, Tracer,
+};

@@ -30,11 +30,13 @@
 mod counters;
 mod event;
 mod manifest;
+mod meter;
 mod summary;
 mod tracer;
 
 pub use counters::Counters;
 pub use event::{EventClass, Time, TraceEvent};
 pub use manifest::RunManifest;
+pub use meter::RateMeter;
 pub use summary::{FlowSummary, QueueSummary, TraceSummary};
 pub use tracer::{TraceConfig, Tracer};

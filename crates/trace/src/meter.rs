@@ -1,0 +1,86 @@
+//! Wall-clock throughput meter.
+//!
+//! Accumulates (work units, elapsed wall time) spans and reports units per
+//! second. The simulator feeds it events per [`run_until`] call to expose
+//! engine speed in run manifests; `uno-perfkit` feeds it benchmark
+//! iterations. Wall clock readings stay outside simulated state — callers
+//! time a span themselves and hand the meter the result.
+
+use std::time::Duration;
+
+/// Accumulating units-per-wall-second meter.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RateMeter {
+    units: u64,
+    nanos: u64,
+}
+
+impl RateMeter {
+    /// Fresh meter with nothing recorded.
+    pub const fn new() -> Self {
+        RateMeter { units: 0, nanos: 0 }
+    }
+
+    /// Record `units` of work done over `elapsed` wall time.
+    pub fn record(&mut self, units: u64, elapsed: Duration) {
+        self.record_nanos(units, elapsed.as_nanos() as u64);
+    }
+
+    /// Record `units` of work done over `nanos` wall nanoseconds.
+    pub fn record_nanos(&mut self, units: u64, nanos: u64) {
+        self.units += units;
+        self.nanos += nanos;
+    }
+
+    /// Total units recorded.
+    pub fn units(&self) -> u64 {
+        self.units
+    }
+
+    /// Total wall-clock seconds recorded.
+    pub fn seconds(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Throughput in units per wall-clock second (0 before anything is
+    /// recorded, so an unused meter serializes as zero rather than NaN).
+    pub fn per_sec(&self) -> f64 {
+        if self.nanos == 0 {
+            0.0
+        } else {
+            self.units as f64 * 1e9 / self.nanos as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_meter_reads_zero() {
+        let m = RateMeter::new();
+        assert_eq!(m.per_sec(), 0.0);
+        assert_eq!(m.seconds(), 0.0);
+        assert_eq!(m.units(), 0);
+    }
+
+    #[test]
+    fn accumulates_spans() {
+        let mut m = RateMeter::new();
+        m.record_nanos(500, 1_000_000_000);
+        m.record_nanos(500, 1_000_000_000);
+        assert_eq!(m.units(), 1000);
+        assert!((m.seconds() - 2.0).abs() < 1e-12);
+        assert!((m.per_sec() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_duration_matches_nanos() {
+        let mut a = RateMeter::new();
+        let mut b = RateMeter::new();
+        a.record(10, Duration::from_millis(5));
+        b.record_nanos(10, 5_000_000);
+        assert_eq!(a.per_sec(), b.per_sec());
+    }
+}

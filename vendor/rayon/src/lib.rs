@@ -1,0 +1,260 @@
+//! Minimal offline stand-in for the `rayon` API surface used by this
+//! workspace: `ThreadPoolBuilder`/`ThreadPool::install`, and ordered
+//! `into_par_iter().map(..).collect()` over vectors and slices.
+//!
+//! Execution model: each `collect` distributes items over `std::thread`
+//! scoped workers pulling indices from an atomic counter; results land in
+//! their input slots, so collection order always equals input order, no
+//! matter how the cells interleave in wall-clock time — the property the
+//! deterministic sweep runner relies on. `ThreadPool::install` makes the
+//! pool's thread budget ambient (thread-local) for parallel iterators run
+//! inside the closure, mirroring how real rayon scopes work to a pool.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread budget installed by [`ThreadPool::install`]; `0` = default.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel iterators use on this thread right now.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this stub,
+/// but part of the API surface).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the pool's thread count (`0` = one per available core).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical pool: a thread budget that `install` makes ambient. Workers
+/// are spawned per parallel call (scoped threads), not kept alive — the
+/// workloads this workspace fans out are seconds-long simulations, so
+/// spawn overhead is noise.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread budget.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `f` with this pool's thread budget ambient: parallel iterators
+    /// inside `f` (on this thread) split across `num_threads` workers.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let r = f();
+            c.set(prev);
+            r
+        })
+    }
+}
+
+/// Ordered parallel map over owned items: workers claim indices from an
+/// atomic cursor, each result lands in its item's slot.
+fn par_map_ordered<T, R, F>(items: Vec<T>, threads: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let item = inputs[i].lock().unwrap().take().expect("item claimed once");
+                let r = f(item);
+                *outputs[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("all items mapped"))
+        .collect()
+}
+
+pub mod iter {
+    //! Parallel iterator types (the subset this workspace uses).
+
+    use super::{current_num_threads, par_map_ordered};
+
+    /// Conversion into a parallel iterator over owned items.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter;
+        /// Convert.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParIter<T>;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = ParIter<&'a T>;
+        fn into_par_iter(self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    /// Parallel iterator over a materialized item list.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Map each item through `f` (executed on `collect`).
+        pub fn map<R, F>(self, f: F) -> MapIter<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            MapIter {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Pair each item with its index (like rayon's
+        /// `IndexedParallelIterator::enumerate`).
+        pub fn enumerate(self) -> ParIter<(usize, T)> {
+            ParIter {
+                items: self.items.into_iter().enumerate().collect(),
+            }
+        }
+    }
+
+    /// A mapped parallel iterator; `collect` runs it.
+    pub struct MapIter<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, F> MapIter<T, F> {
+        /// Execute across the ambient thread budget and collect results in
+        /// input order.
+        pub fn collect<C, R>(self) -> C
+        where
+            T: Send,
+            R: Send,
+            F: Fn(T) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            par_map_ordered(self.items, current_num_threads(), &self.f)
+                .into_iter()
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ordered_collect_matches_sequential() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_thread_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn enumerate_pairs_items_with_indices() {
+        let v = vec!["a", "b", "c"];
+        let out: Vec<(usize, &str)> = v.into_par_iter().enumerate().map(|p| p).collect();
+        assert_eq!(out, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out: Vec<u32> = vec![7u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
