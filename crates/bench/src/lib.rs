@@ -8,8 +8,9 @@
 #![warn(missing_docs)]
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use uno::sim::{RunManifest, Time, TopologyParams, GBPS, SECONDS};
 use uno::{Experiment, ExperimentConfig, SchemeSpec};
@@ -18,6 +19,12 @@ use uno_workloads::FlowSpec;
 /// Manifests of every experiment this binary has run, drained by
 /// [`write_manifests`] at the end of `main`.
 static MANIFESTS: Mutex<Vec<RunManifest>> = Mutex::new(Vec::new());
+
+/// Whether `--progress` was passed: [`run_experiment`] then attaches a
+/// once-per-second wall-clock heartbeat (sim time, events/sec, queued
+/// bytes) to every engine it drives. Stderr-only; never affects simulated
+/// state, so results stay byte-identical with and without it.
+static PROGRESS: AtomicBool = AtomicBool::new(false);
 
 /// Record a run manifest for inclusion in this binary's manifest file.
 /// [`run_experiment`] records automatically; binaries that drive
@@ -75,6 +82,9 @@ pub struct HarnessArgs {
     /// Worker threads for independent experiment cells (`--jobs N`;
     /// 0 = one per available core).
     pub jobs: usize,
+    /// Emit a periodic stderr heartbeat from every engine run
+    /// (`--progress`).
+    pub progress: bool,
 }
 
 impl HarnessArgs {
@@ -83,7 +93,9 @@ impl HarnessArgs {
     pub fn parse() -> Self {
         let (args, extra) = Self::parse_with_extra();
         if let Some(other) = extra.first() {
-            panic!("unknown flag {other} (use --full/--quick/--seed N/--jobs N/--params)");
+            panic!(
+                "unknown flag {other} (use --full/--quick/--seed N/--jobs N/--params/--progress)"
+            );
         }
         args
     }
@@ -91,7 +103,9 @@ impl HarnessArgs {
     /// Parse the shared flags, returning unrecognized arguments (in order)
     /// for the figure binary to interpret itself instead of panicking.
     pub fn parse_with_extra() -> (Self, Vec<String>) {
-        Self::parse_from(std::env::args().skip(1))
+        let (args, extra) = Self::parse_from(std::env::args().skip(1));
+        PROGRESS.store(args.progress, Ordering::Relaxed);
+        (args, extra)
     }
 
     /// [`HarnessArgs::parse_with_extra`] over an explicit argument list.
@@ -101,6 +115,7 @@ impl HarnessArgs {
             seed: 1,
             params_only: false,
             jobs: 0,
+            progress: false,
         };
         let mut extra = Vec::new();
         let mut it = args;
@@ -109,6 +124,7 @@ impl HarnessArgs {
                 "--full" => parsed.full = true,
                 "--quick" => parsed.full = false,
                 "--params" => parsed.params_only = true,
+                "--progress" => parsed.progress = true,
                 "--seed" => {
                     parsed.seed = it
                         .next()
@@ -208,6 +224,9 @@ pub fn run_experiment(
     cfg.topo = topo;
     cfg.record_progress = record_progress;
     let mut exp = Experiment::new(cfg);
+    if PROGRESS.load(Ordering::Relaxed) {
+        exp.sim.set_heartbeat(Duration::from_secs(1));
+    }
     exp.add_specs(specs);
     let r = exp.run(horizon);
     eprintln!(
@@ -358,7 +377,13 @@ mod tests {
         let (args, extra) = HarnessArgs::parse_from(argv.iter().map(|s| s.to_string()));
         assert_eq!(args.seed, 7);
         assert!(args.full);
+        assert!(!args.progress);
         assert_eq!(extra, vec!["--fault-variant", "gray"]);
+        let argv = ["--progress", "--jobs", "2"];
+        let (args, extra) = HarnessArgs::parse_from(argv.iter().map(|s| s.to_string()));
+        assert!(args.progress);
+        assert_eq!(args.jobs, 2);
+        assert!(extra.is_empty());
     }
 
     #[test]

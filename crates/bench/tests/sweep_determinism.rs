@@ -7,8 +7,8 @@
 //! are zeroed before comparison; everything simulated must match exactly.
 
 use uno::metrics::FctTable;
-use uno::sim::{TopologyParams, SECONDS};
-use uno::SchemeSpec;
+use uno::sim::{SampleConfig, TopologyParams, MICROS, SECONDS};
+use uno::{Experiment, ExperimentConfig, SchemeSpec};
 use uno_bench::{run_experiment, SweepRunner};
 use uno_transport::LbMode;
 use uno_workloads::incast;
@@ -61,5 +61,40 @@ fn jobs8_matches_jobs1_byte_for_byte() {
     assert_eq!(serial.len(), parallel.len());
     for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
         assert_eq!(a, b, "cell {i} diverged between --jobs 1 and --jobs 8");
+    }
+}
+
+/// Run per-seed cells with the telemetry sampler enabled, returning the
+/// serialized `telemetry` section of each run.
+fn run_telemetry_slice(jobs: usize) -> Vec<String> {
+    let topo = TopologyParams::small();
+    let hosts = topo.hosts_per_dc() as u32;
+    let runner = SweepRunner::new(jobs);
+    runner.run(vec![1u64, 2, 3], |_, seed| {
+        let mut cfg = ExperimentConfig::quick(SchemeSpec::uno(), seed);
+        cfg.topo = topo.clone();
+        cfg.telemetry = Some(SampleConfig::every(20 * MICROS));
+        let mut exp = Experiment::new(cfg);
+        exp.add_specs(&incast(3, 1, 1 << 20, hosts));
+        let r = exp.run(60 * SECONDS);
+        serde_json::to_string(&r.telemetry.expect("telemetry was enabled")).unwrap()
+    })
+}
+
+/// Satellite: the telemetry sampler rides the event queue, so its series
+/// are simulated state and must be byte-identical for a given seed no
+/// matter how many sweep workers ran the cell.
+#[test]
+fn telemetry_series_are_byte_identical_across_job_counts() {
+    let serial = run_telemetry_slice(1);
+    let parallel = run_telemetry_slice(8);
+    assert_eq!(serial, parallel);
+    // The series must be non-trivial for the comparison to mean anything.
+    for s in &serial {
+        assert!(
+            s.contains("\"links\""),
+            "telemetry missing link series: {s}"
+        );
+        assert!(s.contains("\"cwnd\""), "telemetry missing flow series: {s}");
     }
 }

@@ -13,11 +13,11 @@
 //! plotting. `--trace <path>` streams a structured JSONL event trace (see
 //! `uno-trace-summarize`), optionally gated by a `--trace-filter` spec.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use uno::metrics::OutcomeCounts;
 use uno::sim::{
-    FaultSpec, GilbertElliott, RunManifest, Time, TopologyParams, TraceConfig, Tracer, MILLIS,
-    SECONDS,
+    FaultSpec, GilbertElliott, RunManifest, SampleConfig, Time, TopologyParams, TraceConfig,
+    Tracer, MICROS, MILLIS, SECONDS,
 };
 use uno::{DegradationConfig, Experiment, ExperimentConfig, SchemeSpec};
 use uno_erasure::EcParams;
@@ -140,6 +140,23 @@ struct Output {
     queue_drops: u64,
     link_losses: u64,
     manifest: RunManifest,
+    /// Telemetry section (`--telemetry`): per-link/per-flow/fault series,
+    /// byte-identical across repeated seeded runs.
+    telemetry: Option<Value>,
+    /// Span-profiler report (`--profile`): wall-clock data, excluded from
+    /// the determinism guarantee like `manifest.wall_seconds`.
+    profile: Option<Value>,
+}
+
+/// Run options that live on the command line rather than in the scenario
+/// file (they alter what gets recorded, never what gets simulated).
+#[derive(Clone, Copy, Default)]
+struct RunOpts {
+    telemetry: bool,
+    /// Sampling period override in µs (default: horizon/1024, min 1 µs).
+    telemetry_interval_us: Option<u64>,
+    profile: bool,
+    progress: bool,
 }
 
 fn template() -> Scenario {
@@ -164,6 +181,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: uno-scenario <scenario.json> [--faults <spec.json>] \
          [--seeds <n>] [--jobs <n>] \
+         [--telemetry] [--telemetry-interval-us <n>] [--profile] [--progress] \
          [--trace <out.jsonl>] [--trace-filter <spec>] | --print-template"
     );
     std::process::exit(2);
@@ -178,9 +196,22 @@ fn main() {
     let mut print_template = false;
     let mut seeds: usize = 1;
     let mut jobs: usize = 0;
+    let mut opts = RunOpts::default();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--print-template" => print_template = true,
+            "--telemetry" => opts.telemetry = true,
+            "--telemetry-interval-us" => {
+                opts.telemetry_interval_us = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--telemetry-interval-us needs a positive integer")),
+                );
+                opts.telemetry = true;
+            }
+            "--profile" => opts.profile = true,
+            "--progress" => opts.progress = true,
             "--faults" => {
                 faults_path = Some(args.next().unwrap_or_else(|| die("--faults needs a path")));
             }
@@ -245,7 +276,7 @@ fn main() {
                 .unwrap_or_else(|e| die(&format!("cannot open trace file {path}: {e}"))),
             None => Tracer::disabled(),
         };
-        let out = run_scenario(&sc, tracer);
+        let out = run_scenario(&sc, tracer, opts);
         println!("{}", serde_json::to_string_pretty(&out).unwrap());
         return;
     }
@@ -256,13 +287,13 @@ fn main() {
     if trace_path.is_some() {
         die("--trace is only meaningful for a single run; drop --seeds or --trace");
     }
-    let outs = run_seed_sweep(&sc, seeds, jobs);
+    let outs = run_seed_sweep(&sc, seeds, jobs, opts);
     println!("{}", serde_json::to_string_pretty(&outs).unwrap());
 }
 
 /// Run `sc` at `n` consecutive seeds (`sc.seed .. sc.seed + n`) across a
 /// `jobs`-wide thread pool (0 = one per core), preserving seed order.
-fn run_seed_sweep(sc: &Scenario, n: usize, jobs: usize) -> Vec<Output> {
+fn run_seed_sweep(sc: &Scenario, n: usize, jobs: usize, opts: RunOpts) -> Vec<Output> {
     use rayon::prelude::*;
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(jobs)
@@ -275,13 +306,13 @@ fn run_seed_sweep(sc: &Scenario, n: usize, jobs: usize) -> Vec<Output> {
             .map(|seed| {
                 let mut cell = sc.clone();
                 cell.seed = seed;
-                run_scenario(&cell, Tracer::disabled())
+                run_scenario(&cell, Tracer::disabled(), opts)
             })
             .collect()
     })
 }
 
-fn run_scenario(sc: &Scenario, tracer: Tracer) -> Output {
+fn run_scenario(sc: &Scenario, tracer: Tracer, opts: RunOpts) -> Output {
     let topo = if sc.k == 8 {
         TopologyParams::default()
     } else {
@@ -335,8 +366,21 @@ fn run_scenario(sc: &Scenario, tracer: Tracer) -> Output {
         // instead of retrying into the horizon.
         cfg.degradation = Some(DegradationConfig::default());
     }
+    let horizon: Time = (sc.horizon_ms * MILLIS).max(SECONDS / 100);
+    if opts.telemetry {
+        // Default cadence: ~1024 samples over the horizon, at least 1 µs.
+        let interval = opts
+            .telemetry_interval_us
+            .map(|us| us * MICROS)
+            .unwrap_or_else(|| (horizon / 1024).max(MICROS));
+        cfg.telemetry = Some(SampleConfig::every(interval));
+    }
+    cfg.profile = opts.profile;
     let mut exp = Experiment::new(cfg);
     exp.sim.set_tracer(tracer);
+    if opts.progress {
+        exp.sim.set_heartbeat(std::time::Duration::from_secs(1));
+    }
     if let Some(spec) = &sc.faults {
         exp.sim
             .install_faults(spec)
@@ -360,8 +404,7 @@ fn run_scenario(sc: &Scenario, tracer: Tracer) -> Output {
                 .set_link_loss(l, GilbertElliott::uniform(sc.border_loss));
         }
     }
-    let horizon: Time = sc.horizon_ms * MILLIS;
-    let r = exp.run(horizon.max(SECONDS / 100));
+    let r = exp.run(horizon);
 
     let fcts_ms: Vec<f64> = r.fcts.iter().map(|f| f.fct() as f64 / 1e6).collect();
     let outcomes = OutcomeCounts::tally(&r.fcts, &r.failures, &r.censored);
@@ -380,6 +423,8 @@ fn run_scenario(sc: &Scenario, tracer: Tracer) -> Output {
         queue_drops: r.stats.queue_drops,
         link_losses: r.stats.link_losses,
         manifest: r.manifest,
+        telemetry: r.telemetry,
+        profile: r.profile,
     }
 }
 
@@ -415,7 +460,7 @@ mod tests {
             border_loss: 0.0,
             faults: None,
         };
-        let out = run_scenario(&sc, Tracer::disabled());
+        let out = run_scenario(&sc, Tracer::disabled(), RunOpts::default());
         assert_eq!(out.flows, 3);
         assert_eq!(out.completed, 3);
         assert!(out.mean_fct_ms > 0.0);
@@ -446,7 +491,7 @@ mod tests {
             border_loss: 0.001,
             faults: None,
         };
-        let out = run_scenario(&sc, Tracer::disabled());
+        let out = run_scenario(&sc, Tracer::disabled(), RunOpts::default());
         assert_eq!(out.completed, 1);
     }
 
@@ -532,7 +577,14 @@ mod tests {
         assert_eq!(back.faults.as_ref().unwrap().faults.len(), 6);
 
         let run = || {
-            let mut out = run_scenario(&back, Tracer::disabled());
+            let mut out = run_scenario(
+                &back,
+                Tracer::disabled(),
+                RunOpts {
+                    telemetry: true,
+                    ..RunOpts::default()
+                },
+            );
             // Wall-clock fields legitimately vary between runs; everything
             // simulated must not.
             out.manifest.wall_seconds = 0.0;
@@ -543,7 +595,7 @@ mod tests {
         let b = run();
         assert_eq!(a, b, "same seed must reproduce byte-identical output");
 
-        let out = run_scenario(&back, Tracer::disabled());
+        let out = run_scenario(&back, Tracer::disabled(), RunOpts::default());
         // The intra flow completes; the ACK-blackholed inter flow reaches a
         // definite stalled/aborted outcome instead of censoring.
         assert_eq!(out.completed, 1);

@@ -4,10 +4,10 @@
 //!
 //! This is the public API the examples and the figure-harness binaries use.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use uno_sim::{
     FailRecord, FctRecord, FlowClass, FlowId, FlowMeta, NetworkStats, PhantomParams, QueueSampler,
-    RunManifest, Simulator, Time, Topology, TopologyParams, MILLIS,
+    RunManifest, SampleConfig, Simulator, Time, Topology, TopologyParams, MILLIS,
 };
 use uno_transport::{
     Bbr, CcAlgorithm, CcConfig, FaultInjection, FlowConfig, Gemini, LbMode, MessageFlow, Mprdma,
@@ -38,6 +38,14 @@ pub struct ExperimentConfig {
     /// censored FCTs. Fault-injecting drivers should enable this so such
     /// flows terminate with a definite [`uno_sim::FlowOutcome`] instead.
     pub degradation: Option<DegradationConfig>,
+    /// Periodic in-sim telemetry sampling (link queues, per-flow transport
+    /// state, fault plane); `None` records nothing. The collected series
+    /// land in [`ExperimentResults::telemetry`], deterministic per seed.
+    pub telemetry: Option<SampleConfig>,
+    /// Enable the wall-clock span self-profiler; its report lands in
+    /// [`ExperimentResults::profile`] (non-deterministic, like
+    /// `manifest.wall_seconds`).
+    pub profile: bool,
 }
 
 /// Per-flow graceful-degradation knobs (see [`FlowConfig::with_degradation`]).
@@ -69,6 +77,8 @@ impl ExperimentConfig {
             record_progress: false,
             faults: FaultInjection::default(),
             degradation: None,
+            telemetry: None,
+            profile: false,
         }
     }
 
@@ -81,6 +91,8 @@ impl ExperimentConfig {
             record_progress: false,
             faults: FaultInjection::default(),
             degradation: None,
+            telemetry: None,
+            profile: false,
         }
     }
 }
@@ -120,6 +132,14 @@ pub struct ExperimentResults {
     /// `manifest.name` defaults to the scheme name; figure binaries override
     /// it with the experiment's name before writing the manifest out.
     pub manifest: RunManifest,
+    /// Serialized telemetry section (present when
+    /// [`ExperimentConfig::telemetry`] was set): per-link/per-flow/fault
+    /// series, byte-identical across repeated seeded runs.
+    pub telemetry: Option<Value>,
+    /// Serialized span-profiler report (present when
+    /// [`ExperimentConfig::profile`] was set). Wall-clock data — excluded
+    /// from the determinism guarantee.
+    pub profile: Option<Value>,
 }
 
 /// A configured simulation ready to accept flows and run.
@@ -141,10 +161,14 @@ impl Experiment {
             topo_params.phantom = None;
         }
         let topo = Topology::build(topo_params);
-        Experiment {
-            sim: Simulator::new(topo, cfg.seed),
-            cfg,
+        let mut sim = Simulator::new(topo, cfg.seed);
+        if let Some(sample_cfg) = cfg.telemetry {
+            sim.enable_telemetry(sample_cfg);
         }
+        if cfg.profile {
+            sim.profiler.set_enabled(true);
+        }
+        Experiment { sim, cfg }
     }
 
     /// Phantom-queue sizing rule: virtual capacity tracks the BDP of the
@@ -270,6 +294,11 @@ impl Experiment {
         let manifest = build_manifest(&sim, &cfg);
         ExperimentResults {
             manifest,
+            telemetry: sim.telemetry.as_ref().map(|t| t.to_value()),
+            profile: sim
+                .profiler
+                .is_enabled()
+                .then(|| sim.profiler.report().to_value()),
             scheme: cfg.scheme.name.to_string(),
             stats: sim.network_stats(),
             censored: sim.censored_fcts(),

@@ -67,6 +67,17 @@ impl TimeSeriesStats {
             p99: crate::stats::percentile(&vals, 0.99),
         }
     }
+
+    /// Summarize a telemetry [`Series`] collected by the in-sim sampler
+    /// (`--telemetry`). Compaction halves a series' resolution as it fills,
+    /// so these are statistics *of the retained samples*: `max` is exact for
+    /// any value that survived downsampling, `mean`/`p99` are over the kept
+    /// points.
+    ///
+    /// [`Series`]: uno_sim::Series
+    pub fn of_series(series: &uno_sim::Series) -> Self {
+        Self::of(series.points())
+    }
 }
 
 /// Jain's fairness index of a set of rates: `(Σx)² / (n·Σx²)`, 1.0 = fair.
@@ -122,6 +133,18 @@ mod tests {
         assert_eq!(st.n, 3);
         assert_eq!(st.mean, 20.0);
         assert_eq!(st.max, 30.0);
+    }
+
+    #[test]
+    fn telemetry_series_stats_match_raw_points() {
+        let mut s = uno_sim::Series::new(1, 64);
+        for t in 0..10u64 {
+            s.push(t, (t + 1) * 10);
+        }
+        let st = TimeSeriesStats::of_series(&s);
+        assert_eq!(st.n, 10);
+        assert_eq!(st.max, 100.0);
+        assert_eq!(st.mean, 55.0);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use uno::sim::event::{Event, EventQueue};
 use uno::sim::{Time, TopologyParams, SECONDS};
 use uno::{Experiment, ExperimentConfig, SchemeSpec};
 use uno_bench::SweepRunner;
-use uno_trace::RateMeter;
+use uno_trace::{Profiler, RateMeter};
 use uno_transport::LbMode;
 use uno_workloads::incast;
 
@@ -51,8 +51,18 @@ pub fn run_all(quick: bool, rev: String) -> PerfReport {
     );
     benches.extend([calendar, heap, speedup]);
 
-    // End-to-end engine throughput on one incast experiment.
+    // End-to-end engine throughput on one incast experiment. The profiler
+    // ships disabled by default, so this row doubles as the gate on the
+    // profiler's disabled-path (one branch per hook) overhead.
     benches.push(incast_step_rate(quick));
+
+    // Self-profiler: span bookkeeping throughput when enabled (gated), and
+    // the same incast experiment run with the profiler on (informational —
+    // read next to `incast_step_rate` for the enabled-path overhead).
+    benches.push(profiler_span_rate(quick));
+    let mut profiled = incast_profiled_rate(quick);
+    profiled.gated = false;
+    benches.push(profiled);
 
     // Macrobench: the fig08 FCT slice, sequential vs. 8-way sweep. The
     // parallel rows are wall-clock claims bounded by the host's core count
@@ -291,6 +301,73 @@ fn incast_step_rate(quick: bool) -> BenchResult {
     );
     BenchResult {
         name: "incast_step_rate".to_string(),
+        value: best,
+        unit: "events/sec".to_string(),
+        higher_is_better: true,
+        gated: true,
+        wall_seconds: total_wall,
+    }
+}
+
+/// Enabled-profiler span bookkeeping: enter/exit pairs per second over the
+/// engine's real span shapes (flat scheduler spans plus nested transport →
+/// erasure spans, which exercise the child-lookup path).
+fn profiler_span_rate(quick: bool) -> BenchResult {
+    let pairs: usize = if quick { 2_000_000 } else { 8_000_000 };
+    best_of(QUEUE_REPS, "profiler_span_rate", || {
+        let mut p = Profiler::enabled();
+        let (_, nanos) = time_cpu(|| {
+            for _ in 0..pairs / 4 {
+                p.enter("scheduler");
+                p.exit();
+                p.enter("transport");
+                p.enter("erasure_encode");
+                p.exit();
+                p.exit();
+                p.enter("telemetry");
+                p.exit();
+            }
+        });
+        assert!(
+            p.report().total_ns > 0,
+            "enabled profiler must accumulate time"
+        );
+        let mut meter = RateMeter::new();
+        meter.record_nanos(pairs as u64, nanos);
+        meter
+    })
+}
+
+/// The `incast_step_rate` experiment with the span profiler enabled: the
+/// gap to `incast_step_rate` is the enabled-path overhead. Informational —
+/// the absolute value tracks the host too closely to gate.
+fn incast_profiled_rate(quick: bool) -> BenchResult {
+    let topo = TopologyParams::small();
+    let size: u64 = if quick { 16 << 20 } else { 128 << 20 };
+    let specs = incast(4, 4, size, topo.hosts_per_dc() as u32);
+    let mut best = 0.0f64;
+    let mut total_wall = 0.0;
+    for _ in 0..3 {
+        let mut cfg = ExperimentConfig::quick(SchemeSpec::uno().with_lb(LbMode::Spray), 1);
+        cfg.topo = topo.clone();
+        cfg.profile = true;
+        let mut exp = Experiment::new(cfg);
+        exp.add_specs(&specs);
+        let (r, nanos) = time_cpu(|| exp.run(120 * SECONDS));
+        assert!(
+            r.all_completed,
+            "profiled incast bench must run to completion"
+        );
+        assert!(r.profile.is_some(), "profile section must be collected");
+        total_wall += r.manifest.wall_seconds;
+        best = best.max(r.manifest.events_processed as f64 * 1e9 / nanos as f64);
+    }
+    eprintln!(
+        "[uno-perfkit] incast_profiled_rate: {:.2} Mevents/s (best of 3)",
+        best / 1e6,
+    );
+    BenchResult {
+        name: "incast_profiled_rate".to_string(),
         value: best,
         unit: "events/sec".to_string(),
         higher_is_better: true,

@@ -11,7 +11,9 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use uno_trace::{Counters, RateMeter, TraceEvent, Tracer};
+use uno_trace::{
+    Counters, FlowSample, Profiler, RateMeter, SampleConfig, Telemetry, TraceEvent, Tracer,
+};
 
 use crate::event::{Event, EventQueue};
 use crate::fault::{exp_dwell, FaultKind, FaultPlane, FaultSpec, LinkHealth};
@@ -136,6 +138,10 @@ pub struct Ctx<'a> {
     /// Structured event sink (branch on [`Tracer::enabled`] before building
     /// events — see [`Ctx::tracing`]).
     pub tracer: &'a mut Tracer,
+    /// Span self-profiler: transports may nest their own spans (e.g.
+    /// erasure encode/decode) under the engine's `transport` span. With
+    /// profiling off, [`Profiler::enter`]/[`Profiler::exit`] are one branch.
+    pub profiler: &'a mut Profiler,
     actions: &'a mut Vec<Action>,
 }
 
@@ -187,7 +193,13 @@ impl Ctx<'_> {
     /// Record a structured trace event.
     #[inline]
     pub fn trace(&mut self, ev: TraceEvent) {
-        self.tracer.emit(ev);
+        if self.profiler.is_enabled() {
+            self.profiler.enter("trace");
+            self.tracer.emit(ev);
+            self.profiler.exit();
+        } else {
+            self.tracer.emit(ev);
+        }
     }
 }
 
@@ -203,6 +215,12 @@ pub trait FlowLogic {
     /// snapshot; values are summed across flows. Default: contributes none.
     fn report_counters(&self, counters: &mut Counters) {
         let _ = counters;
+    }
+    /// Snapshot this flow's transport state for the periodic telemetry
+    /// collector (cwnd, srtt, outstanding, delivered). Default: no sample,
+    /// so non-transport test logics opt out automatically.
+    fn telemetry_sample(&self) -> Option<FlowSample> {
+        None
     }
 }
 
@@ -298,6 +316,25 @@ pub struct Simulator {
     /// inside [`Simulator::run_until`] (consumed by run manifests and
     /// `uno-perfkit`).
     meter: RateMeter,
+    /// Periodic telemetry collector (absent unless
+    /// [`Simulator::enable_telemetry`] was called).
+    pub telemetry: Option<Telemetry>,
+    /// Span self-profiler (disabled by default: every span site is a
+    /// single branch until [`Profiler::set_enabled`] switches it on).
+    pub profiler: Profiler,
+    /// Progress-heartbeat state (absent unless
+    /// [`Simulator::set_heartbeat`] was called).
+    heartbeat: Option<Heartbeat>,
+}
+
+/// Wall-clock progress-heartbeat state: prints a one-line status to stderr
+/// at a wall interval. Reads the wall clock but never writes simulated
+/// state, so it stays outside the determinism guarantee like the meter.
+struct Heartbeat {
+    interval: std::time::Duration,
+    started: std::time::Instant,
+    last: std::time::Instant,
+    last_events: u64,
 }
 
 impl Simulator {
@@ -319,6 +356,9 @@ impl Simulator {
             events_processed: 0,
             tracer: Tracer::disabled(),
             meter: RateMeter::new(),
+            telemetry: None,
+            profiler: Profiler::disabled(),
+            heartbeat: None,
         }
     }
 
@@ -454,6 +494,52 @@ impl Simulator {
         idx
     }
 
+    /// Install the periodic telemetry collector (replacing any previous
+    /// one) and schedule its first tick at the current time. Each tick
+    /// snapshots per-link queue state, per-flow transport state and
+    /// fault-plane state into bounded-memory series; see [`Telemetry`].
+    pub fn enable_telemetry(&mut self, cfg: SampleConfig) {
+        self.telemetry = Some(Telemetry::new(cfg));
+        self.events.push(self.now, Event::Telemetry);
+    }
+
+    /// Print a one-line progress heartbeat (sim time, wall time, events/s,
+    /// total queued bytes) to stderr every `interval` of wall time while
+    /// the run loop is active. Off by default.
+    pub fn set_heartbeat(&mut self, interval: std::time::Duration) {
+        self.heartbeat = Some(Heartbeat {
+            interval,
+            started: std::time::Instant::now(),
+            last: std::time::Instant::now(),
+            last_events: 0,
+        });
+    }
+
+    /// Emit a heartbeat line if the wall interval elapsed. Reads clocks and
+    /// queue occupancy; never mutates simulated state.
+    fn heartbeat_tick(&mut self) {
+        let Some(hb) = &mut self.heartbeat else {
+            return;
+        };
+        let elapsed = hb.last.elapsed();
+        if elapsed < hb.interval {
+            return;
+        }
+        let mut meter = RateMeter::new();
+        meter.record(self.events_processed - hb.last_events, elapsed);
+        let queued: u64 = self.topo.links.iter().map(|l| l.queue.bytes()).sum();
+        eprintln!(
+            "[uno] sim {:.3} ms | wall {:.1} s | {:.2} Mev/s | {} events | queued {} B",
+            self.now as f64 / 1e6,
+            hb.started.elapsed().as_secs_f64(),
+            meter.per_sec() / 1e6,
+            self.events_processed,
+            queued
+        );
+        hb.last = std::time::Instant::now();
+        hb.last_events = self.events_processed;
+    }
+
     /// Aggregate network statistics.
     pub fn network_stats(&self) -> NetworkStats {
         let mut s = NetworkStats::default();
@@ -544,11 +630,18 @@ impl Simulator {
         let wall_start = std::time::Instant::now();
         let events_before = self.events_processed;
         let mut all_done = false;
-        while let Some(t) = self.events.peek_time() {
-            if t > end {
+        loop {
+            // Scheduler span: time spent peeking/popping the event queue.
+            self.profiler.enter("scheduler");
+            let head = self.events.peek_time();
+            let popped = match head {
+                Some(t) if t <= end => self.events.pop(),
+                _ => None,
+            };
+            self.profiler.exit();
+            let Some((t, ev)) = popped else {
                 break;
-            }
-            let (t, ev) = self.events.pop().unwrap();
+            };
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.dispatch(ev);
@@ -556,6 +649,9 @@ impl Simulator {
             if !self.flows.is_empty() && self.terminated_flows == self.flows.len() {
                 all_done = true;
                 break;
+            }
+            if self.heartbeat.is_some() && self.events_processed & 0x3FFF == 0 {
+                self.heartbeat_tick();
             }
         }
         if !all_done {
@@ -588,8 +684,16 @@ impl Simulator {
             Event::FlowStart(flow) => self.call_flow(flow, |logic, ctx| {
                 logic.on_start(ctx);
             }),
-            Event::LinkDown(link) => self.take_link_down(link),
-            Event::LinkUp(link) => self.bring_link_up(link),
+            Event::LinkDown(link) => {
+                self.profiler.enter("fault");
+                self.take_link_down(link);
+                self.profiler.exit();
+            }
+            Event::LinkUp(link) => {
+                self.profiler.enter("fault");
+                self.bring_link_up(link);
+                self.profiler.exit();
+            }
             Event::Sample(idx) => {
                 let s = &mut self.samplers[idx as usize];
                 let link = &mut self.topo.links[s.link.index()];
@@ -600,10 +704,56 @@ impl Simulator {
                 let interval = s.interval;
                 self.events.push(self.now + interval, Event::Sample(idx));
             }
-            Event::FaultStart(idx) => self.fault_start(idx),
-            Event::FaultEnd(idx) => self.fault_end(idx),
-            Event::FaultFlap(idx) => self.fault_flap(idx),
+            Event::Telemetry => self.telemetry_tick(),
+            Event::FaultStart(idx) => {
+                self.profiler.enter("fault");
+                self.fault_start(idx);
+                self.profiler.exit();
+            }
+            Event::FaultEnd(idx) => {
+                self.profiler.enter("fault");
+                self.fault_end(idx);
+                self.profiler.exit();
+            }
+            Event::FaultFlap(idx) => {
+                self.profiler.enter("fault");
+                self.fault_flap(idx);
+                self.profiler.exit();
+            }
         }
+    }
+
+    /// One telemetry tick: snapshot links, live flows and the fault plane
+    /// into the collector, then re-arm the periodic event. Reads simulated
+    /// state only, so the collected series are deterministic per seed.
+    fn telemetry_tick(&mut self) {
+        let Some(tel) = &mut self.telemetry else {
+            return; // collector removed; let the event chain die out
+        };
+        self.profiler.enter("telemetry");
+        let now = self.now;
+        let mut links_down = 0u64;
+        for (i, l) in self.topo.links.iter_mut().enumerate() {
+            let phantom = l.queue.phantom.as_mut().map_or(0, |ph| ph.occupancy(now));
+            if !l.up {
+                links_down += 1;
+            }
+            tel.record_link(i as u32, now, l.queue.bytes(), phantom, l.up);
+        }
+        for (i, slot) in self.flows.iter().enumerate() {
+            if slot.done {
+                continue;
+            }
+            if let Some(sample) = slot.logic.as_ref().and_then(|l| l.telemetry_sample()) {
+                tel.record_flow(i as u32, now, sample);
+            }
+        }
+        let active = self.fault.entries.iter().filter(|e| e.active).count() as u64;
+        tel.record_fault(now, active, links_down);
+        tel.tick();
+        let interval = tel.interval();
+        self.events.push(self.now + interval, Event::Telemetry);
+        self.profiler.exit();
     }
 
     /// Fail `link`: purge its queue (counting the drops), bump the failure
@@ -914,6 +1064,7 @@ impl Simulator {
         };
         let mut actions = self.action_pool.pop().unwrap_or_default();
         actions.clear();
+        self.profiler.enter("transport");
         {
             let mut ctx = Ctx {
                 now: self.now,
@@ -921,10 +1072,12 @@ impl Simulator {
                 rng: &mut self.rng,
                 topo: &self.topo,
                 tracer: &mut self.tracer,
+                profiler: &mut self.profiler,
                 actions: &mut actions,
             };
             f(logic.as_mut(), &mut ctx);
         }
+        self.profiler.exit();
         self.flows[flow.index()].logic = Some(logic);
         // Apply actions (may recurse into enqueue but not into flows).
         // Draining in place keeps the buffer's capacity for the free list.

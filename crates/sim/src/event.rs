@@ -55,6 +55,9 @@ pub enum Event {
     LinkUp(LinkId),
     /// A periodic statistics sampler ticks.
     Sample(u32),
+    /// The periodic telemetry collector ticks (see
+    /// [`crate::engine::Simulator::enable_telemetry`]).
+    Telemetry,
     /// An installed fault (by fault-plane index) reaches its onset time.
     FaultStart(u32),
     /// An installed fault reaches its healing time.

@@ -56,5 +56,6 @@ pub use topology::{
     ecmp_pick, HostCoords, Link, LinkClass, Node, NodeKind, PhantomParams, Topology, TopologyParams,
 };
 pub use uno_trace::{
-    Counters, RateMeter, RunManifest, TraceConfig, TraceEvent, TraceSummary, Tracer,
+    Counters, FlowSample, ProfileReport, Profiler, RateMeter, RunManifest, SampleConfig, Series,
+    Telemetry, TraceConfig, TraceEvent, TraceSummary, Tracer,
 };

@@ -40,6 +40,12 @@ fn main() {
         .unwrap_or_else(|e| die(&format!("cannot read trace {path}: {e}")));
     let summary = TraceSummary::from_jsonl(&text)
         .unwrap_or_else(|e| die(&format!("malformed trace {path}: {e}")));
+    if summary.skipped_lines > 0 {
+        eprintln!(
+            "uno-trace-summarize: warning: skipped {} malformed line(s) in {path}",
+            summary.skipped_lines
+        );
+    }
 
     if let Some(flow) = cwnd_flow {
         let Some(f) = summary.flows.iter().find(|f| f.flow == flow) else {

@@ -120,6 +120,32 @@ mod tests {
     }
 
     #[test]
+    fn dump_order_is_independent_of_insertion_order() {
+        // Two registries fed the same counters in opposite orders must
+        // iterate and serialize identically — `uno-inspect diff` and the
+        // byte-identical-per-seed guarantee both lean on this.
+        let names = ["queue.drops", "cc.epochs", "rc.nacks", "lb.reroutes", "a.a"];
+        let mut fwd = Counters::new();
+        let mut rev = Counters::new();
+        for (i, n) in names.iter().enumerate() {
+            fwd.add(n, i as u64);
+        }
+        for (i, n) in names.iter().enumerate().rev() {
+            rev.add(n, i as u64);
+        }
+        assert_eq!(fwd.to_json(), rev.to_json());
+        let keys: Vec<String> = fwd.iter().map(|(k, _)| k.to_string()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        // Merging preserves the invariant too.
+        fwd.merge(&rev);
+        let json = fwd.to_json();
+        let pos: Vec<usize> = sorted.iter().map(|k| json.find(k).unwrap()).collect();
+        assert!(pos.windows(2).all(|w| w[0] < w[1]), "{json}");
+    }
+
+    #[test]
     fn merge_sums_shared_names() {
         let mut a = Counters::new();
         a.add("rc.nacks", 2);

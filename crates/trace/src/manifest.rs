@@ -95,6 +95,20 @@ mod tests {
     }
 
     #[test]
+    fn embedded_counters_serialize_in_sorted_key_order() {
+        let mut m = sample();
+        // Deliberately register out of lexicographic order.
+        m.counters.add("z.tail", 7);
+        m.counters.add("b.head", 1);
+        let json = m.to_json();
+        let order: Vec<usize> = ["b.head", "engine.events_processed", "queue.drops", "z.tail"]
+            .iter()
+            .map(|k| json.find(k).expect(k))
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "{json}");
+    }
+
+    #[test]
     fn file_round_trip() {
         let path = std::env::temp_dir().join("uno_trace_manifest_test.json");
         let m = sample();

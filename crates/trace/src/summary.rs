@@ -78,6 +78,10 @@ pub struct TraceSummary {
     pub flows: Vec<FlowSummary>,
     /// Per-queue summaries, by link id.
     pub queues: Vec<QueueSummary>,
+    /// Malformed JSONL lines skipped during digestion (0 for in-memory
+    /// digests). Non-zero means the trace was truncated or corrupted;
+    /// the per-flow/per-queue tables cover only the parseable prefix.
+    pub skipped_lines: u64,
 }
 
 impl TraceSummary {
@@ -159,25 +163,54 @@ impl TraceSummary {
             events: n,
             flows: flows.into_values().collect(),
             queues: queues.into_values().collect(),
+            skipped_lines: 0,
         }
     }
 
-    /// Digest a JSONL trace. Fails on the first malformed line, reporting
-    /// its 1-based line number.
+    /// Digest a JSONL trace. Malformed or truncated lines (a killed run
+    /// often leaves a partial final line) are skipped and counted in
+    /// [`TraceSummary::skipped_lines`] rather than aborting the digest; an
+    /// error is returned only when the input contains lines but not a
+    /// single parseable event — i.e. it is not a trace at all.
     pub fn from_jsonl(text: &str) -> Result<Self, String> {
-        let events: Vec<TraceEvent> = text
-            .lines()
-            .enumerate()
-            .filter(|(_, l)| !l.trim().is_empty())
-            .map(|(i, l)| TraceEvent::from_json_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
-            .collect::<Result<_, _>>()?;
-        Ok(TraceSummary::from_events(events))
+        let mut events = Vec::new();
+        let mut skipped = 0u64;
+        let mut first_err: Option<String> = None;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match TraceEvent::from_json_line(line) {
+                Ok(ev) => events.push(ev),
+                Err(e) => {
+                    skipped += 1;
+                    first_err.get_or_insert_with(|| format!("line {}: {e}", i + 1));
+                }
+            }
+        }
+        if events.is_empty() {
+            if let Some(e) = first_err {
+                return Err(format!(
+                    "no parseable events ({skipped} bad lines; first: {e})"
+                ));
+            }
+        }
+        let mut summary = TraceSummary::from_events(events);
+        summary.skipped_lines = skipped;
+        Ok(summary)
     }
 
     /// Human-readable tables.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{} events", self.events);
+        if self.skipped_lines > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {} malformed line(s) skipped (truncated or corrupted trace)",
+                self.skipped_lines
+            );
+        }
         let _ = writeln!(
             out,
             "\nper-flow ({}):\n{:>6} {:>10} {:>14} {:>10} {:>8} {:>6} {:>6} {:>8} {:>4} {:>6}",
@@ -330,10 +363,46 @@ mod tests {
         }
         let s = TraceSummary::from_jsonl(&text).unwrap();
         assert_eq!(s.events, 3);
+        assert_eq!(s.skipped_lines, 0);
         let f = &s.flows[0];
         assert_eq!((f.nacks, f.timeouts, f.reroutes), (1, 1, 1));
+        // Pure garbage is still an error — it isn't a trace at all.
         assert!(TraceSummary::from_jsonl("not json\n").is_err());
         // Render shouldn't panic and mentions the flow.
         assert!(s.render().contains("per-flow"));
+    }
+
+    #[test]
+    fn corrupted_trace_is_digested_with_skips_counted() {
+        // A trace whose writer died mid-line: valid events interleaved
+        // with garbage and a truncated final record.
+        let good = TraceEvent::Ack {
+            t: 8_000,
+            flow: 0,
+            seq: 0,
+            bytes: 8_000,
+            ecn: false,
+            rtt: 14_000,
+            done: false,
+        };
+        let mut text = String::new();
+        text.push_str(&good.to_json());
+        text.push('\n');
+        text.push_str("garbage not json\n");
+        text.push('\n'); // blank lines are fine, not counted as skips
+        text.push_str(&good.to_json());
+        text.push('\n');
+        let full = good.to_json();
+        text.push_str(&full[..full.len() / 2]); // truncated final line
+        let s = TraceSummary::from_jsonl(&text).unwrap();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.skipped_lines, 2);
+        assert_eq!(s.flows.len(), 1);
+        assert_eq!(s.flows[0].acks, 2);
+        // The skip count surfaces in both renderings.
+        assert!(s.render().contains("2 malformed line(s) skipped"));
+        assert!(serde_json::to_string(&s)
+            .unwrap()
+            .contains("\"skipped_lines\":2"));
     }
 }

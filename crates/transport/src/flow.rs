@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 
 use uno_erasure::EcParams;
 use uno_sim::{
-    Counters, Ctx, FlowLogic, FlowOutcome, NodeId, Packet, PacketKind, Time, TraceEvent,
+    Counters, Ctx, FlowLogic, FlowOutcome, FlowSample, NodeId, Packet, PacketKind, Time, TraceEvent,
 };
 
 use crate::cc::{AckEvent, CcAlgorithm};
@@ -674,6 +674,7 @@ impl MessageFlow {
 
         // Completion accounting.
         if self.cfg.ec.is_some() {
+            ctx.profiler.enter("erasure_encode");
             let b = pkt.block as u64;
             let needed = self.block_data_count(b) as u16;
             let done_at = self.block_done_thresh(b);
@@ -688,6 +689,7 @@ impl MessageFlow {
                 // packets need neither retransmission nor individual ACKs.
                 self.finish_block(b);
             }
+            ctx.profiler.exit();
             if self.blocks_done == self.nblocks {
                 self.complete(ctx);
                 return;
@@ -899,6 +901,7 @@ impl MessageFlow {
         let first = self.rx_bitmap[word] & bit == 0;
         self.rx_bitmap[word] |= bit;
         if self.cfg.ec.is_some() && first {
+            ctx.profiler.enter("erasure_decode");
             let b = pkt.block as usize;
             // Blocks are sent in order: seeing block b implies all earlier
             // blocks are on (or fell off) the wire — arm their timers too.
@@ -922,6 +925,7 @@ impl MessageFlow {
                     self.rx_block_done[b] = true;
                 }
             }
+            ctx.profiler.exit();
         }
         // ACK every arrival (duplicates included: the earlier ACK may have
         // been lost). The ACK sprays its own reverse-path entropy and, for
@@ -1017,6 +1021,15 @@ impl FlowLogic for MessageFlow {
         if self.cfg.stall_rtos.is_some() {
             counters.add("rc.stall_strikes", self.stall_strikes as u64);
         }
+    }
+
+    fn telemetry_sample(&self) -> Option<FlowSample> {
+        Some(FlowSample {
+            cwnd: self.cc.cwnd() as u64,
+            srtt: self.rtt.srtt(),
+            outstanding: self.inflight,
+            delivered: self.delivered,
+        })
     }
 }
 
