@@ -92,8 +92,10 @@ fn main() {
             .collect();
         let qstats = TimeSeriesStats::of(&steady);
         let util = {
-            let l = &exp.sim.topo.links[bottleneck.index()];
-            l.tx_bytes as f64 * 8.0 / (exp.sim.now() as f64 / 1e9) / l.bps as f64
+            let links = &exp.sim.topo.links;
+            links.tx_bytes(bottleneck) as f64 * 8.0
+                / (exp.sim.now() as f64 / 1e9)
+                / links.bps(bottleneck) as f64
         };
         println!("== {name} ==");
         println!(

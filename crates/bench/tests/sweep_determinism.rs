@@ -64,6 +64,39 @@ fn jobs8_matches_jobs1_byte_for_byte() {
     }
 }
 
+/// The same byte-identity contract at scale: a k=16 (1024 hosts/DC)
+/// incast run per seed, compared between `--jobs 1` and `--jobs 8`. The
+/// struct-of-arrays tables make per-link iteration id-ordered by
+/// construction; this case would catch any scheduler- or map-order
+/// dependence that only manifests on large fabrics.
+#[test]
+fn k16_cells_match_across_job_counts() {
+    let run_k16 = |jobs: usize| -> Vec<String> {
+        let topo = TopologyParams::k16();
+        let hosts = topo.hosts_per_dc() as u32;
+        let runner = SweepRunner::new(jobs);
+        runner.run(vec![1u64, 2], |_, seed| {
+            let mut cfg = ExperimentConfig::quick(SchemeSpec::uno(), seed);
+            cfg.topo = topo.clone();
+            cfg.telemetry = Some(SampleConfig::every(50 * MICROS));
+            let mut exp = Experiment::new(cfg);
+            exp.add_specs(&incast(6, 2, 256 << 10, hosts));
+            let r = exp.run(60 * SECONDS);
+            let mut manifest = r.manifest;
+            manifest.wall_seconds = 0.0;
+            manifest.events_per_sec = 0.0;
+            format!(
+                "{}|{}",
+                manifest.to_json(),
+                serde_json::to_string(&r.telemetry.expect("telemetry was enabled")).unwrap()
+            )
+        })
+    };
+    let serial = run_k16(1);
+    let parallel = run_k16(8);
+    assert_eq!(serial, parallel, "k=16 cells diverged across job counts");
+}
+
 /// Run per-seed cells with the telemetry sampler enabled, returning the
 /// serialized `telemetry` section of each run.
 fn run_telemetry_slice(jobs: usize) -> Vec<String> {

@@ -88,6 +88,11 @@ struct Scenario {
     /// Fat-tree arity (4 = quick preset, 8 = paper topology).
     #[serde(default = "default_k")]
     k: usize,
+    /// Number of datacenter sites (1 = single DC; ≥ 2 adds one border
+    /// switch per site joined by a full mesh of `border_links`-wide WAN
+    /// bundles — 2 reproduces the paper).
+    #[serde(default = "default_dcs")]
+    dcs: usize,
     scheme: SchemeSel,
     workload: WorkloadSel,
     #[serde(default = "default_seed")]
@@ -112,6 +117,9 @@ struct Scenario {
 
 fn default_k() -> usize {
     4
+}
+fn default_dcs() -> usize {
+    2
 }
 fn default_seed() -> u64 {
     1
@@ -162,6 +170,7 @@ struct RunOpts {
 fn template() -> Scenario {
     Scenario {
         k: 4,
+        dcs: 2,
         scheme: SchemeSel::Uno,
         workload: WorkloadSel::Incast {
             intra: 4,
@@ -313,7 +322,10 @@ fn run_seed_sweep(sc: &Scenario, n: usize, jobs: usize, opts: RunOpts) -> Vec<Ou
 }
 
 fn run_scenario(sc: &Scenario, tracer: Tracer, opts: RunOpts) -> Output {
-    let topo = if sc.k == 8 {
+    if sc.dcs == 0 {
+        die("dcs must be at least 1");
+    }
+    let mut topo = if sc.k == 8 {
         TopologyParams::default()
     } else {
         TopologyParams {
@@ -322,6 +334,7 @@ fn run_scenario(sc: &Scenario, tracer: Tracer, opts: RunOpts) -> Output {
             ..TopologyParams::default()
         }
     };
+    topo.dcs = sc.dcs;
     let scheme = match &sc.scheme {
         SchemeSel::Uno => SchemeSpec::uno(),
         SchemeSel::UnoEcmp => SchemeSpec::uno_ecmp(),
@@ -337,8 +350,13 @@ fn run_scenario(sc: &Scenario, tracer: Tracer, opts: RunOpts) -> Output {
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(sc.seed);
     let specs: Vec<FlowSpec> = match &sc.workload {
         WorkloadSel::Flows(v) => v.clone(),
-        WorkloadSel::Incast { intra, inter, size } => incast(*intra, *inter, *size, hosts),
-        WorkloadSel::Permutation { size } => permutation(hosts, 2, *size, &mut rng),
+        WorkloadSel::Incast { intra, inter, size } => {
+            if *inter > 0 && sc.dcs < 2 {
+                die("incast with inter senders needs dcs >= 2");
+            }
+            incast(*intra, *inter, *size, hosts)
+        }
+        WorkloadSel::Permutation { size } => permutation(hosts, sc.dcs as u8, *size, &mut rng),
         WorkloadSel::PoissonMix {
             load,
             inter_fraction,
@@ -346,7 +364,7 @@ fn run_scenario(sc: &Scenario, tracer: Tracer, opts: RunOpts) -> Output {
         } => poisson_mix(
             &PoissonMixParams {
                 hosts_per_dc: hosts,
-                dcs: 2,
+                dcs: sc.dcs as u8,
                 host_bps: topo.link_bps,
                 load: *load,
                 inter_fraction: *inter_fraction,
@@ -448,6 +466,7 @@ mod tests {
     fn scenario_runs_end_to_end() {
         let sc = Scenario {
             k: 4,
+            dcs: 2,
             scheme: SchemeSel::Uno,
             workload: WorkloadSel::Incast {
                 intra: 2,
@@ -473,6 +492,7 @@ mod tests {
     fn scenario_with_failure_and_loss() {
         let sc = Scenario {
             k: 4,
+            dcs: 2,
             scheme: SchemeSel::Custom {
                 lb: LbSel::UnoLb { subflows: 10 },
                 ec: Some((8, 2)),
@@ -546,6 +566,7 @@ mod tests {
         };
         let sc = Scenario {
             k: 4,
+            dcs: 2,
             scheme: SchemeSel::Uno,
             workload: WorkloadSel::Flows(vec![
                 FlowSpec {
@@ -609,7 +630,48 @@ mod tests {
         let json = r#"{"scheme":"uno","workload":{"incast":{"intra":1,"inter":0,"size":65536}}}"#;
         let sc: Scenario = serde_json::from_str(json).unwrap();
         assert_eq!(sc.k, 4);
+        assert_eq!(sc.dcs, 2);
         assert_eq!(sc.horizon_ms, 10_000);
         assert_eq!(sc.fail_border_links, 0);
+    }
+
+    #[test]
+    fn multi_dc_scenario_routes_across_sites() {
+        // Three sites: a flow from DC0 to DC2 must cross exactly one WAN
+        // hop (never transiting DC1) and complete.
+        let sc = Scenario {
+            k: 4,
+            dcs: 3,
+            scheme: SchemeSel::Uno,
+            workload: WorkloadSel::Flows(vec![
+                FlowSpec {
+                    src_dc: 0,
+                    src_idx: 0,
+                    dst_dc: 2,
+                    dst_idx: 1,
+                    size: 1 << 20,
+                    start: 0,
+                },
+                FlowSpec {
+                    src_dc: 1,
+                    src_idx: 2,
+                    dst_dc: 1,
+                    dst_idx: 3,
+                    size: 256 << 10,
+                    start: 0,
+                },
+            ]),
+            seed: 7,
+            horizon_ms: 5_000,
+            fail_border_links: 0,
+            border_loss: 0.0,
+            faults: None,
+        };
+        let json = serde_json::to_string(&sc).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dcs, 3);
+        let out = run_scenario(&back, Tracer::disabled(), RunOpts::default());
+        assert_eq!(out.flows, 2);
+        assert_eq!(out.completed, 2);
     }
 }

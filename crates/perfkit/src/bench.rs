@@ -13,7 +13,9 @@ use uno_trace::{Profiler, RateMeter};
 use uno_transport::LbMode;
 use uno_workloads::incast;
 
-use crate::{cpu_time_nanos, peak_rss_kib, BenchResult, PerfReport};
+use uno_workloads::FlowSpec;
+
+use crate::{cpu_time_nanos, peak_rss_kib, reset_peak_rss, BenchResult, PerfReport};
 
 /// Time `f` by process CPU time where available (stable on shared hosts),
 /// falling back to wall clock. Only valid while the process is effectively
@@ -63,6 +65,12 @@ pub fn run_all(quick: bool, rev: String) -> PerfReport {
     let mut profiled = incast_profiled_rate(quick);
     profiled.gated = false;
     benches.push(profiled);
+
+    // Macrobench: engine throughput and peak memory on a multi-site fabric
+    // (quick: 4×k=16 = 4096 hosts; full: 4×k=32 = 32768 hosts). Gates the
+    // struct-of-arrays tables' flat-memory and events/sec-at-scale claims.
+    let (scale_rate, scale_rss) = scale_benches(quick);
+    benches.extend([scale_rate, scale_rss]);
 
     // Macrobench: the fig08 FCT slice, sequential vs. 8-way sweep. The
     // parallel rows are wall-clock claims bounded by the host's core count
@@ -374,6 +382,88 @@ fn incast_profiled_rate(quick: bool) -> BenchResult {
         gated: true,
         wall_seconds: total_wall,
     }
+}
+
+/// Events/sec and peak RSS on a multi-site incast at scale. One rep: the
+/// run is long enough (tens of millions of events) that rep-to-rep noise
+/// is small, and peak RSS is a property of the run, not the fastest rep.
+///
+/// The incast fans 16 intra senders (spread across DC0's pods) and 4
+/// senders from each remote site into DC0 host 0, so the run exercises
+/// the whole fabric — all four fat-trees plus the border mesh — while the
+/// flow count stays bounded (memory here should be dominated by topology
+/// tables, not flow state; completed flows release their buffers).
+fn scale_benches(quick: bool) -> (BenchResult, BenchResult) {
+    let (topo, label) = if quick {
+        (TopologyParams::multi_dc(4, 16, 8), "4xk16, 4096 hosts")
+    } else {
+        (TopologyParams::multi_dc(4, 32, 8), "4xk32, 32768 hosts")
+    };
+    let hosts = topo.hosts_per_dc() as u32;
+    let size: u64 = if quick { 4 << 20 } else { 16 << 20 };
+    let mut specs: Vec<FlowSpec> = Vec::new();
+    for i in 0..16u32 {
+        specs.push(FlowSpec {
+            src_dc: 0,
+            src_idx: 1 + i * (hosts - 2) / 16,
+            dst_dc: 0,
+            dst_idx: 0,
+            size,
+            start: 0,
+        });
+    }
+    for dc in 1..4u8 {
+        for i in 0..4u32 {
+            specs.push(FlowSpec {
+                src_dc: dc,
+                src_idx: i * hosts / 4,
+                dst_dc: 0,
+                dst_idx: 0,
+                size,
+                start: 0,
+            });
+        }
+    }
+
+    // Isolate this run's high-water mark from the earlier microbenches
+    // (the event-queue hold model alone peaks in the hundreds of MiB).
+    let isolated = reset_peak_rss();
+    let mut cfg = ExperimentConfig::quick(SchemeSpec::uno().with_lb(LbMode::Spray), 1);
+    cfg.topo = topo;
+    let mut exp = Experiment::new(cfg);
+    exp.add_specs(&specs);
+    let started = Instant::now();
+    let (r, nanos) = time_cpu(|| exp.run(600 * SECONDS));
+    let wall = started.elapsed().as_secs_f64();
+    assert!(r.all_completed, "scale bench must run to completion");
+    let rate = r.manifest.events_processed as f64 * 1e9 / nanos as f64;
+    let rss = peak_rss_kib();
+    eprintln!(
+        "[uno-perfkit] scale_step_rate ({label}): {:.2} Mevents/s ({} events), \
+         peak RSS {:.1} MiB{}",
+        rate / 1e6,
+        r.manifest.events_processed,
+        rss as f64 / 1024.0,
+        if isolated { "" } else { " (process-wide)" },
+    );
+    (
+        BenchResult {
+            name: "scale_step_rate".to_string(),
+            value: rate,
+            unit: "events/sec".to_string(),
+            higher_is_better: true,
+            gated: true,
+            wall_seconds: wall,
+        },
+        BenchResult {
+            name: "scale_peak_rss".to_string(),
+            value: rss as f64,
+            unit: "KiB".to_string(),
+            higher_is_better: false,
+            gated: true,
+            wall_seconds: 0.0,
+        },
+    )
 }
 
 /// The fig08 FCT slice (3 incast scenarios × 3 schemes) through the sweep

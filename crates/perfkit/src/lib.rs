@@ -115,6 +115,15 @@ pub fn peak_rss_kib() -> u64 {
     parse_vm_hwm(&text).unwrap_or(0)
 }
 
+/// Reset the kernel's peak-RSS high-water mark to the current RSS (write
+/// `5` to `/proc/self/clear_refs`), so a subsequent [`peak_rss_kib`] reads
+/// the peak of just the following workload instead of the whole process
+/// history. Returns false where procfs is unavailable or read-only; the
+/// subsequent reading is then a process-lifetime upper bound.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
 /// Parse the `VmHWM:` line out of a `/proc/<pid>/status` dump.
 fn parse_vm_hwm(status: &str) -> Option<u64> {
     status

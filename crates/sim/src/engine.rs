@@ -21,6 +21,7 @@ use crate::ids::{FlowId, LinkId, NodeId};
 use crate::loss::GilbertElliott;
 use crate::packet::Packet;
 use crate::queue::EnqueueOutcome;
+use crate::tables::FlowTable;
 use crate::time::{serialization_time, Time};
 use crate::topology::Topology;
 
@@ -222,14 +223,13 @@ pub trait FlowLogic {
     fn telemetry_sample(&self) -> Option<FlowSample> {
         None
     }
-}
-
-struct FlowSlot {
-    meta: FlowMeta,
-    logic: Option<Box<dyn FlowLogic>>,
-    done: bool,
-    outcome: Option<FlowOutcome>,
-    record_progress: bool,
+    /// Called exactly once, right after the flow reaches a terminal state
+    /// (completed or failed). The engine never calls `on_start`/`on_packet`/
+    /// `on_timer` again afterwards, so transports use this to release
+    /// per-flow working memory (send state, receive bitmaps) while keeping
+    /// the counters that [`FlowLogic::report_counters`] still reads at the
+    /// end of the run. Default: no-op.
+    fn on_terminated(&mut self) {}
 }
 
 /// Periodic sampler of a link queue's physical (and phantom) occupancy.
@@ -291,7 +291,7 @@ pub struct Simulator {
     events: EventQueue,
     now: Time,
     rng: SmallRng,
-    flows: Vec<FlowSlot>,
+    flows: FlowTable,
     terminated_flows: usize,
     /// Completion records, in completion order.
     pub fcts: Vec<FctRecord>,
@@ -345,7 +345,7 @@ impl Simulator {
             events: EventQueue::new(),
             now: 0,
             rng: SmallRng::seed_from_u64(seed),
-            flows: Vec::new(),
+            flows: FlowTable::default(),
             terminated_flows: 0,
             fcts: Vec::new(),
             failures: Vec::new(),
@@ -402,20 +402,14 @@ impl Simulator {
     ) -> FlowId {
         let id = FlowId::from(self.flows.len());
         self.events.push(meta.start, Event::FlowStart(id));
-        self.flows.push(FlowSlot {
-            meta,
-            logic: Some(logic),
-            done: false,
-            outcome: None,
-            record_progress,
-        });
+        self.flows.push(meta, logic, record_progress);
         self.progress.push(Vec::new());
         id
     }
 
     /// Metadata of flow `id`.
     pub fn flow_meta(&self, id: FlowId) -> &FlowMeta {
-        &self.flows[id.index()].meta
+        self.flows.meta(id.index())
     }
 
     /// Records for flows that have **not** completed, with `end` set to the
@@ -423,23 +417,24 @@ impl Simulator {
     /// real completions avoids censoring bias when a run hits its horizon
     /// (dropping unfinished flows makes slow schemes look *better*).
     pub fn censored_fcts(&self) -> Vec<FctRecord> {
-        self.flows
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.done && s.meta.start < self.now)
-            .map(|(i, s)| FctRecord {
-                flow: FlowId::from(i),
-                size: s.meta.size,
-                start: s.meta.start,
-                end: self.now,
-                class: s.meta.class,
+        (0..self.flows.len())
+            .filter(|&i| !self.flows.is_done(i) && self.flows.meta(i).start < self.now)
+            .map(|i| {
+                let m = self.flows.meta(i);
+                FctRecord {
+                    flow: FlowId::from(i),
+                    size: m.size,
+                    start: m.start,
+                    end: self.now,
+                    class: m.class,
+                }
             })
             .collect()
     }
 
     /// Attach a stochastic loss process to a link.
     pub fn set_link_loss(&mut self, link: LinkId, model: GilbertElliott) {
-        self.topo.links[link.index()].loss = Some(model);
+        self.topo.links.set_loss(link, Some(model));
     }
 
     /// Schedule a link failure at absolute time `t`.
@@ -472,13 +467,13 @@ impl Simulator {
 
     /// Terminal outcome of flow `id`, if it has one yet.
     pub fn flow_outcome(&self, id: FlowId) -> Option<FlowOutcome> {
-        self.flows[id.index()].outcome
+        self.flows.outcome(id.index())
     }
 
     /// Terminal outcomes for every flow, in flow-id order (`None` = still
     /// running at the current time).
     pub fn flow_outcomes(&self) -> Vec<Option<FlowOutcome>> {
-        self.flows.iter().map(|s| s.outcome).collect()
+        self.flows.outcomes()
     }
 
     /// Register a periodic occupancy sampler on `link`, starting at `start`.
@@ -527,7 +522,7 @@ impl Simulator {
         }
         let mut meter = RateMeter::new();
         meter.record(self.events_processed - hb.last_events, elapsed);
-        let queued: u64 = self.topo.links.iter().map(|l| l.queue.bytes()).sum();
+        let queued: u64 = self.topo.links.total_queued_bytes();
         eprintln!(
             "[uno] sim {:.3} ms | wall {:.1} s | {:.2} Mev/s | {} events | queued {} B",
             self.now as f64 / 1e6,
@@ -543,32 +538,36 @@ impl Simulator {
     /// Aggregate network statistics.
     pub fn network_stats(&self) -> NetworkStats {
         let mut s = NetworkStats::default();
-        for l in &self.topo.links {
-            s.queue_drops += l.queue.drops;
-            s.ecn_marks += l.queue.marks;
-            s.phantom_marks += l.queue.phantom_marks;
-            s.link_losses += l.lost_packets;
-            s.tx_packets += l.tx_packets;
-            s.tx_bytes += l.tx_bytes;
+        let links = &self.topo.links;
+        for l in links.ids() {
+            let q = links.queue(l);
+            s.queue_drops += q.drops;
+            s.ecn_marks += q.marks;
+            s.phantom_marks += q.phantom_marks;
+            s.link_losses += links.lost_packets(l);
+            s.tx_packets += links.tx_packets(l);
+            s.tx_bytes += links.tx_bytes(l);
         }
         s
     }
 
     /// Per-link breakdown of [`Simulator::network_stats`], in link-id order.
     pub fn per_link_stats(&self) -> Vec<LinkStats> {
-        self.topo
-            .links
-            .iter()
-            .enumerate()
-            .map(|(i, l)| LinkStats {
-                link: i as u32,
-                drops: l.queue.drops,
-                ecn_marks: l.queue.marks,
-                phantom_marks: l.queue.phantom_marks,
-                losses: l.lost_packets,
-                tx_packets: l.tx_packets,
-                tx_bytes: l.tx_bytes,
-                max_queue_bytes: l.queue.max_bytes_seen,
+        let links = &self.topo.links;
+        links
+            .ids()
+            .map(|l| {
+                let q = links.queue(l);
+                LinkStats {
+                    link: l.0,
+                    drops: q.drops,
+                    ecn_marks: q.marks,
+                    phantom_marks: q.phantom_marks,
+                    losses: links.lost_packets(l),
+                    tx_packets: links.tx_packets(l),
+                    tx_bytes: links.tx_bytes(l),
+                    max_queue_bytes: q.max_bytes_seen,
+                }
             })
             .collect()
     }
@@ -600,11 +599,7 @@ impl Simulator {
             c.set("flow.aborted", aborted);
             c.set("flow.stalled", self.failures.len() as u64 - aborted);
         }
-        for slot in &self.flows {
-            if let Some(logic) = &slot.logic {
-                logic.report_counters(&mut c);
-            }
-        }
+        self.flows.report_counters(&mut c);
         c
     }
 
@@ -672,9 +667,8 @@ impl Simulator {
         match ev {
             Event::Arrive(link, pkt, epoch) => self.handle_arrive(link, pkt, epoch),
             Event::LinkFree(link) => {
-                let l = &mut self.topo.links[link.index()];
-                l.busy = false;
-                if l.up && !l.queue.is_empty() {
+                self.topo.links.set_busy(link, false);
+                if self.topo.links.is_up(link) && !self.topo.links.queue(link).is_empty() {
                     self.start_transmit(link);
                 }
             }
@@ -696,9 +690,9 @@ impl Simulator {
             }
             Event::Sample(idx) => {
                 let s = &mut self.samplers[idx as usize];
-                let link = &mut self.topo.links[s.link.index()];
-                s.samples.push((self.now, link.queue.bytes()));
-                if let Some(ph) = &mut link.queue.phantom {
+                let queue = self.topo.links.queue_mut(s.link);
+                s.samples.push((self.now, queue.bytes()));
+                if let Some(ph) = &mut queue.phantom {
                     s.phantom_samples.push((self.now, ph.occupancy(self.now)));
                 }
                 let interval = s.interval;
@@ -733,18 +727,20 @@ impl Simulator {
         self.profiler.enter("telemetry");
         let now = self.now;
         let mut links_down = 0u64;
-        for (i, l) in self.topo.links.iter_mut().enumerate() {
-            let phantom = l.queue.phantom.as_mut().map_or(0, |ph| ph.occupancy(now));
-            if !l.up {
+        let links = &mut self.topo.links;
+        for i in 0..links.len() {
+            let l = LinkId::from(i);
+            let queue = links.queue_mut(l);
+            let phantom = queue.phantom.as_mut().map_or(0, |ph| ph.occupancy(now));
+            let bytes = queue.bytes();
+            let up = links.is_up(l);
+            if !up {
                 links_down += 1;
             }
-            tel.record_link(i as u32, now, l.queue.bytes(), phantom, l.up);
+            tel.record_link(i as u32, now, bytes, phantom, up);
         }
-        for (i, slot) in self.flows.iter().enumerate() {
-            if slot.done {
-                continue;
-            }
-            if let Some(sample) = slot.logic.as_ref().and_then(|l| l.telemetry_sample()) {
+        for i in 0..self.flows.len() {
+            if let Some(sample) = self.flows.telemetry_sample(i) {
                 tel.record_flow(i as u32, now, sample);
             }
         }
@@ -759,14 +755,14 @@ impl Simulator {
     /// Fail `link`: purge its queue (counting the drops), bump the failure
     /// epoch so in-flight packets die, and mark it down.
     fn take_link_down(&mut self, link: LinkId) {
-        let l = &mut self.topo.links[link.index()];
-        if l.up {
-            l.epoch = l.epoch.wrapping_add(1);
+        let links = &mut self.topo.links;
+        if links.is_up(link) {
+            links.bump_epoch(link);
         }
-        l.up = false;
-        let purged_bytes = l.queue.bytes();
-        let dropped = l.queue.clear();
-        l.lost_packets += dropped as u64;
+        links.set_up(link, false);
+        let purged_bytes = links.queue(link).bytes();
+        let dropped = links.queue_mut(link).clear();
+        links.note_lost(link, dropped as u64);
         if dropped > 0 && self.tracer.enabled() {
             self.tracer.emit(TraceEvent::QueueClear {
                 t: self.now,
@@ -779,9 +775,8 @@ impl Simulator {
 
     /// Restore `link` and kick transmission if packets queued meanwhile.
     fn bring_link_up(&mut self, link: LinkId) {
-        let l = &mut self.topo.links[link.index()];
-        l.up = true;
-        if !l.busy && !l.queue.is_empty() {
+        self.topo.links.set_up(link, true);
+        if !self.topo.links.busy(link) && !self.topo.links.queue(link).is_empty() {
             self.start_transmit(link);
         }
     }
@@ -815,19 +810,19 @@ impl Simulator {
             }
             FaultKind::GrayLoss { p } => {
                 for &l in &links {
-                    self.topo.links[l.index()].health.gray_loss = p;
+                    self.topo.links.health_mut(l).gray_loss = p;
                     self.note_fault_transition(l, false);
                 }
             }
             FaultKind::Degraded { factor } => {
                 for &l in &links {
-                    self.topo.links[l.index()].health.capacity_factor = factor;
+                    self.topo.links.health_mut(l).capacity_factor = factor;
                     self.note_fault_transition(l, false);
                 }
             }
             FaultKind::Delay { extra, jitter } => {
                 for &l in &links {
-                    let h = &mut self.topo.links[l.index()].health;
+                    let h = self.topo.links.health_mut(l);
                     h.extra_delay = extra;
                     h.jitter = jitter;
                     self.note_fault_transition(l, false);
@@ -884,7 +879,7 @@ impl Simulator {
             }
             FaultKind::GrayLoss { .. } | FaultKind::Degraded { .. } | FaultKind::Delay { .. } => {
                 for &l in &links {
-                    self.topo.links[l.index()].health = LinkHealth::default();
+                    *self.topo.links.health_mut(l) = LinkHealth::default();
                     self.note_fault_transition(l, true);
                 }
             }
@@ -900,11 +895,11 @@ impl Simulator {
     }
 
     fn handle_arrive(&mut self, link: LinkId, pkt: Packet, epoch: u32) {
-        let l = &mut self.topo.links[link.index()];
+        let links = &mut self.topo.links;
         // A stale epoch means the link failed while this packet was on the
         // wire: the packet is lost even if the link has since recovered.
-        if !l.up || epoch != l.epoch {
-            l.lost_packets += 1;
+        if !links.is_up(link) || epoch != links.epoch(link) {
+            links.note_lost(link, 1);
             if self.tracer.enabled() {
                 self.tracer.emit(TraceEvent::LinkLoss {
                     t: self.now,
@@ -915,9 +910,9 @@ impl Simulator {
             }
             return;
         }
-        if let Some(loss) = &mut l.loss {
+        if let Some(loss) = links.loss_mut(link) {
             if loss.drops(&mut self.rng) {
-                l.lost_packets += 1;
+                links.note_lost(link, 1);
                 if self.tracer.enabled() {
                     self.tracer.emit(TraceEvent::LinkLoss {
                         t: self.now,
@@ -930,9 +925,9 @@ impl Simulator {
             }
         }
         // Gray fault: silent per-packet drop at rate p while active.
-        if l.health.gray_loss > 0.0 && self.rng.gen::<f64>() < l.health.gray_loss {
-            let l = &mut self.topo.links[link.index()];
-            l.lost_packets += 1;
+        let gray = links.health(link).gray_loss;
+        if gray > 0.0 && self.rng.gen::<f64>() < gray {
+            links.note_lost(link, 1);
             if self.tracer.enabled() {
                 self.tracer.emit(TraceEvent::LinkLoss {
                     t: self.now,
@@ -943,8 +938,7 @@ impl Simulator {
             }
             return;
         }
-        let l = &mut self.topo.links[link.index()];
-        let node = l.to;
+        let node = links.to(link);
         if self.topo.nodes[node.index()].kind.is_host() {
             if pkt.dst == node {
                 let flow = pkt.flow;
@@ -961,9 +955,9 @@ impl Simulator {
     /// Enqueue `pkt` on `link`'s egress queue, kicking transmission if idle.
     fn enqueue_on(&mut self, link: LinkId, pkt: Packet) {
         let now = self.now;
-        let l = &mut self.topo.links[link.index()];
-        if !l.up {
-            l.lost_packets += 1;
+        let links = &mut self.topo.links;
+        if !links.is_up(link) {
+            links.note_lost(link, 1);
             if self.tracer.enabled() {
                 self.tracer.emit(TraceEvent::LinkLoss {
                     t: now,
@@ -975,10 +969,10 @@ impl Simulator {
             return;
         }
         let (flow, seq, size) = (pkt.flow.0, pkt.seq, pkt.size);
-        let outcome = l.queue.try_enqueue(pkt, now, &mut self.rng);
-        let idle = !l.busy;
+        let outcome = links.queue_mut(link).try_enqueue(pkt, now, &mut self.rng);
+        let idle = !links.busy(link);
         if self.tracer.enabled() {
-            let qlen = l.queue.bytes();
+            let qlen = links.queue(link).bytes();
             match outcome {
                 EnqueueOutcome::Enqueued { marked, phantom } => {
                     self.tracer.emit(TraceEvent::Enqueue {
@@ -1016,28 +1010,28 @@ impl Simulator {
     }
 
     fn start_transmit(&mut self, link: LinkId) {
-        let l = &mut self.topo.links[link.index()];
-        debug_assert!(l.up);
-        let Some(pkt) = l.queue.dequeue() else {
+        let links = &mut self.topo.links;
+        debug_assert!(links.is_up(link));
+        let Some(pkt) = links.queue_mut(link).dequeue() else {
             return;
         };
         // Degraded-capacity faults stretch serialization by scaling the
         // effective line rate.
-        let bps = if l.health.capacity_factor < 1.0 {
-            ((l.bps as f64 * l.health.capacity_factor) as u64).max(1)
+        let health = *links.health(link);
+        let bps = if health.capacity_factor < 1.0 {
+            ((links.bps(link) as f64 * health.capacity_factor) as u64).max(1)
         } else {
-            l.bps
+            links.bps(link)
         };
         let ser = serialization_time(pkt.size as u64, bps);
-        l.busy = true;
-        l.tx_packets += 1;
-        l.tx_bytes += pkt.size as u64;
+        links.set_busy(link, true);
+        links.note_tx(link, pkt.size as u64);
         // Delay faults add fixed latency plus uniform per-packet jitter.
-        let mut delay = l.delay + l.health.extra_delay;
-        if l.health.jitter > 0 {
-            delay += self.rng.gen_range(0..=l.health.jitter);
+        let mut delay = links.delay(link) + health.extra_delay;
+        if health.jitter > 0 {
+            delay += self.rng.gen_range(0..=health.jitter);
         }
-        let epoch = l.epoch;
+        let epoch = links.epoch(link);
         if self.tracer.enabled() {
             self.tracer.emit(TraceEvent::Dequeue {
                 t: self.now,
@@ -1055,11 +1049,11 @@ impl Simulator {
     where
         F: FnOnce(&mut dyn FlowLogic, &mut Ctx),
     {
-        let slot = &mut self.flows[flow.index()];
-        if slot.done {
+        let i = flow.index();
+        if self.flows.is_done(i) {
             return;
         }
-        let Some(mut logic) = slot.logic.take() else {
+        let Some(mut logic) = self.flows.take_logic(i) else {
             return;
         };
         let mut actions = self.action_pool.pop().unwrap_or_default();
@@ -1078,7 +1072,7 @@ impl Simulator {
             f(logic.as_mut(), &mut ctx);
         }
         self.profiler.exit();
-        self.flows[flow.index()].logic = Some(logic);
+        self.flows.put_logic(i, logic);
         // Apply actions (may recurse into enqueue but not into flows).
         // Draining in place keeps the buffer's capacity for the free list.
         for action in actions.drain(..) {
@@ -1092,18 +1086,19 @@ impl Simulator {
                         .push(at.max(self.now), Event::FlowTimer { flow, token });
                 }
                 Action::Complete => {
-                    let slot = &mut self.flows[flow.index()];
-                    if !slot.done {
-                        slot.done = true;
-                        slot.outcome = Some(FlowOutcome::Completed);
+                    if self.flows.mark_terminated(i, FlowOutcome::Completed) {
                         self.terminated_flows += 1;
+                        let m = self.flows.meta(i);
                         self.fcts.push(FctRecord {
                             flow,
-                            size: slot.meta.size,
-                            start: slot.meta.start,
+                            size: m.size,
+                            start: m.start,
                             end: self.now,
-                            class: slot.meta.class,
+                            class: m.class,
                         });
+                        if let Some(l) = self.flows.logic_mut(i) {
+                            l.on_terminated();
+                        }
                         if self.tracer.enabled() {
                             self.tracer.emit(TraceEvent::FlowDone {
                                 t: self.now,
@@ -1113,21 +1108,22 @@ impl Simulator {
                     }
                 }
                 Action::Fail(outcome) => {
-                    let slot = &mut self.flows[flow.index()];
-                    if !slot.done {
-                        slot.done = true;
-                        slot.outcome = Some(outcome);
-                        // Failed flows count toward termination: a run in
-                        // which every flow completed *or* gave up is over.
+                    // Failed flows count toward termination: a run in
+                    // which every flow completed *or* gave up is over.
+                    if self.flows.mark_terminated(i, outcome) {
                         self.terminated_flows += 1;
+                        let m = self.flows.meta(i);
                         self.failures.push(FailRecord {
                             flow,
-                            size: slot.meta.size,
-                            start: slot.meta.start,
+                            size: m.size,
+                            start: m.start,
                             end: self.now,
-                            class: slot.meta.class,
+                            class: m.class,
                             outcome,
                         });
+                        if let Some(l) = self.flows.logic_mut(i) {
+                            l.on_terminated();
+                        }
                         if self.tracer.enabled() {
                             self.tracer.emit(TraceEvent::FlowFail {
                                 t: self.now,
@@ -1138,8 +1134,8 @@ impl Simulator {
                     }
                 }
                 Action::Progress(bytes) => {
-                    if self.flows[flow.index()].record_progress {
-                        self.progress[flow.index()].push((self.now, bytes));
+                    if self.flows.records_progress(i) {
+                        self.progress[i].push((self.now, bytes));
                     }
                 }
             }
@@ -1676,7 +1672,7 @@ mod tests {
         assert_eq!(sim.fault.transitions, 2);
         assert_eq!(sim.fault.downs, 1);
         assert!(
-            sim.topo.links[up.index()].health.is_healthy(),
+            sim.topo.links.health(up).is_healthy(),
             "healing must clear the gray state"
         );
     }
@@ -1818,7 +1814,7 @@ mod tests {
         use crate::fault::FaultTarget;
         let mut sim = small_sim(46);
         let (src, dst) = (sim.topo.host(0, 0), sim.topo.host(1, 0));
-        let border_node = sim.topo.links[sim.topo.border_forward[0].index()].from;
+        let border_node = sim.topo.links.from(sim.topo.border_forward[0]);
         sim.install_faults(&spec_one(
             FaultTarget::Switch {
                 node: border_node.0,
@@ -1831,9 +1827,10 @@ mod tests {
         assert!(!sim.run_to_completion(50 * crate::time::MILLIS));
         assert!(sim.fcts.is_empty());
         assert!(sim.network_stats().link_losses >= 1);
-        for l in &sim.topo.links {
-            if l.from == border_node || l.to == border_node {
-                assert!(!l.up, "link {} must be down", l.id);
+        let links = &sim.topo.links;
+        for l in links.ids() {
+            if links.from(l) == border_node || links.to(l) == border_node {
+                assert!(!links.is_up(l), "link {l} must be down");
             }
         }
     }

@@ -14,10 +14,13 @@
 //! * events beyond the window go to a **heap fallback** and migrate into
 //!   the wheel when the cursor reaches their neighbourhood — each event is
 //!   touched at most once extra, so the amortized cost stays `O(1)`;
-//! * a bucket is sorted (descending, so `Vec::pop` yields the minimum)
-//!   only when the cursor reaches it; pushes into the already-sorted
-//!   cursor bucket use a binary-search insert, which keeps the
-//!   schedule-at-now path correct and cheap.
+//! * a bucket is ordered only when the cursor reaches it: its entries are
+//!   moved into a small min-heap, so both draining it and pushing new
+//!   events at the current time cost `O(log bucket)`. (An earlier design
+//!   kept the cursor bucket as a sorted `Vec` with binary-search inserts;
+//!   each insert memmoves the tail, which turns quadratic when a
+//!   synchronized start — e.g. a 32k-flow permutation — lands millions of
+//!   events in one 1 µs bucket.)
 //!
 //! Bucket vectors retain their capacity across laps of the wheel, so after
 //! warm-up the hot path allocates nothing: the wheel doubles as a free
@@ -122,9 +125,13 @@ pub struct EventQueue {
     /// `[cur_tick, cur_tick + NUM_BUCKETS)`; only `pop`/`peek_time` advance
     /// it (to the global minimum tick), so it never passes a pending event.
     cur_tick: u64,
-    /// Tick whose bucket is currently sorted (descending by `(time, seq)`).
-    sorted_tick: Option<u64>,
-    /// Entries currently in the wheel.
+    /// Tick whose entries currently live in `cursor` instead of the wheel.
+    cursor_tick: Option<u64>,
+    /// Min-heap over the cursor tick's entries: the head is the global
+    /// minimum `(time, seq)` whenever it is non-empty. Pushes at the
+    /// current tick land here directly in `O(log n)`.
+    cursor: BinaryHeap<Reverse<Entry>>,
+    /// Entries currently in the wheel (excluding the cursor heap).
     wheel_len: usize,
     /// Far-future events (tick beyond the window at push time). Entries
     /// migrate into the wheel when the cursor catches up.
@@ -149,7 +156,8 @@ impl EventQueue {
             buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
             occupied: [0; WORDS],
             cur_tick: 0,
-            sorted_tick: None,
+            cursor_tick: None,
+            cursor: BinaryHeap::new(),
             wheel_len: 0,
             overflow: BinaryHeap::new(),
             next_seq: 0,
@@ -176,7 +184,12 @@ impl EventQueue {
         self.next_seq += 1;
         let e = Entry { time, seq, event };
         self.len += 1;
-        if e.tick() >= self.cur_tick + NUM_BUCKETS as u64 {
+        if self.cursor_tick == Some(e.tick()) {
+            // Schedule-at-now (and anything else inside the cursor tick):
+            // straight into the min-heap, O(log n) regardless of how many
+            // events share the tick.
+            self.cursor.push(Reverse(e));
+        } else if e.tick() >= self.cur_tick + NUM_BUCKETS as u64 {
             self.overflow.push(Reverse(e));
         } else {
             self.insert_wheel(e);
@@ -185,14 +198,10 @@ impl EventQueue {
 
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(Time, Event)> {
-        let idx = self.normalize()?;
-        let e = self.buckets[idx]
-            .pop()
-            .expect("normalized bucket non-empty");
-        if self.buckets[idx].is_empty() {
-            self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+        if !self.normalize() {
+            return None;
         }
-        self.wheel_len -= 1;
+        let Reverse(e) = self.cursor.pop().expect("normalized cursor non-empty");
         self.len -= 1;
         self.floor = e.time;
         Some((e.time, e.event))
@@ -200,8 +209,10 @@ impl EventQueue {
 
     /// Time of the earliest pending event.
     pub fn peek_time(&mut self) -> Option<Time> {
-        let idx = self.normalize()?;
-        self.buckets[idx].last().map(|e| e.time)
+        if !self.normalize() {
+            return None;
+        }
+        self.cursor.peek().map(|Reverse(e)| e.time)
     }
 
     /// Number of pending events.
@@ -214,35 +225,33 @@ impl EventQueue {
         self.len == 0
     }
 
-    /// Place an entry (whose tick is within the current window) into its
-    /// wheel bucket. The cursor bucket stays sorted via binary insert; any
-    /// other bucket is append-only until the cursor reaches it.
+    /// Place an entry (whose tick is within the current window, and is not
+    /// the cursor tick) into its wheel bucket. Buckets are append-only;
+    /// ordering happens when the cursor reaches them.
     fn insert_wheel(&mut self, e: Entry) {
         let tick = e.tick();
         debug_assert!(tick < self.cur_tick + NUM_BUCKETS as u64);
+        debug_assert!(self.cursor_tick != Some(tick));
         let idx = (tick & BUCKET_MASK) as usize;
         self.occupied[idx / 64] |= 1u64 << (idx % 64);
-        let bucket = &mut self.buckets[idx];
-        if self.sorted_tick == Some(tick) {
-            // Descending order: everything greater than `e` stays in front,
-            // so `e` pops after earlier entries and after same-time entries
-            // with a smaller seq (FIFO).
-            let pos = bucket.partition_point(|x| x > &e);
-            bucket.insert(pos, e);
-        } else {
-            bucket.push(e);
-        }
+        self.buckets[idx].push(e);
         self.wheel_len += 1;
     }
 
-    /// Advance the cursor to the global minimum tick, migrate overflow
-    /// entries that now fall inside the window, and sort the cursor bucket.
-    /// Returns the cursor bucket's index, whose *last* element is the
-    /// global minimum entry; `None` when the queue is empty.
-    fn normalize(&mut self) -> Option<usize> {
+    /// Ensure the cursor heap holds the global minimum tick's entries:
+    /// advance the cursor to that tick, migrate overflow entries that now
+    /// fall inside the window, and move the tick's bucket into the heap.
+    /// Returns `false` when the queue is empty.
+    fn normalize(&mut self) -> bool {
         if self.len == 0 {
-            return None;
+            return false;
         }
+        if !self.cursor.is_empty() {
+            // The cursor heap's tick is the queue floor's tick, so its head
+            // is still the global minimum — nothing to do.
+            return true;
+        }
+        self.cursor_tick = None;
         let wheel_tick = if self.wheel_len > 0 {
             let idx = self.next_occupied((self.cur_tick & BUCKET_MASK) as usize);
             Some(self.buckets[idx][0].tick())
@@ -267,12 +276,16 @@ impl EventQueue {
                 break;
             }
         }
+        // Move the target bucket's entries into the cursor heap, handing the
+        // (now empty) vector back to the wheel so its capacity is reused.
         let idx = (target & BUCKET_MASK) as usize;
-        if self.sorted_tick != Some(target) {
-            self.buckets[idx].sort_unstable_by(|a, b| b.cmp(a));
-            self.sorted_tick = Some(target);
-        }
-        Some(idx)
+        let mut v = std::mem::take(&mut self.buckets[idx]);
+        self.wheel_len -= v.len();
+        self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+        self.cursor.extend(v.drain(..).map(Reverse));
+        self.buckets[idx] = v;
+        self.cursor_tick = Some(target);
+        true
     }
 
     /// Index of the first occupied bucket at or (circularly) after
@@ -427,6 +440,42 @@ mod tests {
         assert_eq!(q.pop().unwrap().0, 1_000_000);
         assert_eq!(q.pop().unwrap().0, 1_000_001);
         assert!(q.pop().is_none());
+    }
+
+    /// A synchronized-start burst: many events share one bucket (the 32k
+    /// permutation pattern that made the sorted-`Vec` cursor quadratic).
+    /// Pushes interleave with pops inside the same tick; the order must
+    /// still match the reference heap exactly.
+    #[test]
+    fn same_bucket_burst_stays_ordered() {
+        let mut rng = SmallRng::seed_from_u64(0x0B00_C4E7);
+        let mut cal = EventQueue::new();
+        let mut heap = ReferenceHeapQueue::new();
+        let mut now: Time;
+        for i in 0..50_000u32 {
+            let t = rng.gen_range(0..1_000); // all inside bucket 0
+            cal.push(t, Event::Sample(i));
+            heap.push(t, Event::Sample(i));
+        }
+        let mut tag = 50_000u32;
+        while let Some((tc, ec)) = cal.pop() {
+            let (th, eh) = heap.pop().expect("same length");
+            assert_eq!(tc, th);
+            match (ec, eh) {
+                (Event::Sample(a), Event::Sample(b)) => assert_eq!(a, b),
+                _ => unreachable!(),
+            }
+            now = tc;
+            // Reschedule at now (same tick) for a while, like an engine
+            // handling a burst of same-time timers.
+            if tag < 80_000 {
+                let t = now + rng.gen_range(0..8u64);
+                cal.push(t, Event::Sample(tag));
+                heap.push(t, Event::Sample(tag));
+                tag += 1;
+            }
+        }
+        assert!(heap.pop().is_none());
     }
 
     /// The satellite differential oracle: 1M randomized (time, seq)

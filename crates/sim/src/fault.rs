@@ -307,9 +307,8 @@ fn resolve_target(target: FaultTarget, topo: &Topology) -> Result<Vec<LinkId>, S
             let n = crate::ids::NodeId::from(node as usize);
             let links: Vec<LinkId> = topo
                 .links
-                .iter()
-                .filter(|l| l.from == n || l.to == n)
-                .map(|l| l.id)
+                .ids()
+                .filter(|&l| topo.links.from(l) == n || topo.links.to(l) == n)
                 .collect();
             if links.is_empty() {
                 return Err(format!("node {node} has no attached links"));
@@ -410,17 +409,19 @@ mod tests {
         assert!(dup.contains(&topo.border_forward[0]));
         assert_eq!(dup.len(), 2);
         // The duplex partner really is the opposite direction.
-        let (a, b) = (&topo.links[dup[0].index()], &topo.links[dup[1].index()]);
-        assert_eq!((a.from, a.to), (b.to, b.from));
+        let (a, b) = (dup[0], dup[1]);
+        assert_eq!(
+            (topo.links.from(a), topo.links.to(a)),
+            (topo.links.to(b), topo.links.from(b))
+        );
 
         // A switch target covers every attached link, both directions.
-        let border_node = topo.links[topo.border_forward[0].index()].from;
+        let border_node = topo.links.from(topo.border_forward[0]);
         let sw = one(FaultTarget::Switch {
             node: border_node.0,
         });
-        for l in &sw {
-            let l = &topo.links[l.index()];
-            assert!(l.from == border_node || l.to == border_node);
+        for &l in &sw {
+            assert!(topo.links.from(l) == border_node || topo.links.to(l) == border_node);
         }
         // k=4: 4 core uplinks each way + 4 border links each way.
         assert_eq!(sw.len(), 2 * 4 + 2 * 4);

@@ -37,6 +37,7 @@ pub mod ids;
 pub mod loss;
 pub mod packet;
 pub mod queue;
+pub mod tables;
 pub mod time;
 pub mod topology;
 
@@ -51,9 +52,10 @@ pub use ids::{FlowId, LinkId, NodeId};
 pub use loss::{ChunkLossStats, GilbertElliott};
 pub use packet::{Packet, PacketKind};
 pub use queue::{EnqueueOutcome, PhantomQueue, PortQueue, RedParams};
+pub use tables::{FlowTable, FwdTable, LinkTable};
 pub use time::{Bps, Time, GBPS, MICROS, MILLIS, NANOS, SECONDS};
 pub use topology::{
-    ecmp_pick, HostCoords, Link, LinkClass, Node, NodeKind, PhantomParams, Topology, TopologyParams,
+    ecmp_pick, HostCoords, LinkClass, Node, NodeKind, PhantomParams, Topology, TopologyParams,
 };
 pub use uno_trace::{
     Counters, FlowSample, ProfileReport, Profiler, RateMeter, RunManifest, SampleConfig, Series,

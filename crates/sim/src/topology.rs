@@ -5,25 +5,32 @@
 //! edge switch — connected through two border switches interconnected by
 //! eight links, with every core switch connected to its datacenter's border
 //! switch. All interconnects default to 100 Gbps and 1 MiB per-port buffers.
+//! Beyond the paper's pair, the builder generalizes to N sites: every DC gets
+//! one border switch and the borders form a full mesh with `border_links`
+//! parallel links per site pair.
 //!
 //! Routing is structural up–down forwarding. At every ECMP fan-out point the
 //! output port is chosen by hashing `(flow, entropy, switch-salt)`, so all
 //! load-balancing schemes are expressed purely by how senders assign the
 //! per-packet [`Packet::entropy`](crate::packet::Packet::entropy) field.
+//!
+//! Link and forwarding state live in the struct-of-arrays tables from
+//! [`crate::tables`]: the builder wires ports into plain scratch `Vec`s and
+//! interns them once at the end, so the finished topology is dense
+//! id-indexed columns with no per-node allocations.
 
 use serde::{Deserialize, Serialize};
 
-use crate::fault::LinkHealth;
 use crate::ids::{LinkId, NodeId};
-use crate::loss::GilbertElliott;
 use crate::packet::Packet;
 use crate::queue::{PhantomQueue, PortQueue, RedParams};
+use crate::tables::{FwdScratch, FwdTable, LinkTable};
 use crate::time::{Bps, Time, GBPS, MICROS, MILLIS};
 
-/// Location of a host within the dual-DC fat-tree.
+/// Location of a host within the multi-DC fat-tree.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct HostCoords {
-    /// Datacenter index (0 or 1).
+    /// Datacenter index.
     pub dc: u8,
     /// Pod within the datacenter.
     pub pod: u16,
@@ -68,35 +75,19 @@ impl NodeKind {
     }
 }
 
-/// Per-node forwarding state, populated by the topology builder.
-#[derive(Clone, Debug, Default)]
-pub struct Fwd {
-    /// Equal-cost uplinks (edge→agg, agg→core). For hosts this holds the
-    /// single NIC uplink.
-    pub up: Vec<LinkId>,
-    /// Downlinks, indexed by host idx (edge), edge idx (agg), pod (core) or
-    /// core idx (border).
-    pub down: Vec<LinkId>,
-    /// Core only: the uplink toward this DC's border switch.
-    pub border_port: Option<LinkId>,
-    /// Border only: the parallel links toward the remote border switch.
-    pub peer_ports: Vec<LinkId>,
-}
-
-/// A node (host or switch).
+/// A node (host or switch). Forwarding state lives in
+/// [`Topology::fwd`], indexed by the node id.
 #[derive(Clone, Debug)]
 pub struct Node {
     /// This node's id.
     pub id: NodeId,
     /// Host / Edge / Agg / Core / Border.
     pub kind: NodeKind,
-    /// Forwarding tables.
-    pub fwd: Fwd,
 }
 
 /// Classification of a link, used to assign delays, buffers and phantom
 /// queue sizes.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum LinkClass {
     /// Host NIC ↔ edge switch.
     HostEdge,
@@ -108,43 +99,6 @@ pub enum LinkClass {
     CoreBorder,
     /// Border ↔ border (the inter-DC WAN hop).
     BorderBorder,
-}
-
-/// A unidirectional link with its egress queue (attached at `from`).
-#[derive(Clone, Debug)]
-pub struct Link {
-    /// This link's id.
-    pub id: LinkId,
-    /// Transmitting node (owns the egress queue).
-    pub from: NodeId,
-    /// Receiving node.
-    pub to: NodeId,
-    /// Line rate in bits/s.
-    pub bps: Bps,
-    /// One-way propagation delay.
-    pub delay: Time,
-    /// Link class (drives buffer/delay configuration).
-    pub class: LinkClass,
-    /// Egress queue.
-    pub queue: PortQueue,
-    /// True while a packet is being serialized.
-    pub busy: bool,
-    /// False when the link has failed.
-    pub up: bool,
-    /// Failure epoch: bumped every time the link goes down, so in-flight
-    /// packets stamped with an older epoch die even if the link recovers
-    /// before they would have arrived.
-    pub epoch: u32,
-    /// Dynamic fault-plane state (gray loss, degraded capacity, delay).
-    pub health: LinkHealth,
-    /// Optional stochastic loss process applied on arrival.
-    pub loss: Option<GilbertElliott>,
-    /// Packets successfully transmitted.
-    pub tx_packets: u64,
-    /// Bytes successfully transmitted.
-    pub tx_bytes: u64,
-    /// Packets lost to the loss process or link failure.
-    pub lost_packets: u64,
 }
 
 /// Phantom-queue configuration (paper §4.1.3 / Table 2).
@@ -180,13 +134,14 @@ impl Default for PhantomParams {
 pub struct TopologyParams {
     /// Fat-tree arity (must be even). k=8 reproduces the paper.
     pub k: usize,
-    /// Number of datacenters (1 or 2).
+    /// Number of datacenters (≥ 1). Two reproduces the paper; more sites
+    /// get a full mesh of border interconnects.
     pub dcs: usize,
     /// Line rate of all intra-DC links.
     pub link_bps: Bps,
     /// Line rate of each border–border link.
     pub border_link_bps: Bps,
-    /// Number of parallel border–border links (paper: 8).
+    /// Number of parallel border–border links per site pair (paper: 8).
     pub border_links: usize,
     /// Per-port physical buffering for intra-DC switch ports.
     pub queue_bytes: u64,
@@ -237,6 +192,33 @@ impl TopologyParams {
         }
     }
 
+    /// A scaled-up preset (k=16, 1024 hosts/DC) for scale tests.
+    pub fn k16() -> Self {
+        TopologyParams {
+            k: 16,
+            ..Default::default()
+        }
+    }
+
+    /// The largest preset (k=32, 8192 hosts/DC) for macro-scale runs.
+    pub fn k32() -> Self {
+        TopologyParams {
+            k: 32,
+            ..Default::default()
+        }
+    }
+
+    /// An N-site preset: `dcs` fat-trees of arity `k`, borders in a full
+    /// mesh with `border_links` parallel links per site pair.
+    pub fn multi_dc(dcs: usize, k: usize, border_links: usize) -> Self {
+        TopologyParams {
+            k,
+            dcs,
+            border_links,
+            ..Default::default()
+        }
+    }
+
     /// Hosts per datacenter: k pods × k/2 edges × k/2 hosts.
     pub fn hosts_per_dc(&self) -> usize {
         self.k * self.k / 2 * self.k / 2
@@ -260,27 +242,41 @@ pub struct Topology {
     pub params: TopologyParams,
     /// All nodes; indices are `NodeId`s.
     pub nodes: Vec<Node>,
-    /// All unidirectional links; indices are `LinkId`s.
-    pub links: Vec<Link>,
+    /// All unidirectional links as dense id-indexed columns.
+    pub links: LinkTable,
+    /// Interned forwarding ports, indexed by node id.
+    pub fwd: FwdTable,
     /// Hosts in (dc-major, pod, edge, idx) order.
     pub hosts: Vec<NodeId>,
-    /// Border–border links (dc0→dc1 direction), if any.
+    /// Border–border links in the lower→higher DC direction, pair-major
+    /// (all of pair (0,1), then (0,2), (1,2), … for N sites).
     pub border_forward: Vec<LinkId>,
-    /// Border–border links (dc1→dc0 direction), if any.
+    /// Border–border links in the higher→lower DC direction, aligned with
+    /// [`Topology::border_forward`].
     pub border_reverse: Vec<LinkId>,
 }
 
+/// Build-time state: the growing topology plus the forwarding scratch that
+/// is interned into [`FwdTable`] when wiring completes.
+struct Builder {
+    topo: Topology,
+    fwd: FwdScratch,
+}
+
 impl Topology {
-    /// Build the dual-DC (or single-DC) fat-tree described by `params`.
+    /// Build the fat-tree network described by `params` (any number of
+    /// DCs ≥ 1).
     pub fn build(params: TopologyParams) -> Self {
         assert!(
             params.k >= 2 && params.k.is_multiple_of(2),
             "k must be even"
         );
-        assert!(params.dcs == 1 || params.dcs == 2, "1 or 2 DCs supported");
+        assert!(params.dcs >= 1, "at least one DC required");
+        assert!(params.dcs <= u8::MAX as usize + 1, "dc index must fit u8");
         let k = params.k;
         let half = k / 2;
         let cores_per_dc = half * half;
+        let dcs = params.dcs;
 
         // Per-class one-way propagation delays solving for the target RTTs.
         // Intra path (cross-pod): host-edge-agg-core-agg-edge-host = 6 links
@@ -294,42 +290,46 @@ impl Topology {
         }
         .max(1);
 
-        let mut topo = Topology {
-            params: params.clone(),
-            nodes: Vec::new(),
-            links: Vec::new(),
-            hosts: Vec::new(),
-            border_forward: Vec::new(),
-            border_reverse: Vec::new(),
+        let mut b = Builder {
+            topo: Topology {
+                params: params.clone(),
+                nodes: Vec::new(),
+                links: LinkTable::default(),
+                fwd: FwdTable::default(),
+                hosts: Vec::new(),
+                border_forward: Vec::new(),
+                border_reverse: Vec::new(),
+            },
+            fwd: FwdScratch::default(),
         };
 
         // Node layout per DC.
-        let mut edge_ids = vec![Vec::new(); params.dcs]; // [dc][pod*half+e]
-        let mut agg_ids = vec![Vec::new(); params.dcs];
-        let mut core_ids = vec![Vec::new(); params.dcs];
+        let mut edge_ids = vec![Vec::new(); dcs]; // [dc][pod*half+e]
+        let mut agg_ids = vec![Vec::new(); dcs];
+        let mut core_ids = vec![Vec::new(); dcs];
         let mut border_ids = Vec::new();
 
-        for dc in 0..params.dcs {
+        for dc in 0..dcs {
             for pod in 0..k {
                 for e in 0..half {
-                    let id = topo.add_node(NodeKind::Edge {
+                    let id = b.add_node(NodeKind::Edge {
                         dc: dc as u8,
                         pod: pod as u16,
                         idx: e as u16,
                     });
                     edge_ids[dc].push(id);
                     for h in 0..half {
-                        let hid = topo.add_node(NodeKind::Host(HostCoords {
+                        let hid = b.add_node(NodeKind::Host(HostCoords {
                             dc: dc as u8,
                             pod: pod as u16,
                             edge: e as u16,
                             idx: h as u16,
                         }));
-                        topo.hosts.push(hid);
+                        b.topo.hosts.push(hid);
                     }
                 }
                 for a in 0..half {
-                    let id = topo.add_node(NodeKind::Agg {
+                    let id = b.add_node(NodeKind::Agg {
                         dc: dc as u8,
                         pod: pod as u16,
                         idx: a as u16,
@@ -338,56 +338,48 @@ impl Topology {
                 }
             }
             for c in 0..cores_per_dc {
-                let id = topo.add_node(NodeKind::Core {
+                let id = b.add_node(NodeKind::Core {
                     dc: dc as u8,
                     idx: c as u16,
                 });
                 core_ids[dc].push(id);
             }
-            if params.dcs == 2 {
-                border_ids.push(topo.add_node(NodeKind::Border { dc: dc as u8 }));
+            if dcs >= 2 {
+                border_ids.push(b.add_node(NodeKind::Border { dc: dc as u8 }));
             }
         }
+        b.fwd = FwdScratch::new(b.topo.nodes.len(), dcs as u32);
 
         // Hosts are interleaved with edges above; rebuild the dc-major host
         // list in canonical order.
-        topo.hosts.sort_by_key(|&h| {
-            let NodeKind::Host(c) = topo.nodes[h.index()].kind else {
+        let nodes = &b.topo.nodes;
+        b.topo.hosts.sort_by_key(|&h| {
+            let NodeKind::Host(c) = nodes[h.index()].kind else {
                 unreachable!()
             };
             (c.dc, c.pod, c.edge, c.idx)
         });
 
         // Wiring.
-        for dc in 0..params.dcs {
+        for dc in 0..dcs {
             for pod in 0..k {
                 for e in 0..half {
                     let edge = edge_ids[dc][pod * half + e];
                     // Host links.
                     for h in 0..half {
-                        let host = topo.host(dc as u8, ((pod * half + e) * half + h) as u32);
-                        let (up_l, down_l) = topo.add_duplex(
-                            host,
-                            edge,
-                            params.link_bps,
-                            d_intra,
-                            LinkClass::HostEdge,
-                        );
-                        topo.nodes[host.index()].fwd.up.push(up_l);
-                        topo.nodes[edge.index()].fwd.down.push(down_l);
+                        let host = b.topo.host(dc as u8, ((pod * half + e) * half + h) as u32);
+                        let (up_l, down_l) =
+                            b.add_duplex(host, edge, params.link_bps, d_intra, LinkClass::HostEdge);
+                        b.fwd.up[host.index()].push(up_l);
+                        b.fwd.down[edge.index()].push(down_l);
                     }
                     // Edge -> every agg in pod.
                     for a in 0..half {
                         let agg = agg_ids[dc][pod * half + a];
-                        let (up_l, down_l) = topo.add_duplex(
-                            edge,
-                            agg,
-                            params.link_bps,
-                            d_intra,
-                            LinkClass::EdgeAgg,
-                        );
-                        topo.nodes[edge.index()].fwd.up.push(up_l);
-                        topo.nodes[agg.index()].fwd.down.push(down_l);
+                        let (up_l, down_l) =
+                            b.add_duplex(edge, agg, params.link_bps, d_intra, LinkClass::EdgeAgg);
+                        b.fwd.up[edge.index()].push(up_l);
+                        b.fwd.down[agg.index()].push(down_l);
                     }
                 }
                 // Agg -> its k/2 cores.
@@ -395,64 +387,188 @@ impl Topology {
                     let agg = agg_ids[dc][pod * half + a];
                     for i in 0..half {
                         let core = core_ids[dc][a * half + i];
-                        let (up_l, down_l) = topo.add_duplex(
-                            agg,
-                            core,
-                            params.link_bps,
-                            d_intra,
-                            LinkClass::AggCore,
-                        );
-                        topo.nodes[agg.index()].fwd.up.push(up_l);
+                        let (up_l, down_l) =
+                            b.add_duplex(agg, core, params.link_bps, d_intra, LinkClass::AggCore);
+                        b.fwd.up[agg.index()].push(up_l);
                         // Core downlink to pod `pod` is through this agg.
-                        let core_down = &mut topo.nodes[core.index()].fwd.down;
+                        let core_down = &mut b.fwd.down[core.index()];
                         debug_assert_eq!(core_down.len(), pod);
                         core_down.push(down_l);
                     }
                 }
             }
             // Core -> border.
-            if params.dcs == 2 {
+            if dcs >= 2 {
                 let border = border_ids[dc];
                 for &core in &core_ids[dc] {
-                    let (up_l, down_l) = topo.add_duplex(
+                    let (up_l, down_l) = b.add_duplex(
                         core,
                         border,
                         params.link_bps,
                         d_intra,
                         LinkClass::CoreBorder,
                     );
-                    topo.nodes[core.index()].fwd.border_port = Some(up_l);
-                    topo.nodes[border.index()].fwd.down.push(down_l);
+                    b.fwd.border_port[core.index()] = Some(up_l);
+                    b.fwd.down[border.index()].push(down_l);
                 }
             }
         }
-        // Border <-> border.
-        if params.dcs == 2 {
-            let (b0, b1) = (border_ids[0], border_ids[1]);
-            for _ in 0..params.border_links {
-                let (fwd_l, rev_l) = topo.add_duplex_bw(
-                    b0,
-                    b1,
-                    params.border_link_bps,
-                    d_border,
-                    LinkClass::BorderBorder,
-                );
-                topo.nodes[b0.index()].fwd.peer_ports.push(fwd_l);
-                topo.nodes[b1.index()].fwd.peer_ports.push(rev_l);
-                topo.border_forward.push(fwd_l);
-                topo.border_reverse.push(rev_l);
+        // Border <-> border: a full mesh over site pairs in lexicographic
+        // order, `border_links` parallel links per pair. For dcs == 2 the
+        // single (0, 1) pair reproduces the paper's eight-link bundle.
+        for lo in 0..dcs {
+            for hi in lo + 1..dcs {
+                let (b_lo, b_hi) = (border_ids[lo], border_ids[hi]);
+                for _ in 0..params.border_links {
+                    let (fwd_l, rev_l) = b.add_duplex_bw(
+                        b_lo,
+                        b_hi,
+                        params.border_link_bps,
+                        d_border,
+                        LinkClass::BorderBorder,
+                    );
+                    b.fwd.peers[lo * dcs + hi].push(fwd_l);
+                    b.fwd.peers[hi * dcs + lo].push(rev_l);
+                    b.topo.border_forward.push(fwd_l);
+                    b.topo.border_reverse.push(rev_l);
+                }
             }
         }
+        let Builder { mut topo, fwd } = b;
+        topo.fwd = FwdTable::intern(fwd);
         topo
     }
 
+    /// Number of hosts across all DCs.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The `i`-th host of datacenter `dc`.
+    pub fn host(&self, dc: u8, i: u32) -> NodeId {
+        let per_dc = self.params.hosts_per_dc() as u32;
+        self.hosts[(dc as u32 * per_dc + i) as usize]
+    }
+
+    /// Coordinates of a host node.
+    pub fn host_coords(&self, id: NodeId) -> HostCoords {
+        match self.nodes[id.index()].kind {
+            NodeKind::Host(c) => c,
+            ref k => panic!("{id} is not a host: {k:?}"),
+        }
+    }
+
+    /// True when `a` and `b` are in different datacenters.
+    pub fn is_inter_dc(&self, a: NodeId, b: NodeId) -> bool {
+        self.nodes[a.index()].kind.dc() != self.nodes[b.index()].kind.dc()
+    }
+
+    /// The host's NIC uplink (where locally sourced packets are injected).
+    pub fn host_uplink(&self, host: NodeId) -> LinkId {
+        self.fwd.up(host)[0]
+    }
+
+    /// The edge→host link feeding `host` (the classic incast bottleneck).
+    pub fn host_downlink(&self, host: NodeId) -> LinkId {
+        let c = self.host_coords(host);
+        let up = self.host_uplink(host);
+        let edge = self.links.to(up);
+        self.fwd.down(edge)[c.idx as usize]
+    }
+
+    /// Base propagation RTT between two hosts (excludes serialization).
+    pub fn base_rtt(&self, a: NodeId, b: NodeId) -> Time {
+        if self.is_inter_dc(a, b) {
+            self.params.inter_rtt
+        } else {
+            self.params.intra_rtt
+        }
+    }
+
+    /// Number of forwarding hops (links) between two hosts, one way, for the
+    /// longest (core-traversing) path. Used for RTO/timer estimation.
+    pub fn path_hops(&self, a: NodeId, b: NodeId) -> u32 {
+        if self.is_inter_dc(a, b) {
+            9
+        } else {
+            let ca = self.host_coords(a);
+            let cb = self.host_coords(b);
+            if ca.pod == cb.pod && ca.edge == cb.edge {
+                2
+            } else if ca.pod == cb.pod {
+                4
+            } else {
+                6
+            }
+        }
+    }
+
+    /// Route `pkt` arriving at (or originating from) switch `node`:
+    /// returns the egress link, or `None` for delivery (host reached).
+    pub fn route(&self, node: NodeId, pkt: &Packet) -> Option<LinkId> {
+        if node == pkt.dst {
+            return None;
+        }
+        let d = self.host_coords(pkt.dst);
+        let pick = |ports: &[LinkId]| -> LinkId {
+            ports[ecmp_pick(pkt.flow.0, pkt.entropy, node.0 as u64, ports.len())]
+        };
+        match self.nodes[node.index()].kind {
+            NodeKind::Host(_) => Some(self.fwd.up(node)[0]),
+            NodeKind::Edge { dc, pod, idx } => {
+                if d.dc == dc && d.pod == pod && d.edge == idx {
+                    Some(self.fwd.down(node)[d.idx as usize])
+                } else {
+                    Some(pick(self.fwd.up(node)))
+                }
+            }
+            NodeKind::Agg { dc, pod, .. } => {
+                if d.dc == dc && d.pod == pod {
+                    Some(self.fwd.down(node)[d.edge as usize])
+                } else {
+                    Some(pick(self.fwd.up(node)))
+                }
+            }
+            NodeKind::Core { dc, .. } => {
+                if d.dc == dc {
+                    Some(self.fwd.down(node)[d.pod as usize])
+                } else {
+                    self.fwd.border_port(node)
+                }
+            }
+            NodeKind::Border { dc } => {
+                if d.dc != dc {
+                    Some(pick(self.fwd.peers(dc as u32, d.dc as u32)))
+                } else {
+                    Some(pick(self.fwd.down(node)))
+                }
+            }
+        }
+    }
+
+    /// Walk the path a packet with the given identity would take; for tests
+    /// and diagnostics. Panics if the path exceeds 32 hops (routing loop).
+    pub fn trace_path(&self, src: NodeId, dst: NodeId, flow: u32, entropy: u16) -> Vec<NodeId> {
+        let mut pkt = Packet::data(crate::ids::FlowId(flow), 0, 0, src, dst);
+        pkt.entropy = entropy;
+        let mut at = src;
+        let mut path = vec![at];
+        while at != dst {
+            let link = self
+                .route(at, &pkt)
+                .unwrap_or_else(|| panic!("no route from {at} to {dst}"));
+            at = self.links.to(link);
+            path.push(at);
+            assert!(path.len() <= 32, "routing loop: {path:?}");
+        }
+        path
+    }
+}
+
+impl Builder {
     fn add_node(&mut self, kind: NodeKind) -> NodeId {
-        let id = NodeId::from(self.nodes.len());
-        self.nodes.push(Node {
-            id,
-            kind,
-            fwd: Fwd::default(),
-        });
+        let id = NodeId::from(self.topo.nodes.len());
+        self.topo.nodes.push(Node { id, kind });
         id
     }
 
@@ -488,17 +604,17 @@ impl Topology {
         delay: Time,
         class: LinkClass,
     ) -> LinkId {
-        let id = LinkId::from(self.links.len());
-        let from_is_host = self.nodes[from.index()].kind.is_host();
+        let params = &self.topo.params;
+        let from_is_host = self.topo.nodes[from.index()].kind.is_host();
         let capacity = if from_is_host {
-            self.params.host_queue_bytes
+            params.host_queue_bytes
         } else if class == LinkClass::BorderBorder {
-            self.params.wan_queue_bytes
+            params.wan_queue_bytes
         } else {
-            self.params.queue_bytes
+            params.queue_bytes
         };
-        let mut queue = PortQueue::new(capacity, self.params.red);
-        if let Some(ph) = &self.params.phantom {
+        let mut queue = PortQueue::new(capacity, params.red);
+        if let Some(ph) = &params.phantom {
             if !from_is_host {
                 let cap = match class {
                     LinkClass::BorderBorder | LinkClass::CoreBorder => ph.capacity_wan,
@@ -515,150 +631,7 @@ impl Topology {
                 ));
             }
         }
-        self.links.push(Link {
-            id,
-            from,
-            to,
-            bps,
-            delay,
-            class,
-            queue,
-            busy: false,
-            up: true,
-            epoch: 0,
-            health: LinkHealth::default(),
-            loss: None,
-            tx_packets: 0,
-            tx_bytes: 0,
-            lost_packets: 0,
-        });
-        id
-    }
-
-    /// Number of hosts across all DCs.
-    pub fn num_hosts(&self) -> usize {
-        self.hosts.len()
-    }
-
-    /// The `i`-th host of datacenter `dc`.
-    pub fn host(&self, dc: u8, i: u32) -> NodeId {
-        let per_dc = self.params.hosts_per_dc() as u32;
-        self.hosts[(dc as u32 * per_dc + i) as usize]
-    }
-
-    /// Coordinates of a host node.
-    pub fn host_coords(&self, id: NodeId) -> HostCoords {
-        match self.nodes[id.index()].kind {
-            NodeKind::Host(c) => c,
-            ref k => panic!("{id} is not a host: {k:?}"),
-        }
-    }
-
-    /// True when `a` and `b` are in different datacenters.
-    pub fn is_inter_dc(&self, a: NodeId, b: NodeId) -> bool {
-        self.nodes[a.index()].kind.dc() != self.nodes[b.index()].kind.dc()
-    }
-
-    /// The host's NIC uplink (where locally sourced packets are injected).
-    pub fn host_uplink(&self, host: NodeId) -> LinkId {
-        self.nodes[host.index()].fwd.up[0]
-    }
-
-    /// The edge→host link feeding `host` (the classic incast bottleneck).
-    pub fn host_downlink(&self, host: NodeId) -> LinkId {
-        let c = self.host_coords(host);
-        let up = self.host_uplink(host);
-        let edge = self.links[up.index()].to;
-        self.nodes[edge.index()].fwd.down[c.idx as usize]
-    }
-
-    /// Base propagation RTT between two hosts (excludes serialization).
-    pub fn base_rtt(&self, a: NodeId, b: NodeId) -> Time {
-        if self.is_inter_dc(a, b) {
-            self.params.inter_rtt
-        } else {
-            self.params.intra_rtt
-        }
-    }
-
-    /// Number of forwarding hops (links) between two hosts, one way, for the
-    /// longest (core-traversing) path. Used for RTO/timer estimation.
-    pub fn path_hops(&self, a: NodeId, b: NodeId) -> u32 {
-        if self.is_inter_dc(a, b) {
-            9
-        } else {
-            let ca = self.host_coords(a);
-            let cb = self.host_coords(b);
-            if ca.pod == cb.pod && ca.edge == cb.edge {
-                2
-            } else if ca.pod == cb.pod {
-                4
-            } else {
-                6
-            }
-        }
-    }
-
-    /// Route `pkt` arriving at (or originating from) switch `node`:
-    /// returns the egress link, or `None` for delivery (host reached).
-    pub fn route(&self, node: NodeId, pkt: &Packet) -> Option<LinkId> {
-        let n = &self.nodes[node.index()];
-        if node == pkt.dst {
-            return None;
-        }
-        let d = self.host_coords(pkt.dst);
-        let pick = |ports: &Vec<LinkId>| -> LinkId {
-            ports[ecmp_pick(pkt.flow.0, pkt.entropy, node.0 as u64, ports.len())]
-        };
-        match n.kind {
-            NodeKind::Host(_) => Some(n.fwd.up[0]),
-            NodeKind::Edge { dc, pod, idx } => {
-                if d.dc == dc && d.pod == pod && d.edge == idx {
-                    Some(n.fwd.down[d.idx as usize])
-                } else {
-                    Some(pick(&n.fwd.up))
-                }
-            }
-            NodeKind::Agg { dc, pod, .. } => {
-                if d.dc == dc && d.pod == pod {
-                    Some(n.fwd.down[d.edge as usize])
-                } else {
-                    Some(pick(&n.fwd.up))
-                }
-            }
-            NodeKind::Core { dc, .. } => {
-                if d.dc == dc {
-                    Some(n.fwd.down[d.pod as usize])
-                } else {
-                    n.fwd.border_port
-                }
-            }
-            NodeKind::Border { dc } => {
-                if d.dc != dc {
-                    Some(pick(&n.fwd.peer_ports))
-                } else {
-                    Some(pick(&n.fwd.down))
-                }
-            }
-        }
-    }
-
-    /// Walk the path a packet with the given identity would take; for tests
-    /// and diagnostics. Panics if the path exceeds 32 hops (routing loop).
-    pub fn trace_path(&self, src: NodeId, dst: NodeId, flow: u32, entropy: u16) -> Vec<NodeId> {
-        let mut pkt = Packet::data(crate::ids::FlowId(flow), 0, 0, src, dst);
-        pkt.entropy = entropy;
-        let mut at = src;
-        let mut path = vec![at];
-        while at != dst {
-            let link = self
-                .route(at, &pkt)
-                .unwrap_or_else(|| panic!("no route from {at} to {dst}"));
-            at = self.links[link.index()].to;
-            path.push(at);
-            assert!(path.len() <= 32, "routing loop: {path:?}");
-        }
-        path
+        self.topo.links.push(from, to, bps, delay, class, queue)
     }
 }
 
@@ -685,6 +658,13 @@ mod tests {
         Topology::build(TopologyParams::small())
     }
 
+    /// Find the directed link `from → to`, if wired.
+    fn find_link(t: &Topology, from: NodeId, to: NodeId) -> Option<LinkId> {
+        t.links
+            .ids()
+            .find(|&l| t.links.from(l) == from && t.links.to(l) == to)
+    }
+
     #[test]
     fn paper_topology_counts() {
         let t = Topology::build(TopologyParams::default());
@@ -697,8 +677,8 @@ mod tests {
         // Every core has a border uplink.
         for n in &t.nodes {
             if let NodeKind::Core { .. } = n.kind {
-                assert!(n.fwd.border_port.is_some());
-                assert_eq!(n.fwd.down.len(), 8); // one downlink per pod
+                assert!(t.fwd.border_port(n.id).is_some());
+                assert_eq!(t.fwd.down(n.id).len(), 8); // one downlink per pod
             }
         }
     }
@@ -773,12 +753,7 @@ mod tests {
         let path = t.trace_path(a, b, 1, 0);
         let mut one_way = 0;
         for w in path.windows(2) {
-            let link = t
-                .links
-                .iter()
-                .find(|l| l.from == w[0] && l.to == w[1])
-                .unwrap();
-            one_way += link.delay;
+            one_way += t.links.delay(find_link(&t, w[0], w[1]).unwrap());
         }
         let rtt = 2 * one_way;
         let target = t.params.intra_rtt;
@@ -796,12 +771,7 @@ mod tests {
         let path = t.trace_path(a, b, 1, 0);
         let mut one_way = 0;
         for w in path.windows(2) {
-            let link = t
-                .links
-                .iter()
-                .find(|l| l.from == w[0] && l.to == w[1])
-                .unwrap();
-            one_way += link.delay;
+            one_way += t.links.delay(find_link(&t, w[0], w[1]).unwrap());
         }
         let rtt = 2 * one_way;
         let target = t.params.inter_rtt;
@@ -818,7 +788,7 @@ mod tests {
             for i in 0..4 {
                 let h = t.host(dc, i);
                 let l = t.host_downlink(h);
-                assert_eq!(t.links[l.index()].to, h);
+                assert_eq!(t.links.to(l), h);
             }
         }
     }
@@ -829,10 +799,10 @@ mod tests {
         p.wan_queue_bytes = 7 << 20;
         let t = Topology::build(p);
         for &l in &t.border_forward {
-            assert_eq!(t.links[l.index()].queue.capacity, 7 << 20);
+            assert_eq!(t.links.queue(l).capacity, 7 << 20);
         }
         let up = t.host_uplink(t.host(0, 0));
-        assert_eq!(t.links[up.index()].queue.capacity, 8 << 30);
+        assert_eq!(t.links.queue(up).capacity, 8 << 30);
     }
 
     #[test]
@@ -841,11 +811,11 @@ mod tests {
         p.phantom = Some(PhantomParams::default());
         let t = Topology::build(p);
         let up = t.host_uplink(t.host(0, 0));
-        assert!(t.links[up.index()].queue.phantom.is_none());
+        assert!(t.links.queue(up).phantom.is_none());
         let down = t.host_downlink(t.host(0, 0));
-        assert!(t.links[down.index()].queue.phantom.is_some());
+        assert!(t.links.queue(down).phantom.is_some());
         for &l in &t.border_forward {
-            let ph = t.links[l.index()].queue.phantom.as_ref().unwrap();
+            let ph = t.links.queue(l).phantom.as_ref().unwrap();
             assert_eq!(ph.capacity, PhantomParams::default().capacity_wan);
         }
     }
@@ -857,6 +827,45 @@ mod tests {
         let t = Topology::build(p);
         assert_eq!(t.num_hosts(), 16);
         assert!(t.border_forward.is_empty());
+    }
+
+    #[test]
+    fn multi_dc_full_mesh() {
+        let t = Topology::build(TopologyParams::multi_dc(4, 4, 3));
+        assert_eq!(t.num_hosts(), 4 * 16);
+        let borders: Vec<NodeId> = t
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Border { .. }))
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(borders.len(), 4);
+        // 6 unordered site pairs × 3 links each way.
+        assert_eq!(t.border_forward.len(), 6 * 3);
+        assert_eq!(t.border_reverse.len(), 6 * 3);
+        // Each ordered pair has a 3-link peer group; self groups are empty.
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                let n = t.fwd.peers(a, b).len();
+                assert_eq!(n, if a == b { 0 } else { 3 }, "peers({a},{b})");
+            }
+        }
+        // Routing between any DC pair crosses exactly the two endpoints'
+        // border switches (one WAN hop, no transit site).
+        for (a_dc, b_dc) in [(0u8, 3u8), (2, 1), (3, 2)] {
+            let a = t.host(a_dc, 0);
+            let b = t.host(b_dc, 7);
+            let path = t.trace_path(a, b, 11, 4);
+            assert_eq!(path.len(), 10, "{a_dc}->{b_dc}: {path:?}");
+            let border_dcs: Vec<u8> = path
+                .iter()
+                .filter_map(|&n| match t.nodes[n.index()].kind {
+                    NodeKind::Border { dc } => Some(dc),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(border_dcs, vec![a_dc, b_dc]);
+        }
     }
 
     #[test]

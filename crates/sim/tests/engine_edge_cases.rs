@@ -217,7 +217,12 @@ fn network_stats_tally_matches_links() {
     assert_eq!(stats.tx_packets, 10 * 9 + 10 * 9);
     assert_eq!(stats.queue_drops, 0);
     assert_eq!(stats.link_losses, 0);
-    let manual: u64 = sim.topo.links.iter().map(|l| l.tx_packets).sum();
+    let manual: u64 = sim
+        .topo
+        .links
+        .ids()
+        .map(|l| sim.topo.links.tx_packets(l))
+        .sum();
     assert_eq!(stats.tx_packets, manual);
 }
 

@@ -1,0 +1,219 @@
+//! Property tests for the topology builders: closed-form node/link counts
+//! for k-ary fat-trees at k ∈ {4, 8, 16, 32}, bidirectionality of every
+//! link, sampled host-pair reachability, and the structural invariants of
+//! N-site multi-DC meshes.
+
+use std::collections::HashSet;
+
+use uno_sim::{LinkClass, NodeId, NodeKind, Topology, TopologyParams};
+
+/// Per-DC closed forms of the k-ary fat-tree this repo builds: k pods of
+/// k/2 edge + k/2 agg switches, (k/2)² cores, k³/4 hosts.
+struct ClosedForms {
+    hosts: usize,
+    edges: usize,
+    aggs: usize,
+    cores: usize,
+    /// Directed intra-DC links (host-edge, edge-agg, agg-core; each tier
+    /// contributes k³/4 duplex pairs).
+    intra_directed: usize,
+}
+
+fn closed_forms(k: usize) -> ClosedForms {
+    let half = k / 2;
+    ClosedForms {
+        hosts: k * half * half,
+        edges: k * half,
+        aggs: k * half,
+        cores: half * half,
+        intra_directed: 3 * (k * half * half) * 2,
+    }
+}
+
+fn count_kind(t: &Topology, pred: impl Fn(&NodeKind) -> bool) -> usize {
+    t.nodes.iter().filter(|n| pred(&n.kind)).count()
+}
+
+#[test]
+fn fat_tree_closed_forms_hold_for_all_arities() {
+    for k in [4usize, 8, 16, 32] {
+        let dcs = 2;
+        let params = TopologyParams::multi_dc(dcs, k, 8);
+        let cf = closed_forms(k);
+        assert_eq!(params.hosts_per_dc(), cf.hosts, "k={k} hosts_per_dc");
+        let t = Topology::build(params);
+
+        assert_eq!(t.num_hosts(), dcs * cf.hosts, "k={k} total hosts");
+        assert_eq!(
+            count_kind(&t, |n| matches!(n, NodeKind::Edge { .. })),
+            dcs * cf.edges,
+            "k={k} edge switches"
+        );
+        assert_eq!(
+            count_kind(&t, |n| matches!(n, NodeKind::Agg { .. })),
+            dcs * cf.aggs,
+            "k={k} agg switches"
+        );
+        assert_eq!(
+            count_kind(&t, |n| matches!(n, NodeKind::Core { .. })),
+            dcs * cf.cores,
+            "k={k} core switches"
+        );
+        assert_eq!(
+            count_kind(&t, |n| matches!(n, NodeKind::Border { .. })),
+            dcs,
+            "k={k} border switches"
+        );
+
+        // Directed links: intra tiers per DC, plus core->border duplex per
+        // DC, plus the border mesh (one site pair × 8 duplex bundles).
+        let expected = dcs * (cf.intra_directed + cf.cores * 2) + dcs * (dcs - 1) * 8;
+        assert_eq!(t.links.len(), expected, "k={k} directed link count");
+        assert_eq!(
+            t.border_forward.len(),
+            8,
+            "k={k} one site pair of 8 border links"
+        );
+    }
+}
+
+#[test]
+fn every_link_has_a_reverse_of_the_same_class() {
+    for params in [
+        TopologyParams::small(),
+        TopologyParams::k16(),
+        TopologyParams::multi_dc(3, 4, 5),
+    ] {
+        let t = Topology::build(params);
+        let index: HashSet<(NodeId, NodeId, LinkClass)> = t
+            .links
+            .ids()
+            .map(|l| (t.links.from(l), t.links.to(l), t.links.class(l)))
+            .collect();
+        for l in t.links.ids() {
+            let rev = (t.links.to(l), t.links.from(l), t.links.class(l));
+            assert!(
+                index.contains(&rev),
+                "link {:?}->{:?} ({:?}) lacks a reverse",
+                t.links.from(l),
+                t.links.to(l),
+                t.links.class(l)
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_host_pairs_are_mutually_reachable() {
+    for k in [4usize, 8, 16] {
+        let t = Topology::build(TopologyParams::multi_dc(2, k, 8));
+        let per_dc = t.params.hosts_per_dc() as u32;
+        // A deterministic stratified sample: same-edge, same-pod, cross-pod
+        // and cross-DC pairs, at several entropies to exercise ECMP fans.
+        let pairs = [
+            (t.host(0, 0), t.host(0, 1)),
+            (t.host(0, 0), t.host(0, per_dc / 2)),
+            (t.host(0, 3), t.host(0, per_dc - 1)),
+            (t.host(0, 0), t.host(1, 0)),
+            (t.host(1, per_dc - 1), t.host(0, per_dc / 3)),
+        ];
+        for (src, dst) in pairs {
+            for entropy in [0u16, 7, 991, u16::MAX] {
+                let path = t.trace_path(src, dst, 0, entropy);
+                assert_eq!(path.first(), Some(&src), "k={k}");
+                assert_eq!(path.last(), Some(&dst), "k={k}");
+                // Longest legal path: host-edge-agg-core-border-border-
+                // core-agg-edge-host = 10 nodes.
+                assert!(path.len() <= 10, "k={k} path too long: {}", path.len());
+                let back = t.trace_path(dst, src, 0, entropy);
+                assert_eq!(back.first(), Some(&dst));
+                assert_eq!(back.last(), Some(&src));
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_dc_mesh_closed_forms() {
+    for dcs in [3usize, 4, 5] {
+        let border_links = 3;
+        let k = 4;
+        let t = Topology::build(TopologyParams::multi_dc(dcs, k, border_links));
+        let cf = closed_forms(k);
+        assert_eq!(t.num_hosts(), dcs * cf.hosts, "dcs={dcs} hosts");
+        assert_eq!(
+            count_kind(&t, |n| matches!(n, NodeKind::Border { .. })),
+            dcs,
+            "dcs={dcs} one border per site"
+        );
+        let pairs = dcs * (dcs - 1) / 2;
+        assert_eq!(
+            t.border_forward.len(),
+            pairs * border_links,
+            "dcs={dcs} forward border bundle"
+        );
+        assert_eq!(t.border_forward.len(), t.border_reverse.len());
+        let expected = dcs * (cf.intra_directed + cf.cores * 2) + 2 * pairs * border_links;
+        assert_eq!(t.links.len(), expected, "dcs={dcs} directed link count");
+    }
+}
+
+#[test]
+fn multi_dc_paths_never_transit_a_third_site() {
+    let dcs = 5;
+    let t = Topology::build(TopologyParams::multi_dc(dcs, 4, 2));
+    for a in 0..dcs as u8 {
+        for b in 0..dcs as u8 {
+            if a == b {
+                continue;
+            }
+            let src = t.host(a, 2);
+            let dst = t.host(b, 7);
+            for entropy in [0u16, 13, 4096] {
+                let path = t.trace_path(src, dst, 0, entropy);
+                for n in &path {
+                    let dc = t.nodes[n.index()].kind.dc();
+                    assert!(
+                        dc == a || dc == b,
+                        "path {a}->{b} transits site {dc}: {path:?}"
+                    );
+                }
+                // Exactly one WAN hop: two border switches, adjacent.
+                let borders: Vec<usize> = path
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| matches!(t.nodes[n.index()].kind, NodeKind::Border { .. }))
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(borders.len(), 2, "path {a}->{b}: {path:?}");
+                assert_eq!(borders[1], borders[0] + 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn single_dc_topology_has_no_border_plane() {
+    let t = Topology::build(TopologyParams::multi_dc(1, 4, 8));
+    assert_eq!(count_kind(&t, |n| matches!(n, NodeKind::Border { .. })), 0);
+    assert!(t.border_forward.is_empty());
+    assert!(t.border_reverse.is_empty());
+    let cf = closed_forms(4);
+    // No core->border duplex pairs either.
+    assert_eq!(t.links.len(), cf.intra_directed);
+    // Intra-DC routing still works.
+    let path = t.trace_path(t.host(0, 0), t.host(0, 15), 0, 3);
+    assert_eq!(path.first(), Some(&t.host(0, 0)));
+    assert_eq!(path.last(), Some(&t.host(0, 15)));
+}
+
+#[test]
+fn preset_sizes_match_paper_scales() {
+    assert_eq!(TopologyParams::small().hosts_per_dc(), 16);
+    assert_eq!(TopologyParams::default().hosts_per_dc(), 128);
+    assert_eq!(TopologyParams::k16().hosts_per_dc(), 1024);
+    assert_eq!(TopologyParams::k32().hosts_per_dc(), 8192);
+    // 4 sites × k=16 = 4096 hosts; 4 sites × k=32 = 32768 hosts.
+    assert_eq!(TopologyParams::multi_dc(4, 16, 8).hosts_per_dc() * 4, 4096);
+    assert_eq!(TopologyParams::multi_dc(4, 32, 8).hosts_per_dc() * 4, 32768);
+}

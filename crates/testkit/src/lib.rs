@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod fluid;
 pub mod invariant;
 pub mod naive_rs;
@@ -29,9 +30,13 @@ pub mod scenario;
 pub mod shrink;
 pub mod spec;
 
+pub use digest::{sha256_hex, Sha256};
 pub use fluid::{incast_check, FluidCheck};
 pub use invariant::{ArmedChecker, CheckReport, InvariantChecker, InvariantSuite, Violation};
 pub use naive_rs::NaiveReedSolomon;
-pub use scenario::{run_scenario, scheme_by_index, Fault, FlowDesc, Outcome, Scenario};
+pub use scenario::{
+    run_scenario, run_scenario_traced, scheme_by_index, Fault, FlowDesc, Outcome, Scenario,
+    TracedRun,
+};
 pub use shrink::{repro_hash, shrink, write_repro, ShrinkResult};
 pub use spec::{FlowNetInfo, NetSpec};

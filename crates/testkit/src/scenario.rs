@@ -489,13 +489,14 @@ fn arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
 // Runner
 // ---------------------------------------------------------------------------
 
-/// Execute a scenario on the full stack with the standard invariant suite
-/// armed. Fault application is virtual-time driven (the run is stepped to
-/// each loss-window boundary), so identical scenarios give identical
-/// outcomes.
-pub fn run_scenario(sc: &Scenario) -> Outcome {
+/// Build the experiment a scenario describes — config, topology, and the
+/// normalised workload — without arming any tracer. Both the invariant
+/// runner ([`run_scenario`]) and the golden-trace runner
+/// ([`run_scenario_traced`]) start from this, so they execute the exact
+/// same construction.
+fn prepare_scenario(sc: &Scenario) -> (Experiment, Vec<FlowSpec>, bool) {
     let scheme = scheme_by_index(sc.scheme);
-    let mut cfg = ExperimentConfig::quick(scheme.clone(), sc.seed);
+    let mut cfg = ExperimentConfig::quick(scheme, sc.seed);
     cfg.topo.queue_bytes = (sc.queue_kib.max(64) as u64) << 10;
     cfg.faults.block_accounting_off_by_one = sc.inject_block_bug;
     // A fault that never heals can starve a flow forever; arm the stall
@@ -535,11 +536,25 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
     for s in &specs {
         e.add_spec(s);
     }
+    (e, specs, permanent)
+}
+
+/// Execute a scenario on the full stack with the standard invariant suite
+/// armed. Fault application is virtual-time driven (the run is stepped to
+/// each loss-window boundary), so identical scenarios give identical
+/// outcomes.
+pub fn run_scenario(sc: &Scenario) -> Outcome {
+    let scheme = scheme_by_index(sc.scheme);
+    let (mut e, specs, permanent) = prepare_scenario(sc);
 
     // Build the invariant spec from the realised topology and flow table.
-    let (net_spec, nlinks, border_fwd, border_rev) = {
+    let net_spec = {
         let topo = &e.sim.topo;
-        let queue_capacity: Vec<u64> = topo.links.iter().map(|l| l.queue.capacity).collect();
+        let queue_capacity: Vec<u64> = topo
+            .links
+            .ids()
+            .map(|l| topo.links.queue(l).capacity)
+            .collect();
         let flows = specs
             .iter()
             .enumerate()
@@ -583,22 +598,123 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
                 }
             })
             .collect();
-        (
-            NetSpec {
-                queue_capacity,
-                flows,
-                liveness_grace: SECONDS / 2,
-                max_nacks_per_block: 8,
-                require_outcome: permanent,
-                stall_horizon: 3 * SECONDS,
-            },
-            topo.links.len() as u32,
-            topo.border_forward.clone(),
-            topo.border_reverse.clone(),
-        )
+        NetSpec {
+            queue_capacity,
+            flows,
+            liveness_grace: SECONDS / 2,
+            max_nacks_per_block: 8,
+            require_outcome: permanent,
+            stall_horizon: 3 * SECONDS,
+        }
     };
     let armed = ArmedChecker::new(net_spec);
     e.sim.set_tracer(armed.tracer());
+
+    drive_scenario(&mut e, sc);
+
+    let sim_end = e.sim.now();
+    let completed = e.sim.num_completed() == specs.len();
+    let report = armed.finish(sim_end);
+    let mut violations = report.violations;
+    if permanent {
+        // Some flows may legitimately never finish; graceful degradation
+        // must still give every one a definite outcome.
+        let terminated = e.sim.num_terminated();
+        if terminated != specs.len() {
+            violations.push(Violation {
+                invariant: "completion",
+                t: sim_end,
+                flow: None,
+                link: None,
+                detail: format!(
+                    "{}/{} flows reached a definite outcome ({} completed, {} \
+                     failed) despite the armed watchdog: a permanent fault \
+                     must stall or abort flows, never wedge them",
+                    terminated,
+                    specs.len(),
+                    e.sim.num_completed(),
+                    e.sim.failures.len()
+                ),
+            });
+        }
+    } else if !completed {
+        violations.push(Violation {
+            invariant: "completion",
+            t: sim_end,
+            flow: None,
+            link: None,
+            detail: format!(
+                "{}/{} flows completed by the horizon (all faults heal, so \
+                 every flow must finish)",
+                e.sim.num_completed(),
+                specs.len()
+            ),
+        });
+    }
+    Outcome {
+        violations,
+        suppressed: report.suppressed,
+        events_seen: report.events_seen,
+        completed,
+        sim_end,
+    }
+}
+
+/// What [`run_scenario_traced`] produced, alongside whatever the caller's
+/// tracer captured: the byte-stable per-run tables the golden-trace suite
+/// digests.
+#[derive(Clone, Debug)]
+pub struct TracedRun {
+    /// Simulated end time (ns).
+    pub sim_end: Time,
+    /// Flows that completed successfully.
+    pub completed: usize,
+    /// Flows that reached any definite outcome.
+    pub terminated: usize,
+    /// Canonical JSON of the final counter snapshot (sorted keys).
+    pub counters: String,
+    /// One stable text line per completion record, in completion order.
+    pub fcts: Vec<String>,
+}
+
+/// Execute a scenario with a caller-supplied tracer (typically a JSONL
+/// sink) instead of the invariant suite. Construction and fault driving are
+/// shared with [`run_scenario`], so for a given scenario the two runners
+/// execute the same simulation event-for-event — this is what lets the
+/// golden-trace differential tests pin the engine's behaviour to committed
+/// digests.
+pub fn run_scenario_traced(sc: &Scenario, tracer: uno_sim::Tracer) -> TracedRun {
+    let (mut e, specs, _) = prepare_scenario(sc);
+    e.sim.set_tracer(tracer);
+    drive_scenario(&mut e, sc);
+    let fcts = e
+        .sim
+        .fcts
+        .iter()
+        .map(|r| {
+            format!(
+                "flow={} size={} start={} end={} class={:?}",
+                r.flow.0, r.size, r.start, r.end, r.class
+            )
+        })
+        .collect();
+    let terminated = e.sim.num_terminated();
+    debug_assert!(terminated <= specs.len());
+    TracedRun {
+        sim_end: e.sim.now(),
+        completed: e.sim.num_completed(),
+        terminated,
+        counters: e.sim.counter_snapshot().to_json(),
+        fcts,
+    }
+}
+
+/// Schedule a scenario's faults and drive the simulation to its horizon.
+/// Must be called after the tracer is armed so the trace sees every event.
+fn drive_scenario(e: &mut Experiment, sc: &Scenario) {
+    let nlinks = e.sim.topo.links.len() as u32;
+    let border_fwd = e.sim.topo.border_forward.clone();
+    let border_rev = e.sim.topo.border_reverse.clone();
 
     // Schedule link failures up front; loss windows need live edits to the
     // loss process, so collect their boundaries and step through them.
@@ -709,57 +825,10 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
             Some(pm) => e
                 .sim
                 .set_link_loss(LinkId(l), GilbertElliott::uniform(pm as f64 / 1000.0)),
-            None => e.sim.topo.links[l as usize].loss = None,
+            None => e.sim.topo.links.set_loss(LinkId(l), None),
         }
     }
     e.sim.run_until(sc.horizon);
-
-    let sim_end = e.sim.now();
-    let completed = e.sim.num_completed() == specs.len();
-    let report = armed.finish(sim_end);
-    let mut violations = report.violations;
-    if permanent {
-        // Some flows may legitimately never finish; graceful degradation
-        // must still give every one a definite outcome.
-        let terminated = e.sim.num_terminated();
-        if terminated != specs.len() {
-            violations.push(Violation {
-                invariant: "completion",
-                t: sim_end,
-                flow: None,
-                link: None,
-                detail: format!(
-                    "{}/{} flows reached a definite outcome ({} completed, {} \
-                     failed) despite the armed watchdog: a permanent fault \
-                     must stall or abort flows, never wedge them",
-                    terminated,
-                    specs.len(),
-                    e.sim.num_completed(),
-                    e.sim.failures.len()
-                ),
-            });
-        }
-    } else if !completed {
-        violations.push(Violation {
-            invariant: "completion",
-            t: sim_end,
-            flow: None,
-            link: None,
-            detail: format!(
-                "{}/{} flows completed by the horizon (all faults heal, so \
-                 every flow must finish)",
-                e.sim.num_completed(),
-                specs.len()
-            ),
-        });
-    }
-    Outcome {
-        violations,
-        suppressed: report.suppressed,
-        events_seen: report.events_seen,
-        completed,
-        sim_end,
-    }
 }
 
 #[cfg(test)]

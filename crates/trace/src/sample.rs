@@ -15,8 +15,6 @@
 //! profiler (`profile.rs`), whose wall-clock numbers live outside the
 //! determinism guarantee.
 
-use std::collections::BTreeMap;
-
 use serde::{Serialize, Value};
 
 use crate::event::Time;
@@ -183,13 +181,18 @@ struct FlowSeries {
 /// aggregate state ([`Telemetry::record_fault`]). Link series are created
 /// lazily on the first non-idle observation (non-empty queue, phantom
 /// occupancy, or a down link), so an idle 32k-host fabric records nothing.
+///
+/// Link and flow series live in dense tables indexed by the entity id (ids
+/// are dense indices interned at topology/flow creation time), so recording
+/// a sample is an array index, not a map lookup, and iteration order is id
+/// order by construction — independent of insertion order.
 #[derive(Clone, Debug)]
 pub struct Telemetry {
     interval: Time,
     cap: usize,
     ticks: u64,
-    links: BTreeMap<u32, LinkSeries>,
-    flows: BTreeMap<u32, FlowSeries>,
+    links: Vec<Option<LinkSeries>>,
+    flows: Vec<Option<FlowSeries>>,
     fault_active: Series,
     links_down: Series,
 }
@@ -203,8 +206,8 @@ impl Telemetry {
             interval,
             cap,
             ticks: 0,
-            links: BTreeMap::new(),
-            flows: BTreeMap::new(),
+            links: Vec::new(),
+            flows: Vec::new(),
             fault_active: Series::new(interval, cap),
             links_down: Series::new(interval, cap),
         }
@@ -229,20 +232,21 @@ impl Telemetry {
     /// Offer link `id`'s state at time `t`. The link's series are created
     /// on its first non-idle observation and recorded every tick after.
     pub fn record_link(&mut self, id: u32, t: Time, queue_bytes: u64, phantom: u64, up: bool) {
-        if !self.links.contains_key(&id) {
+        let i = id as usize;
+        if self.links.get(i).is_none_or(|s| s.is_none()) {
             if queue_bytes == 0 && phantom == 0 && up {
                 return; // idle link: no series yet
             }
-            self.links.insert(
-                id,
-                LinkSeries {
-                    queue: Series::new(self.interval, self.cap),
-                    phantom: Series::new(self.interval, self.cap),
-                    up: Series::new(self.interval, self.cap),
-                },
-            );
+            if i >= self.links.len() {
+                self.links.resize_with(i + 1, || None);
+            }
+            self.links[i] = Some(LinkSeries {
+                queue: Series::new(self.interval, self.cap),
+                phantom: Series::new(self.interval, self.cap),
+                up: Series::new(self.interval, self.cap),
+            });
         }
-        let s = self.links.get_mut(&id).expect("just inserted");
+        let s = self.links[i].as_mut().expect("just inserted");
         s.queue.push(t, queue_bytes);
         s.phantom.push(t, phantom);
         s.up.push(t, up as u64);
@@ -250,7 +254,11 @@ impl Telemetry {
 
     /// Record flow `id`'s transport snapshot at time `t`.
     pub fn record_flow(&mut self, id: u32, t: Time, sample: FlowSample) {
-        let s = self.flows.entry(id).or_insert_with(|| FlowSeries {
+        let i = id as usize;
+        if i >= self.flows.len() {
+            self.flows.resize_with(i + 1, || None);
+        }
+        let s = self.flows[i].get_or_insert_with(|| FlowSeries {
             cwnd: Series::new(self.interval, self.cap),
             rate: Series::new(self.interval, self.cap),
             srtt: Series::new(self.interval, self.cap),
@@ -287,6 +295,8 @@ impl Telemetry {
         let links = Value::Object(
             self.links
                 .iter()
+                .enumerate()
+                .filter_map(|(id, s)| s.as_ref().map(|s| (id, s)))
                 .map(|(id, s)| {
                     (
                         id.to_string(),
@@ -302,6 +312,8 @@ impl Telemetry {
         let flows = Value::Object(
             self.flows
                 .iter()
+                .enumerate()
+                .filter_map(|(id, s)| s.as_ref().map(|s| (id, s)))
                 .map(|(id, s)| {
                     (
                         id.to_string(),

@@ -1006,6 +1006,23 @@ impl FlowLogic for MessageFlow {
         }
     }
 
+    fn on_terminated(&mut self) {
+        // The engine guarantees no further on_packet/on_timer calls after
+        // termination, and counters/telemetry read only scalar fields (plus
+        // cc/lb/rtt, which stay). Releasing the per-packet and per-block
+        // arrays here keeps resident memory flat across scenarios that churn
+        // through many short flows: completed flows cost O(1), not O(size).
+        self.st = Vec::new();
+        self.rtx_queue = VecDeque::new();
+        self.sent_fifo = VecDeque::new();
+        self.block_acked = Vec::new();
+        self.rx_bitmap = Vec::new();
+        self.rx_block_count = Vec::new();
+        self.rx_block_done = Vec::new();
+        self.rx_block_seen = Vec::new();
+        self.rx_block_nacks = Vec::new();
+    }
+
     fn report_counters(&self, counters: &mut Counters) {
         counters.add("cc.epoch_md", self.cc.md_count());
         counters.add("cc.quick_adapt_activations", self.cc.qa_count());
@@ -1146,6 +1163,24 @@ mod tests {
         // Idempotent.
         f.finish_block(0);
         assert_eq!(f.blocks_done, 1);
+    }
+
+    #[test]
+    fn on_terminated_releases_per_packet_state() {
+        let mut f = flow_with(4 << 20, Some(EcParams::PAPER_DEFAULT));
+        assert!(f.st.capacity() > 0);
+        assert!(f.rx_bitmap.capacity() > 0);
+        f.rto_count = 7;
+        f.on_terminated();
+        assert_eq!(f.st.capacity(), 0);
+        assert_eq!(f.rx_bitmap.capacity(), 0);
+        assert_eq!(f.block_acked.capacity(), 0);
+        assert_eq!(f.rx_block_count.capacity(), 0);
+        // Diagnostics survive for report_counters.
+        assert_eq!(f.rto_count, 7);
+        let mut c = Counters::default();
+        f.report_counters(&mut c);
+        assert_eq!(c.get("rc.rtos"), 7);
     }
 
     #[test]
