@@ -172,6 +172,7 @@ fn main() {
             .fold(OutcomeCounts::default(), |acc, (_, o)| OutcomeCounts {
                 completed: acc.completed + o.completed,
                 stalled: acc.stalled + o.stalled,
+                pfc_stalled: acc.pfc_stalled + o.pfc_stalled,
                 aborted: acc.aborted + o.aborted,
                 censored: acc.censored + o.censored,
             });

@@ -16,8 +16,8 @@
 use serde::{Deserialize, Serialize, Value};
 use uno::metrics::OutcomeCounts;
 use uno::sim::{
-    FaultSpec, GilbertElliott, RunManifest, SampleConfig, Time, TopologyParams, TraceConfig,
-    Tracer, MICROS, MILLIS, SECONDS,
+    FabricMode, FaultSpec, GilbertElliott, PfcParams, RunManifest, SampleConfig, Time,
+    TopologyParams, TraceConfig, Tracer, MICROS, MILLIS, SECONDS,
 };
 use uno::{DegradationConfig, Experiment, ExperimentConfig, SchemeSpec};
 use uno_erasure::EcParams;
@@ -113,6 +113,15 @@ struct Scenario {
     /// flow terminates with a definite outcome.
     #[serde(default)]
     faults: Option<FaultSpec>,
+    /// `true` runs on a PFC-lossless fabric: switch egress ports assert
+    /// PAUSE instead of tail-dropping, and congestion backpressure
+    /// propagates hop by hop toward the sources.
+    #[serde(default)]
+    lossless: bool,
+    /// XOFF threshold as a fraction of queue capacity (lossless fabrics
+    /// only; `0.0` keeps the topology default). XON is set to 70% of XOFF.
+    #[serde(default)]
+    pfc_xoff_frac: f64,
 }
 
 fn default_k() -> usize {
@@ -147,6 +156,10 @@ struct Output {
     ecn_marks: u64,
     queue_drops: u64,
     link_losses: u64,
+    /// PFC pause frames asserted (0 on lossy fabrics).
+    pfc_pauses: u64,
+    /// Aggregate port-paused time in nanoseconds (0 on lossy fabrics).
+    pfc_paused_ns: u64,
     manifest: RunManifest,
     /// Telemetry section (`--telemetry`): per-link/per-flow/fault series,
     /// byte-identical across repeated seeded runs.
@@ -182,6 +195,8 @@ fn template() -> Scenario {
         fail_border_links: 0,
         border_loss: 0.0,
         faults: None,
+        lossless: false,
+        pfc_xoff_frac: 0.0,
     }
 }
 
@@ -335,6 +350,18 @@ fn run_scenario(sc: &Scenario, tracer: Tracer, opts: RunOpts) -> Output {
         }
     };
     topo.dcs = sc.dcs;
+    if sc.lossless {
+        topo.fabric = FabricMode::Lossless;
+        if sc.pfc_xoff_frac > 0.0 {
+            let xoff = sc.pfc_xoff_frac.min(0.95);
+            topo.pfc = PfcParams {
+                xoff_frac: xoff,
+                xon_frac: 0.7 * xoff,
+            };
+        }
+    } else if sc.pfc_xoff_frac > 0.0 {
+        die("pfc_xoff_frac requires \"lossless\": true");
+    }
     let scheme = match &sc.scheme {
         SchemeSel::Uno => SchemeSpec::uno(),
         SchemeSel::UnoEcmp => SchemeSpec::uno_ecmp(),
@@ -440,6 +467,8 @@ fn run_scenario(sc: &Scenario, tracer: Tracer, opts: RunOpts) -> Output {
         ecn_marks: r.stats.ecn_marks,
         queue_drops: r.stats.queue_drops,
         link_losses: r.stats.link_losses,
+        pfc_pauses: r.manifest.counters.get("pfc.pauses"),
+        pfc_paused_ns: r.manifest.counters.get("pfc.paused_ns"),
         manifest: r.manifest,
         telemetry: r.telemetry,
         profile: r.profile,
@@ -478,6 +507,8 @@ mod tests {
             fail_border_links: 0,
             border_loss: 0.0,
             faults: None,
+            lossless: false,
+            pfc_xoff_frac: 0.0,
         };
         let out = run_scenario(&sc, Tracer::disabled(), RunOpts::default());
         assert_eq!(out.flows, 3);
@@ -510,6 +541,8 @@ mod tests {
             fail_border_links: 1,
             border_loss: 0.001,
             faults: None,
+            lossless: false,
+            pfc_xoff_frac: 0.0,
         };
         let out = run_scenario(&sc, Tracer::disabled(), RunOpts::default());
         assert_eq!(out.completed, 1);
@@ -591,6 +624,8 @@ mod tests {
             fail_border_links: 0,
             border_loss: 0.0,
             faults: Some(faults),
+            lossless: false,
+            pfc_xoff_frac: 0.0,
         };
         // The scenario (including its fault spec) survives a JSON round trip.
         let json = serde_json::to_string(&sc).unwrap();
@@ -623,6 +658,31 @@ mod tests {
         assert_eq!(out.stalled + out.aborted, 1);
         assert_eq!(out.censored, 0);
         assert!(out.sim_time_ms < 30_000.0);
+    }
+
+    #[test]
+    fn lossless_scenario_pauses_instead_of_dropping() {
+        let json = r#"{
+            "scheme": "uno",
+            "workload": {"incast": {"intra": 8, "inter": 0, "size": 4194304}},
+            "lossless": true,
+            "pfc_xoff_frac": 0.3,
+            "horizon_ms": 20000
+        }"#;
+        let sc: Scenario = serde_json::from_str(json).unwrap();
+        assert!(sc.lossless);
+        let out = run_scenario(&sc, Tracer::disabled(), RunOpts::default());
+        assert_eq!(out.completed, 8);
+        assert_eq!(out.queue_drops, 0, "lossless fabric must not tail-drop");
+        assert!(out.pfc_pauses > 0, "the incast must cross the XOFF mark");
+        assert!(out.pfc_paused_ns > 0);
+        // The same incast on the default lossy fabric emits no PFC at all.
+        let mut lossy = sc.clone();
+        lossy.lossless = false;
+        lossy.pfc_xoff_frac = 0.0;
+        let out2 = run_scenario(&lossy, Tracer::disabled(), RunOpts::default());
+        assert_eq!(out2.pfc_pauses, 0);
+        assert_eq!(out2.pfc_paused_ns, 0);
     }
 
     #[test]
@@ -666,6 +726,8 @@ mod tests {
             fail_border_links: 0,
             border_loss: 0.0,
             faults: None,
+            lossless: false,
+            pfc_xoff_frac: 0.0,
         };
         let json = serde_json::to_string(&sc).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();

@@ -2,7 +2,7 @@
 //! (§5.1: "mean and tail (99th percentile) FCT").
 
 use serde::{Deserialize, Serialize};
-use uno_sim::{FailRecord, FctRecord, FlowClass, FlowOutcome, Time};
+use uno_sim::{FailRecord, FctRecord, FlowClass, FlowOutcome, StallCause, Time};
 
 use crate::stats::{mean, percentile_of_sorted};
 
@@ -16,8 +16,13 @@ use crate::stats::{mean, percentile_of_sorted};
 pub struct OutcomeCounts {
     /// Flows that finished successfully.
     pub completed: usize,
-    /// Flows the stall watchdog terminated.
+    /// Flows the stall watchdog terminated (any cause).
     pub stalled: usize,
+    /// Subset of `stalled` the watchdog attributed to PFC backpressure
+    /// (source NIC uplink paused at declaration time) — only ever non-zero
+    /// on a lossless fabric.
+    #[serde(default)]
+    pub pfc_stalled: usize,
     /// Flows the bounded-retry logic aborted.
     pub aborted: usize,
     /// Flows still running at the horizon (no definite outcome).
@@ -29,9 +34,17 @@ impl OutcomeCounts {
     pub fn tally(fcts: &[FctRecord], failures: &[FailRecord], censored: &[FctRecord]) -> Self {
         OutcomeCounts {
             completed: fcts.len(),
-            stalled: failures
+            stalled: failures.iter().filter(|f| f.outcome.is_stalled()).count(),
+            pfc_stalled: failures
                 .iter()
-                .filter(|f| f.outcome == FlowOutcome::Stalled)
+                .filter(|f| {
+                    matches!(
+                        f.outcome,
+                        FlowOutcome::Stalled {
+                            cause: StallCause::PfcBackpressure
+                        }
+                    )
+                })
                 .count(),
             aborted: failures
                 .iter()
@@ -58,7 +71,11 @@ impl std::fmt::Display for OutcomeCounts {
             f,
             "completed={} stalled={} aborted={} censored={}",
             self.completed, self.stalled, self.aborted, self.censored
-        )
+        )?;
+        if self.pfc_stalled > 0 {
+            write!(f, " (pfc_stalled={})", self.pfc_stalled)?;
+        }
+        Ok(())
     }
 }
 
@@ -260,9 +277,19 @@ mod tests {
         let c = OutcomeCounts::tally(
             &[rec(0, 100, FlowClass::Intra)],
             &[
-                fail(1, FlowOutcome::Stalled),
+                fail(
+                    1,
+                    FlowOutcome::Stalled {
+                        cause: StallCause::Congestion,
+                    },
+                ),
                 fail(2, FlowOutcome::Aborted),
-                fail(3, FlowOutcome::Stalled),
+                fail(
+                    3,
+                    FlowOutcome::Stalled {
+                        cause: StallCause::PfcBackpressure,
+                    },
+                ),
             ],
             &[rec(4, 500, FlowClass::Inter)],
         );
@@ -271,13 +298,17 @@ mod tests {
             OutcomeCounts {
                 completed: 1,
                 stalled: 2,
+                pfc_stalled: 1,
                 aborted: 1,
                 censored: 1
             }
         );
         assert_eq!(c.total(), 5);
         assert!(!c.all_terminated());
-        assert_eq!(c.to_string(), "completed=1 stalled=2 aborted=1 censored=1");
+        assert_eq!(
+            c.to_string(),
+            "completed=1 stalled=2 aborted=1 censored=1 (pfc_stalled=1)"
+        );
         let done = OutcomeCounts { censored: 0, ..c };
         assert!(done.all_terminated());
     }

@@ -6,7 +6,7 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use uno::sim::event::{Event, EventQueue};
-use uno::sim::{Time, TopologyParams, SECONDS};
+use uno::sim::{FabricMode, Time, TopologyParams, SECONDS};
 use uno::{Experiment, ExperimentConfig, SchemeSpec};
 use uno_bench::SweepRunner;
 use uno_trace::{Profiler, RateMeter};
@@ -57,6 +57,7 @@ pub fn run_all(quick: bool, rev: String) -> PerfReport {
     // ships disabled by default, so this row doubles as the gate on the
     // profiler's disabled-path (one branch per hook) overhead.
     benches.push(incast_step_rate(quick));
+    benches.push(lossless_step_rate(quick));
 
     // Self-profiler: span bookkeeping throughput when enabled (gated), and
     // the same incast experiment run with the profiler on (informational —
@@ -284,14 +285,33 @@ fn best_of(reps: usize, name: &str, mut run: impl FnMut() -> RateMeter) -> Bench
 
 /// Engine events/sec on a mixed intra+inter incast (the simulator's own
 /// run-loop meter, so this measures dispatch + transport + queueing, not
-/// just the scheduler).
+/// just the scheduler). On the default lossy fabric this is also the gate
+/// on the PFC-disabled hot path: the pause machinery must cost nothing
+/// beyond one predictable branch per transmit when the fabric is lossy.
 fn incast_step_rate(quick: bool) -> BenchResult {
-    let topo = TopologyParams::small();
+    incast_rate("incast_step_rate", quick, FabricMode::Lossy)
+}
+
+/// The same incast on a PFC-lossless fabric with shallow switch buffers,
+/// so XOFF/XON crossings, pause-frame propagation, and HOL blocking all
+/// run at full tilt. Gates the enabled-path cost of the pause machinery.
+fn lossless_step_rate(quick: bool) -> BenchResult {
+    incast_rate("lossless_step_rate", quick, FabricMode::Lossless)
+}
+
+fn incast_rate(name: &str, quick: bool, fabric: FabricMode) -> BenchResult {
+    let mut topo = TopologyParams::small();
+    topo.fabric = fabric;
+    if fabric == FabricMode::Lossless {
+        // Shallow buffers force real pause traffic instead of idle checks.
+        topo.queue_bytes = 256 << 10;
+    }
     let size: u64 = if quick { 16 << 20 } else { 128 << 20 };
     let specs = incast(4, 4, size, topo.hosts_per_dc() as u32);
     let mut best = 0.0f64;
     let mut total_wall = 0.0;
     let mut events = 0;
+    let mut pauses = 0;
     for _ in 0..3 {
         let mut cfg = ExperimentConfig::quick(SchemeSpec::uno().with_lb(LbMode::Spray), 1);
         cfg.topo = topo.clone();
@@ -301,14 +321,19 @@ fn incast_step_rate(quick: bool) -> BenchResult {
         assert!(r.all_completed, "incast bench must run to completion");
         total_wall += r.manifest.wall_seconds;
         events = r.manifest.events_processed;
+        pauses = r.manifest.counters.get("pfc.pauses");
         best = best.max(events as f64 * 1e9 / nanos as f64);
     }
+    match fabric {
+        FabricMode::Lossy => assert_eq!(pauses, 0, "lossy bench must not touch PFC"),
+        FabricMode::Lossless => assert!(pauses > 0, "lossless bench must exercise PFC"),
+    }
     eprintln!(
-        "[uno-perfkit] incast_step_rate: {:.2} Mevents/s ({events} events, best of 3)",
+        "[uno-perfkit] {name}: {:.2} Mevents/s ({events} events, {pauses} pauses, best of 3)",
         best / 1e6,
     );
     BenchResult {
-        name: "incast_step_rate".to_string(),
+        name: name.to_string(),
         value: best,
         unit: "events/sec".to_string(),
         higher_is_better: true,

@@ -80,11 +80,39 @@ pub enum FlowOutcome {
     /// Delivered every byte.
     Completed,
     /// The stall watchdog declared the flow dead: no cumulative-ACK
-    /// progress for its stall horizon.
-    Stalled,
+    /// progress for its stall horizon. `cause` records what the watchdog
+    /// believed was starving the flow at declaration time.
+    Stalled {
+        /// Why the flow made no progress.
+        cause: StallCause,
+    },
     /// The bounded-retry budget ran out: too many consecutive RTOs with no
     /// progress.
     Aborted,
+}
+
+impl FlowOutcome {
+    /// True for either stall cause; use instead of `==` on the variant.
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, FlowOutcome::Stalled { .. })
+    }
+}
+
+/// What the stall watchdog blames when it declares a flow dead. On a
+/// lossless fabric, zero progress under an asserted PFC pause is a
+/// backpressure symptom (congestion spreading, possibly a pause storm or
+/// buffer-dependency deadlock upstream), not ordinary path congestion —
+/// the two need different operator responses, so the outcome keeps them
+/// distinct.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StallCause {
+    /// No progress with the source uplink unpaused: loss, blackholing, or
+    /// plain congestion along the path.
+    Congestion,
+    /// The source host's NIC uplink was paused by PFC when the watchdog
+    /// fired: the fabric itself was refusing the flow's bytes.
+    PfcBackpressure,
 }
 
 /// Record for a flow that terminated without completing (stalled or
@@ -599,6 +627,20 @@ impl Simulator {
             c.set("flow.aborted", aborted);
             c.set("flow.stalled", self.failures.len() as u64 - aborted);
         }
+        // PFC aggregates, emitted only when pauses actually fired so lossy
+        // runs keep a byte-identical counter set.
+        let mut pfc_pauses = 0u64;
+        let mut pfc_paused_ns = 0u64;
+        let links = &self.topo.links;
+        for i in 0..links.len() {
+            let l = LinkId::from(i);
+            pfc_pauses += links.queue(l).pauses_sent;
+            pfc_paused_ns += links.paused_ns(l, self.now);
+        }
+        if pfc_pauses > 0 {
+            c.set("pfc.pauses", pfc_pauses);
+            c.set("pfc.paused_ns", pfc_paused_ns);
+        }
         self.flows.report_counters(&mut c);
         c
     }
@@ -714,6 +756,81 @@ impl Simulator {
                 self.fault_flap(idx);
                 self.profiler.exit();
             }
+            Event::PfcPause { link, by, depth } => {
+                self.topo.links.apply_pause(link, self.now, depth);
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::PfcPause {
+                        t: self.now,
+                        link: link.0,
+                        by: by.0,
+                        depth,
+                    });
+                }
+            }
+            Event::PfcResume { link, by } => {
+                let released = self.topo.links.release_pause(link, self.now);
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::PfcResume {
+                        t: self.now,
+                        link: link.0,
+                        by: by.0,
+                    });
+                }
+                // Only the last outstanding pause releases the port; kick
+                // transmission if packets queued while it was blocked.
+                if released
+                    && self.topo.links.is_up(link)
+                    && !self.topo.links.busy(link)
+                    && !self.topo.links.queue(link).is_empty()
+                {
+                    self.start_transmit(link);
+                }
+            }
+        }
+    }
+
+    /// Assert PFC pause from egress `link`: mark its queue paused and send a
+    /// pause frame up every feeder link of the asserting node, each arriving
+    /// after that feeder's propagation delay (pause frames travel the wire
+    /// like any other frame).
+    fn assert_pause(&mut self, link: LinkId) {
+        let (from, depth) = {
+            let links = &mut self.topo.links;
+            links.queue_mut(link).note_pause();
+            // Pause-tree depth: if this port is itself paused from below,
+            // the pauses it propagates sit one level deeper — the testkit
+            // storm detector uses this to attribute spreading.
+            let depth = if links.paused(link) {
+                links.pause_depth(link) + 1
+            } else {
+                1
+            };
+            (links.from(link), depth)
+        };
+        let now = self.now;
+        for &f in self.topo.fwd.feeders(from) {
+            let at = now + self.topo.links.delay(f);
+            self.events.push(
+                at,
+                Event::PfcPause {
+                    link: f,
+                    by: link,
+                    depth,
+                },
+            );
+        }
+    }
+
+    /// Release the pause asserted by egress `link`: resume frames travel to
+    /// the same feeders with the same per-link delay, so for a given feeder
+    /// pause and resume arrive in assertion order and refcounts balance.
+    fn release_pause_from(&mut self, link: LinkId) {
+        self.topo.links.queue_mut(link).note_resume();
+        let from = self.topo.links.from(link);
+        let now = self.now;
+        for &f in self.topo.fwd.feeders(from) {
+            let at = now + self.topo.links.delay(f);
+            self.events.push(at, Event::PfcResume { link: f, by: link });
         }
     }
 
@@ -737,7 +854,9 @@ impl Simulator {
             if !up {
                 links_down += 1;
             }
-            tel.record_link(i as u32, now, bytes, phantom, up);
+            let paused = links.paused(l);
+            let paused_ns = links.paused_ns(l, now);
+            tel.record_link(i as u32, now, bytes, phantom, up, paused, paused_ns);
         }
         for i in 0..self.flows.len() {
             if let Some(sample) = self.flows.telemetry_sample(i) {
@@ -770,6 +889,11 @@ impl Simulator {
                 pkts: dropped as u64,
                 bytes: purged_bytes,
             });
+        }
+        // A dead port must not keep its feeders paused: the purge drained
+        // the queue below XON, so release any asserted pause now.
+        if self.topo.links.queue(link).should_release_pause() {
+            self.release_pause_from(link);
         }
     }
 
@@ -1004,17 +1128,32 @@ impl Simulator {
                 }
             }
         }
-        if outcome.is_enqueued() && idle {
-            self.start_transmit(link);
+        if outcome.is_enqueued() {
+            // PFC: enqueue may push the queue across XOFF; pause frames go
+            // out before any transmit decision. `should_assert_pause` is a
+            // single short-circuit load when PFC is off.
+            if self.topo.links.queue(link).should_assert_pause() {
+                self.assert_pause(link);
+            }
+            if idle {
+                self.start_transmit(link);
+            }
         }
     }
 
     fn start_transmit(&mut self, link: LinkId) {
         let links = &mut self.topo.links;
         debug_assert!(links.is_up(link));
+        // PFC head-of-line blocking: a paused egress port holds its queue
+        // until the last outstanding pause is released (the resume handler
+        // kicks transmission). One load when PFC is off.
+        if links.paused(link) {
+            return;
+        }
         let Some(pkt) = links.queue_mut(link).dequeue() else {
             return;
         };
+        let release_pause = links.queue(link).should_release_pause();
         // Degraded-capacity faults stretch serialization by scaling the
         // effective line rate.
         let health = *links.health(link);
@@ -1043,6 +1182,9 @@ impl Simulator {
         self.events.push(self.now + ser, Event::LinkFree(link));
         self.events
             .push(self.now + ser + delay, Event::Arrive(link, pkt, epoch));
+        if release_pause {
+            self.release_pause_from(link);
+        }
     }
 
     fn call_flow<F>(&mut self, flow: FlowId, f: F)
@@ -1844,7 +1986,9 @@ mod tests {
             }
             fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx) {}
             fn on_timer(&mut self, _token: u64, ctx: &mut Ctx) {
-                ctx.fail(FlowOutcome::Stalled);
+                ctx.fail(FlowOutcome::Stalled {
+                    cause: StallCause::Congestion,
+                });
             }
         }
         let mut sim = small_sim(47);
@@ -1864,11 +2008,14 @@ mod tests {
         // not spin to the horizon.
         sim.run_until(crate::time::SECONDS);
         assert_eq!(sim.now(), 10 * MICROS);
-        assert_eq!(sim.flow_outcome(id), Some(FlowOutcome::Stalled));
-        assert_eq!(sim.flow_outcomes(), vec![Some(FlowOutcome::Stalled)]);
+        let stalled = FlowOutcome::Stalled {
+            cause: StallCause::Congestion,
+        };
+        assert_eq!(sim.flow_outcome(id), Some(stalled));
+        assert_eq!(sim.flow_outcomes(), vec![Some(stalled)]);
         assert!(sim.fcts.is_empty());
         assert_eq!(sim.failures.len(), 1);
-        assert_eq!(sim.failures[0].outcome, FlowOutcome::Stalled);
+        assert_eq!(sim.failures[0].outcome, stalled);
         // Failed flows are terminal, not censored.
         assert!(sim.censored_fcts().is_empty());
         assert!(sim

@@ -67,6 +67,26 @@ pub enum Event {
     FaultEnd(u32),
     /// A flapping fault's Markov process toggles between up and down.
     FaultFlap(u32),
+    /// A PFC PAUSE frame reaches the feeder link's transmitter: the egress
+    /// port `by` (downstream) crossed XOFF, halting this link. `depth` is
+    /// the pause-tree depth attributed to the assertion (1 = directly
+    /// congested port, +1 per level of upstream cascade).
+    PfcPause {
+        /// The feeder link being paused.
+        link: LinkId,
+        /// The congested egress port that asserted the pause.
+        by: LinkId,
+        /// Pause-tree depth of the assertion.
+        depth: u32,
+    },
+    /// A PFC RESUME frame reaches the feeder link's transmitter: egress
+    /// port `by` drained to XON, releasing its hold on this link.
+    PfcResume {
+        /// The feeder link being released.
+        link: LinkId,
+        /// The egress port releasing its pause.
+        by: LinkId,
+    },
 }
 
 /// Nanoseconds per bucket, as a shift (1.024 µs).

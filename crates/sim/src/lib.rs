@@ -43,7 +43,7 @@ pub mod topology;
 
 pub use engine::{
     Action, Ctx, FailRecord, FctRecord, FlowClass, FlowLogic, FlowMeta, FlowOutcome, LinkStats,
-    NetworkStats, QueueSampler, Simulator,
+    NetworkStats, QueueSampler, Simulator, StallCause,
 };
 pub use fault::{FaultEntry, FaultKind, FaultPlane, FaultSpec, FaultTarget, LinkHealth};
 // Observability vocabulary, re-exported so dependents need not name
@@ -55,7 +55,8 @@ pub use queue::{EnqueueOutcome, PhantomQueue, PortQueue, RedParams};
 pub use tables::{FlowTable, FwdTable, LinkTable};
 pub use time::{Bps, Time, GBPS, MICROS, MILLIS, NANOS, SECONDS};
 pub use topology::{
-    ecmp_pick, HostCoords, LinkClass, Node, NodeKind, PhantomParams, Topology, TopologyParams,
+    ecmp_pick, FabricMode, HostCoords, LinkClass, Node, NodeKind, PfcParams, PhantomParams,
+    Topology, TopologyParams,
 };
 pub use uno_trace::{
     Counters, FlowSample, ProfileReport, Profiler, RateMeter, RunManifest, SampleConfig, Series,

@@ -33,6 +33,11 @@ impl Default for RedParams {
 
 impl RedParams {
     /// Marking probability for `occupancy` bytes in a queue of `capacity`.
+    ///
+    /// Degenerate parameter sets are clamped rather than trusted: a zero
+    /// `capacity` never marks, and `max_frac <= min_frac` (where the linear
+    /// region is empty and the slope would divide by zero) collapses to a
+    /// step function at `min_frac`.
     #[inline]
     pub fn mark_probability(&self, occupancy: u64, capacity: u64) -> f64 {
         if capacity == 0 {
@@ -41,7 +46,7 @@ impl RedParams {
         let frac = occupancy as f64 / capacity as f64;
         if frac < self.min_frac {
             0.0
-        } else if frac >= self.max_frac {
+        } else if self.max_frac <= self.min_frac || frac >= self.max_frac {
             1.0
         } else {
             (frac - self.min_frac) / (self.max_frac - self.min_frac)
@@ -150,6 +155,15 @@ pub struct PortQueue {
     pub phantom_marks: u64,
     /// High-water mark of physical occupancy in bytes.
     pub max_bytes_seen: u64,
+    /// PFC XOFF threshold in bytes; 0 disables PFC on this port (the
+    /// default, so lossy fabrics never touch the pause path).
+    pub xoff_bytes: u64,
+    /// PFC XON threshold in bytes (release pause at or below this).
+    pub xon_bytes: u64,
+    /// True while this port holds its upstream feeders paused.
+    pub pause_asserted: bool,
+    /// Cumulative count of PAUSE assertions by this port.
+    pub pauses_sent: u64,
 }
 
 impl PortQueue {
@@ -165,6 +179,10 @@ impl PortQueue {
             marks: 0,
             phantom_marks: 0,
             max_bytes_seen: 0,
+            xoff_bytes: 0,
+            xon_bytes: 0,
+            pause_asserted: false,
+            pauses_sent: 0,
         }
     }
 
@@ -173,6 +191,48 @@ impl PortQueue {
     pub fn with_phantom(mut self, phantom: PhantomQueue) -> Self {
         self.phantom = Some(phantom);
         self
+    }
+
+    /// Arm PFC on this port: assert PAUSE upstream when occupancy reaches
+    /// `xoff` bytes, release once it drains back to `xon` bytes or below.
+    pub fn with_pfc(mut self, xoff: u64, xon: u64) -> Self {
+        assert!(xoff > 0 && xon < xoff, "PFC needs 0 <= xon < xoff");
+        self.xoff_bytes = xoff;
+        self.xon_bytes = xon;
+        self
+    }
+
+    /// True when PFC is armed on this port.
+    #[inline]
+    pub fn pfc_enabled(&self) -> bool {
+        self.xoff_bytes > 0
+    }
+
+    /// True when occupancy crossed XOFF and no PAUSE is outstanding — the
+    /// engine then asserts pause upstream and calls [`PortQueue::note_pause`].
+    #[inline]
+    pub fn should_assert_pause(&self) -> bool {
+        self.xoff_bytes > 0 && !self.pause_asserted && self.bytes >= self.xoff_bytes
+    }
+
+    /// True when a PAUSE is outstanding and occupancy drained to XON — the
+    /// engine then resumes upstream and calls [`PortQueue::note_resume`].
+    #[inline]
+    pub fn should_release_pause(&self) -> bool {
+        self.pause_asserted && self.bytes <= self.xon_bytes
+    }
+
+    /// Record that the engine asserted PAUSE on behalf of this port.
+    pub fn note_pause(&mut self) {
+        debug_assert!(!self.pause_asserted);
+        self.pause_asserted = true;
+        self.pauses_sent += 1;
+    }
+
+    /// Record that the engine released this port's outstanding PAUSE.
+    pub fn note_resume(&mut self) {
+        debug_assert!(self.pause_asserted);
+        self.pause_asserted = false;
     }
 
     /// Physical occupancy in bytes.
@@ -287,6 +347,56 @@ mod tests {
     fn red_zero_capacity_is_safe() {
         let red = RedParams::default();
         assert_eq!(red.mark_probability(10, 0), 0.0);
+        assert_eq!(red.mark_probability(0, 0), 0.0);
+    }
+
+    #[test]
+    fn red_degenerate_thresholds_step_without_nan() {
+        // min == max: the linear region is empty; must behave as a step
+        // function at the threshold instead of dividing by zero.
+        let step = RedParams {
+            min_frac: 0.5,
+            max_frac: 0.5,
+        };
+        assert_eq!(step.mark_probability(499, 1000), 0.0);
+        assert_eq!(step.mark_probability(500, 1000), 1.0);
+        assert_eq!(step.mark_probability(1000, 1000), 1.0);
+        // Inverted thresholds clamp the same way (never NaN, never negative).
+        let inverted = RedParams {
+            min_frac: 0.8,
+            max_frac: 0.2,
+        };
+        for occ in [0u64, 199, 200, 500, 799, 800, 1000] {
+            let p = inverted.mark_probability(occ, 1000);
+            assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p({occ})={p}");
+        }
+        assert_eq!(inverted.mark_probability(799, 1000), 0.0);
+        assert_eq!(inverted.mark_probability(800, 1000), 1.0);
+    }
+
+    #[test]
+    fn pfc_thresholds_assert_and_release() {
+        let mut q = PortQueue::new(10_000, RedParams::default()).with_pfc(3000, 1000);
+        let mut r = rng();
+        assert!(q.pfc_enabled());
+        assert!(!q.should_assert_pause());
+        for _ in 0..3 {
+            assert!(q.try_enqueue(pkt(1000), 0, &mut r).is_enqueued());
+        }
+        assert!(q.should_assert_pause(), "occupancy 3000 >= xoff 3000");
+        q.note_pause();
+        assert!(!q.should_assert_pause(), "already asserted");
+        assert!(!q.should_release_pause(), "still above xon");
+        q.dequeue();
+        q.dequeue();
+        assert!(q.should_release_pause(), "occupancy 1000 <= xon 1000");
+        q.note_resume();
+        assert!(!q.should_release_pause());
+        assert_eq!(q.pauses_sent, 1);
+        // PFC-off queues never report pause work: the lossy hot path stays
+        // a pair of always-false comparisons.
+        let off = PortQueue::new(10_000, RedParams::default());
+        assert!(!off.pfc_enabled() && !off.should_assert_pause() && !off.should_release_pause());
     }
 
     #[test]

@@ -53,6 +53,18 @@ pub struct LinkTable {
     tx_packets: Vec<u64>,
     tx_bytes: Vec<u64>,
     lost_packets: Vec<u64>,
+    /// Outstanding PFC PAUSEs holding this link's transmitter (one per
+    /// downstream egress port that asserted; transmit only when 0). Always
+    /// 0 on a lossy fabric, so the hot-path gate is a single load.
+    pause_refs: Vec<u32>,
+    /// Deepest pause-tree depth attributed to this link while paused
+    /// (1 = paused by a directly congested port, 2 = by a port that was
+    /// itself paused, …). Reset when the last pause releases.
+    pause_depth: Vec<u32>,
+    /// When the current pause epoch began (valid while `pause_refs > 0`).
+    paused_since: Vec<Time>,
+    /// Cumulative nanoseconds this link has spent paused (closed epochs).
+    paused_ns: Vec<u64>,
 }
 
 impl LinkTable {
@@ -96,6 +108,10 @@ impl LinkTable {
         self.tx_packets.push(0);
         self.tx_bytes.push(0);
         self.lost_packets.push(0);
+        self.pause_refs.push(0);
+        self.pause_depth.push(0);
+        self.paused_since.push(0);
+        self.paused_ns.push(0);
         id
     }
 
@@ -212,6 +228,58 @@ impl LinkTable {
         self.lost_packets[l.index()]
     }
 
+    /// True while at least one PFC PAUSE holds this link's transmitter.
+    #[inline]
+    pub fn paused(&self, l: LinkId) -> bool {
+        self.pause_refs[l.index()] > 0
+    }
+
+    /// Apply one PFC PAUSE to this link at time `now` with pause-tree depth
+    /// `depth`. Returns true when this opened a pause epoch (refs 0 → 1).
+    pub fn apply_pause(&mut self, l: LinkId, now: Time, depth: u32) -> bool {
+        let i = l.index();
+        self.pause_refs[i] += 1;
+        self.pause_depth[i] = self.pause_depth[i].max(depth);
+        if self.pause_refs[i] == 1 {
+            self.paused_since[i] = now;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release one PFC PAUSE at time `now`. Returns true when this closed
+    /// the pause epoch (refs 1 → 0) and the link may transmit again.
+    pub fn release_pause(&mut self, l: LinkId, now: Time) -> bool {
+        let i = l.index();
+        debug_assert!(self.pause_refs[i] > 0, "resume without pause on {l}");
+        self.pause_refs[i] = self.pause_refs[i].saturating_sub(1);
+        if self.pause_refs[i] == 0 {
+            self.paused_ns[i] += now.saturating_sub(self.paused_since[i]);
+            self.pause_depth[i] = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pause-tree depth attributed to this link (0 while unpaused).
+    pub fn pause_depth(&self, l: LinkId) -> u32 {
+        self.pause_depth[l.index()]
+    }
+
+    /// Cumulative nanoseconds spent paused up to `now` (open epoch
+    /// included).
+    pub fn paused_ns(&self, l: LinkId, now: Time) -> u64 {
+        let i = l.index();
+        let open = if self.pause_refs[i] > 0 {
+            now.saturating_sub(self.paused_since[i])
+        } else {
+            0
+        };
+        self.paused_ns[i] + open
+    }
+
     /// Total bytes currently queued across all ports (heartbeat gauge).
     pub fn total_queued_bytes(&self) -> u64 {
         self.queue.iter().map(|q| q.bytes()).sum()
@@ -239,6 +307,10 @@ pub struct FwdTable {
     /// `(start, end)` ranges into `ports`, indexed `src_dc * dcs + dst_dc`;
     /// the peer links a border switch in `src_dc` may use toward `dst_dc`.
     peers: Vec<(u32, u32)>,
+    /// Per-node `(start, end)` range of ingress (feeder) links in `ports` —
+    /// every link whose destination is this node. PFC pause frames fan out
+    /// across exactly this slice.
+    feeders: Vec<(u32, u32)>,
 }
 
 /// Build-time scratch for [`FwdTable`]: plain per-node `Vec`s the topology
@@ -253,6 +325,8 @@ pub struct FwdScratch {
     pub border_port: Vec<Option<LinkId>>,
     /// Peer groups indexed `src_dc * dcs + dst_dc`.
     pub peers: Vec<Vec<LinkId>>,
+    /// Per-node ingress (feeder) links.
+    pub feeders: Vec<Vec<LinkId>>,
     /// Number of DCs (sizes the peer-group matrix).
     pub dcs: u32,
 }
@@ -265,6 +339,7 @@ impl FwdScratch {
             down: vec![Vec::new(); nodes],
             border_port: vec![None; nodes],
             peers: vec![Vec::new(); (dcs * dcs) as usize],
+            feeders: vec![Vec::new(); nodes],
             dcs,
         }
     }
@@ -275,7 +350,8 @@ impl FwdTable {
     pub fn intern(scratch: FwdScratch) -> Self {
         let total: usize = scratch.up.iter().map(|v| v.len()).sum::<usize>()
             + scratch.down.iter().map(|v| v.len()).sum::<usize>()
-            + scratch.peers.iter().map(|v| v.len()).sum::<usize>();
+            + scratch.peers.iter().map(|v| v.len()).sum::<usize>()
+            + scratch.feeders.iter().map(|v| v.len()).sum::<usize>();
         let mut ports = Vec::with_capacity(total);
         let mut range = |list: &[LinkId]| {
             let start = ports.len() as u32;
@@ -289,6 +365,7 @@ impl FwdTable {
             down.push(range(d));
         }
         let peers = scratch.peers.iter().map(|p| range(p)).collect();
+        let feeders = scratch.feeders.iter().map(|f| range(f)).collect();
         FwdTable {
             ports,
             up,
@@ -296,6 +373,7 @@ impl FwdTable {
             border_port: scratch.border_port,
             dcs: scratch.dcs,
             peers,
+            feeders,
         }
     }
 
@@ -320,6 +398,13 @@ impl FwdTable {
     /// Border peer links from `src_dc`'s border switch toward `dst_dc`.
     pub fn peers(&self, src_dc: u32, dst_dc: u32) -> &[LinkId] {
         let (s, e) = self.peers[(src_dc * self.dcs + dst_dc) as usize];
+        &self.ports[s as usize..e as usize]
+    }
+
+    /// Ingress (feeder) links of `n` — every link terminating at this node,
+    /// in wiring order. A congested egress port at `n` pauses this slice.
+    pub fn feeders(&self, n: NodeId) -> &[LinkId] {
+        let (s, e) = self.feeders[n.index()];
         &self.ports[s as usize..e as usize]
     }
 }
@@ -460,6 +545,32 @@ mod tests {
     }
 
     #[test]
+    fn pause_refcount_and_time_accounting() {
+        let mut t = LinkTable::default();
+        let q = PortQueue::new(64 * 1024, crate::queue::RedParams::default());
+        let l = t.push(NodeId(0), NodeId(1), 100, 500, LinkClass::EdgeAgg, q);
+        assert!(!t.paused(l));
+        assert_eq!(t.paused_ns(l, 100), 0);
+        // Two overlapping pauses: the epoch opens on the first, closes on
+        // the last, and the depth is the max of the contributors.
+        assert!(t.apply_pause(l, 1000, 1));
+        assert!(!t.apply_pause(l, 1500, 3));
+        assert!(t.paused(l));
+        assert_eq!(t.pause_depth(l), 3);
+        assert_eq!(t.paused_ns(l, 2000), 1000, "open epoch counts");
+        assert!(!t.release_pause(l, 2500));
+        assert!(t.paused(l));
+        assert!(t.release_pause(l, 3000));
+        assert!(!t.paused(l));
+        assert_eq!(t.pause_depth(l), 0, "depth resets on full release");
+        assert_eq!(t.paused_ns(l, 9999), 2000);
+        // A second epoch accumulates on top.
+        assert!(t.apply_pause(l, 10_000, 1));
+        assert!(t.release_pause(l, 10_500));
+        assert_eq!(t.paused_ns(l, 99_999), 2500);
+    }
+
+    #[test]
     fn fwd_table_interns_ranges() {
         let mut s = FwdScratch::new(3, 2);
         s.up[0] = vec![LinkId(1), LinkId(2)];
@@ -467,6 +578,7 @@ mod tests {
         s.border_port[2] = Some(LinkId(9));
         s.peers[1] = vec![LinkId(4), LinkId(5)]; // (src 0, dst 1)
         s.peers[2] = vec![LinkId(6)]; // (src 1, dst 0)
+        s.feeders[1] = vec![LinkId(1), LinkId(7)];
         let f = FwdTable::intern(s);
         assert_eq!(f.up(NodeId(0)), &[LinkId(1), LinkId(2)]);
         assert!(f.down(NodeId(0)).is_empty());
@@ -475,5 +587,7 @@ mod tests {
         assert_eq!(f.peers(0, 1), &[LinkId(4), LinkId(5)]);
         assert_eq!(f.peers(1, 0), &[LinkId(6)]);
         assert!(f.peers(0, 0).is_empty());
+        assert_eq!(f.feeders(NodeId(1)), &[LinkId(1), LinkId(7)]);
+        assert!(f.feeders(NodeId(0)).is_empty());
     }
 }

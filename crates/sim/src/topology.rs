@@ -101,6 +101,57 @@ pub enum LinkClass {
     BorderBorder,
 }
 
+/// Loss discipline of the switching fabric.
+///
+/// `Lossy` is the paper's RED/ECN drop-tail fabric and the default
+/// everywhere. `Lossless` arms Priority Flow Control on every switch
+/// egress port: when a port's occupancy crosses its XOFF threshold the
+/// switch pauses all of its ingress (feeder) links until the port drains
+/// back to XON, trading drops for head-of-line blocking, congestion
+/// spreading, and — in the pathological cases the robustness detectors
+/// watch for — PFC storms and cyclic-buffer-dependency deadlock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FabricMode {
+    /// RED/ECN drop-tail fabric (the default; PFC fully disabled).
+    #[default]
+    Lossy,
+    /// PFC-armed fabric: XOFF/XON pause instead of tail drop.
+    Lossless,
+}
+
+/// PFC pause thresholds, as fractions of each port's physical capacity.
+///
+/// XOFF must exceed XON; the gap is the hysteresis band that keeps a port
+/// from toggling pause on every packet. Headroom above XOFF absorbs the
+/// in-flight bytes that arrive between sending PAUSE and the feeders
+/// actually stopping (one link delay per feeder).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PfcParams {
+    /// Occupancy fraction at which a port asserts PAUSE upstream.
+    pub xoff_frac: f64,
+    /// Occupancy fraction at or below which the port releases PAUSE.
+    pub xon_frac: f64,
+}
+
+impl Default for PfcParams {
+    fn default() -> Self {
+        PfcParams {
+            xoff_frac: 0.5,
+            xon_frac: 0.35,
+        }
+    }
+}
+
+impl PfcParams {
+    /// Byte thresholds `(xoff, xon)` for a port of `capacity` bytes.
+    pub fn thresholds(&self, capacity: u64) -> (u64, u64) {
+        let xoff = ((capacity as f64 * self.xoff_frac) as u64).max(1);
+        let xon = (capacity as f64 * self.xon_frac) as u64;
+        (xoff, xon.min(xoff - 1))
+    }
+}
+
 /// Phantom-queue configuration (paper §4.1.3 / Table 2).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct PhantomParams {
@@ -130,7 +181,12 @@ impl Default for PhantomParams {
 }
 
 /// Topology construction parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `Serialize` is hand-written (below) so that `Lossy`-mode parameter sets
+/// — the default, and the mode every committed golden digest was generated
+/// in — serialize byte-identically to the pre-PFC layout: the `fabric` and
+/// `pfc` keys only appear when the fabric is lossless.
+#[derive(Clone, Debug, Deserialize)]
 pub struct TopologyParams {
     /// Fat-tree arity (must be even). k=8 reproduces the paper.
     pub k: usize,
@@ -159,6 +215,13 @@ pub struct TopologyParams {
     pub phantom: Option<PhantomParams>,
     /// MTU used by transports on this network.
     pub mtu: u32,
+    /// Loss discipline of the fabric (default: [`FabricMode::Lossy`]).
+    #[serde(default)]
+    pub fabric: FabricMode,
+    /// PFC thresholds, applied to switch egress ports when
+    /// [`TopologyParams::fabric`] is [`FabricMode::Lossless`].
+    #[serde(default)]
+    pub pfc: PfcParams,
 }
 
 impl Default for TopologyParams {
@@ -177,7 +240,52 @@ impl Default for TopologyParams {
             inter_rtt: 2 * MILLIS,
             phantom: None,
             mtu: 4096,
+            fabric: FabricMode::Lossy,
+            pfc: PfcParams::default(),
         }
+    }
+}
+
+impl Serialize for TopologyParams {
+    // Hand-written so a Lossy (default) parameter set serializes exactly as
+    // it did before PFC existed — run manifests embed this value, and the
+    // golden-trace digests cover the manifest bytes.
+    fn serialize_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("k".to_string(), self.k.serialize_value()),
+            ("dcs".to_string(), self.dcs.serialize_value()),
+            ("link_bps".to_string(), self.link_bps.serialize_value()),
+            (
+                "border_link_bps".to_string(),
+                self.border_link_bps.serialize_value(),
+            ),
+            (
+                "border_links".to_string(),
+                self.border_links.serialize_value(),
+            ),
+            (
+                "queue_bytes".to_string(),
+                self.queue_bytes.serialize_value(),
+            ),
+            (
+                "wan_queue_bytes".to_string(),
+                self.wan_queue_bytes.serialize_value(),
+            ),
+            (
+                "host_queue_bytes".to_string(),
+                self.host_queue_bytes.serialize_value(),
+            ),
+            ("red".to_string(), self.red.serialize_value()),
+            ("intra_rtt".to_string(), self.intra_rtt.serialize_value()),
+            ("inter_rtt".to_string(), self.inter_rtt.serialize_value()),
+            ("phantom".to_string(), self.phantom.serialize_value()),
+            ("mtu".to_string(), self.mtu.serialize_value()),
+        ];
+        if self.fabric != FabricMode::Lossy {
+            fields.push(("fabric".to_string(), self.fabric.serialize_value()));
+            fields.push(("pfc".to_string(), self.pfc.serialize_value()));
+        }
+        serde::Value::Object(fields)
     }
 }
 
@@ -217,6 +325,12 @@ impl TopologyParams {
             border_links,
             ..Default::default()
         }
+    }
+
+    /// Switch to a PFC-armed lossless fabric (builder-style).
+    pub fn lossless(mut self) -> Self {
+        self.fabric = FabricMode::Lossless;
+        self
     }
 
     /// Hosts per datacenter: k pods × k/2 edges × k/2 hosts.
@@ -631,7 +745,16 @@ impl Builder {
                 ));
             }
         }
-        self.topo.links.push(from, to, bps, delay, class, queue)
+        // Lossless fabric: arm PFC on switch egress ports. Host NIC queues
+        // model host memory (effectively unbounded) and never assert pause
+        // themselves — but their uplinks *receive* pause like any feeder.
+        if params.fabric == FabricMode::Lossless && !from_is_host {
+            let (xoff, xon) = params.pfc.thresholds(capacity);
+            queue = queue.with_pfc(xoff, xon);
+        }
+        let id = self.topo.links.push(from, to, bps, delay, class, queue);
+        self.fwd.feeders[to.index()].push(id);
+        id
     }
 }
 

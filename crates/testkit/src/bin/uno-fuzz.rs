@@ -8,8 +8,14 @@
 //! ```text
 //! uno-fuzz --seed-range 0..200 --quick          # CI smoke
 //! uno-fuzz --seed 1337 --full                   # one big scenario
+//! uno-fuzz --seed-range 0..50 --lossless        # PFC-armed lossless fabrics
 //! uno-fuzz --replay results/repro_ab12cd.json   # rerun a reproducer
 //! ```
+//!
+//! `--lossless` switches scenario generation to PFC-enabled fabrics
+//! ([`Scenario::generate_lossless`]): the same topology/workload/fault
+//! space, plus seed-derived XOFF thresholds, with the pause-discipline,
+//! storm, deadlock, and pause-liveness invariants doing real work.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,6 +27,7 @@ struct Args {
     quick: bool,
     replay: Option<PathBuf>,
     inject_block_bug: bool,
+    lossless: bool,
     no_shrink: bool,
     out: PathBuf,
     verbose: bool,
@@ -32,6 +39,7 @@ fn parse_args() -> Args {
         quick: true,
         replay: None,
         inject_block_bug: false,
+        lossless: false,
         no_shrink: false,
         out: PathBuf::from("results"),
         verbose: false,
@@ -52,14 +60,15 @@ fn parse_args() -> Args {
             "--full" => args.quick = false,
             "--replay" => args.replay = Some(PathBuf::from(it.next().expect("--replay FILE"))),
             "--inject-block-bug" => args.inject_block_bug = true,
+            "--lossless" => args.lossless = true,
             "--no-shrink" => args.no_shrink = true,
             "--out" => args.out = PathBuf::from(it.next().expect("--out DIR")),
             "--verbose" | "-v" => args.verbose = true,
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: uno-fuzz [--seed-range A..B] [--seed N] \
-                     [--quick|--full] [--replay FILE] [--inject-block-bug] [--no-shrink] \
-                     [--out DIR] [--verbose]"
+                     [--quick|--full] [--replay FILE] [--inject-block-bug] [--lossless] \
+                     [--no-shrink] [--out DIR] [--verbose]"
                 );
                 std::process::exit(2);
             }
@@ -140,16 +149,21 @@ fn main() -> ExitCode {
 
     let total = args.seeds.end.saturating_sub(args.seeds.start);
     println!(
-        "uno-fuzz: {} {} scenario(s), seeds {}..{}",
+        "uno-fuzz: {} {}{} scenario(s), seeds {}..{}",
         total,
         if args.quick { "quick" } else { "full" },
+        if args.lossless { " lossless" } else { "" },
         args.seeds.start,
         args.seeds.end
     );
     let mut failures = 0u64;
     let mut events = 0u64;
     for (i, seed) in args.seeds.clone().enumerate() {
-        let mut sc = Scenario::generate(seed, args.quick);
+        let mut sc = if args.lossless {
+            Scenario::generate_lossless(seed, args.quick)
+        } else {
+            Scenario::generate(seed, args.quick)
+        };
         sc.inject_block_bug = args.inject_block_bug;
         let out = run_scenario(&sc);
         events += out.events_seen;

@@ -734,6 +734,354 @@ impl InvariantChecker for WatchdogLiveness {
 }
 
 // ---------------------------------------------------------------------------
+// 11. PFC pause discipline: the lossless-aware companion to queue
+//     conservation. A resume must match an outstanding pause from the same
+//     asserting port, and a paused egress port must never start a new
+//     transmission (head-of-line blocking is a hard guarantee, not a hint).
+// ---------------------------------------------------------------------------
+
+/// Pause/resume pairing and HOL-blocking discipline per link.
+#[derive(Default)]
+pub struct PauseDiscipline {
+    /// Outstanding pauses per (paused link, asserting link) pair.
+    edges: HashMap<(u32, u32), u64>,
+    /// Aggregate outstanding-pause refcount per paused link.
+    refs: HashMap<u32, u64>,
+}
+
+impl InvariantChecker for PauseDiscipline {
+    fn name(&self) -> &'static str {
+        "pause-discipline"
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent, _spec: &NetSpec, out: &mut Vec<Violation>) {
+        match *ev {
+            TraceEvent::PfcPause { link, by, .. } => {
+                *self.edges.entry((link, by)).or_insert(0) += 1;
+                *self.refs.entry(link).or_insert(0) += 1;
+            }
+            TraceEvent::PfcResume { t, link, by } => {
+                let n = self.edges.entry((link, by)).or_insert(0);
+                if *n == 0 {
+                    out.push(Violation {
+                        invariant: "pause-discipline",
+                        t,
+                        flow: None,
+                        link: Some(link),
+                        detail: format!("resume from port {by} without an outstanding pause"),
+                    });
+                    return;
+                }
+                *n -= 1;
+                *self.refs.entry(link).or_insert(1) -= 1;
+            }
+            TraceEvent::Dequeue { t, link, flow, .. }
+                if self.refs.get(&link).copied().unwrap_or(0) > 0 =>
+            {
+                out.push(Violation {
+                    invariant: "pause-discipline",
+                    t,
+                    flow: Some(flow),
+                    link: Some(link),
+                    detail: "transmission started on a PFC-paused port (HOL blocking \
+                             violated)"
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 12. PFC storm detection: a link whose pause duty cycle exceeds the spec
+//     threshold over a sliding window is storming — pauses are spreading
+//     faster than queues drain, the lossless fabric's classic congestion-
+//     spreading failure. The violation reports the deepest pause-tree depth
+//     observed, attributing how far the storm propagated.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct PauseHistory {
+    /// Outstanding-pause refcount (paused while > 0).
+    refs: u64,
+    /// Start of the currently open paused epoch.
+    since: Time,
+    /// Closed paused intervals, pruned to the sliding window.
+    closed: VecDeque<(Time, Time)>,
+    /// Deepest pause-tree depth seen on this link.
+    max_depth: u32,
+    /// Storming already reported; stay quiet instead of cascading.
+    fired: bool,
+}
+
+impl PauseHistory {
+    /// Paused nanoseconds inside `[t - window, t]`, counting the open epoch.
+    fn paused_in_window(&self, t: Time, window: Time) -> u64 {
+        let lo = t.saturating_sub(window);
+        let mut total: u64 = self
+            .closed
+            .iter()
+            .map(|&(s, e)| e.min(t).saturating_sub(s.max(lo)))
+            .sum();
+        if self.refs > 0 {
+            total += t.saturating_sub(self.since.max(lo));
+        }
+        total
+    }
+
+    fn prune(&mut self, lo: Time) {
+        while self.closed.front().is_some_and(|&(_, e)| e < lo) {
+            self.closed.pop_front();
+        }
+    }
+}
+
+/// Per-link pause duty cycle over a sliding window, with depth attribution.
+#[derive(Default)]
+pub struct PfcStormDetector {
+    links: HashMap<u32, PauseHistory>,
+}
+
+impl PfcStormDetector {
+    fn check(h: &mut PauseHistory, t: Time, link: u32, spec: &NetSpec, out: &mut Vec<Violation>) {
+        if h.fired || spec.pfc_storm_window == 0 {
+            return;
+        }
+        h.prune(t.saturating_sub(spec.pfc_storm_window));
+        let paused = h.paused_in_window(t, spec.pfc_storm_window);
+        let duty = paused as f64 / spec.pfc_storm_window as f64;
+        if duty > spec.pfc_storm_duty {
+            h.fired = true;
+            out.push(Violation {
+                invariant: "pfc-storm",
+                t,
+                flow: None,
+                link: Some(link),
+                detail: format!(
+                    "pause duty cycle {:.0}% over the last {}ns exceeds {:.0}% \
+                     (max pause-tree depth {})",
+                    duty * 100.0,
+                    spec.pfc_storm_window,
+                    spec.pfc_storm_duty * 100.0,
+                    h.max_depth
+                ),
+            });
+        }
+    }
+}
+
+impl InvariantChecker for PfcStormDetector {
+    fn name(&self) -> &'static str {
+        "pfc-storm"
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent, spec: &NetSpec, out: &mut Vec<Violation>) {
+        match *ev {
+            TraceEvent::PfcPause { t, link, depth, .. } => {
+                let h = self.links.entry(link).or_default();
+                h.max_depth = h.max_depth.max(depth);
+                if h.refs == 0 {
+                    h.since = t;
+                }
+                h.refs += 1;
+                Self::check(h, t, link, spec, out);
+            }
+            TraceEvent::PfcResume { t, link, .. } => {
+                let h = self.links.entry(link).or_default();
+                if h.refs > 0 {
+                    h.refs -= 1;
+                    if h.refs == 0 {
+                        h.closed.push_back((h.since, t));
+                    }
+                }
+                Self::check(h, t, link, spec, out);
+            }
+            _ => {}
+        }
+    }
+
+    fn at_end(&mut self, end: Time, spec: &NetSpec, out: &mut Vec<Violation>) {
+        for (&link, h) in &mut self.links {
+            Self::check(h, end, link, spec, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 13. PFC deadlock detection: pauses induce a wait-for graph over links —
+//     `PfcPause { link: F, by: L }` means F cannot drain until L does. A
+//     cycle in that graph is a cyclic buffer dependency: every port in the
+//     ring waits on the next, nothing ever drains, and only packet loss
+//     (forbidden on a lossless fabric) could break the ring. Hard violation.
+// ---------------------------------------------------------------------------
+
+/// Wait-for-graph cycle detection over paused ports.
+#[derive(Default)]
+pub struct PfcDeadlockDetector {
+    /// Outstanding pause edges `paused link -> asserting link`, refcounted.
+    edges: HashMap<u32, HashMap<u32, u64>>,
+    fired: bool,
+}
+
+impl PfcDeadlockDetector {
+    /// DFS from `start` along wait-for edges, returning a cycle if one is
+    /// reachable. Graphs here are tiny (bounded by paused ports), so a
+    /// simple coloured DFS is plenty.
+    fn find_cycle(&self, start: u32) -> Option<Vec<u32>> {
+        let mut stack = vec![(start, 0usize)];
+        let mut path = Vec::new();
+        let mut on_path = HashSet::new();
+        let mut done = HashSet::new();
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next == 0 {
+                path.push(node);
+                on_path.insert(node);
+            }
+            let succ = self
+                .edges
+                .get(&node)
+                .map(|m| m.keys().copied().collect::<Vec<_>>())
+                .unwrap_or_default();
+            if *next < succ.len() {
+                let s = succ[*next];
+                *next += 1;
+                if on_path.contains(&s) {
+                    // Found: slice the path from the first occurrence of s.
+                    let i = path.iter().position(|&n| n == s).expect("on path");
+                    let mut cycle = path[i..].to_vec();
+                    cycle.push(s);
+                    return Some(cycle);
+                }
+                if !done.contains(&s) {
+                    stack.push((s, 0));
+                }
+            } else {
+                stack.pop();
+                path.pop();
+                on_path.remove(&node);
+                done.insert(node);
+            }
+        }
+        None
+    }
+}
+
+impl InvariantChecker for PfcDeadlockDetector {
+    fn name(&self) -> &'static str {
+        "pfc-deadlock"
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent, _spec: &NetSpec, out: &mut Vec<Violation>) {
+        match *ev {
+            TraceEvent::PfcPause { t, link, by, .. } => {
+                *self.edges.entry(link).or_default().entry(by).or_insert(0) += 1;
+                if self.fired {
+                    return;
+                }
+                if let Some(cycle) = self.find_cycle(link) {
+                    self.fired = true;
+                    let ring = cycle
+                        .iter()
+                        .map(|l| l.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" -> ");
+                    out.push(Violation {
+                        invariant: "pfc-deadlock",
+                        t,
+                        flow: None,
+                        link: Some(link),
+                        detail: format!(
+                            "cyclic buffer dependency among paused ports: {ring} \
+                             (no port in the ring can ever drain)"
+                        ),
+                    });
+                }
+            }
+            TraceEvent::PfcResume { link, by, .. } => {
+                if let Some(m) = self.edges.get_mut(&link) {
+                    if let Some(n) = m.get_mut(&by) {
+                        *n = n.saturating_sub(1);
+                        if *n == 0 {
+                            m.remove(&by);
+                        }
+                    }
+                    if m.is_empty() {
+                        self.edges.remove(&link);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 14. Pause liveness: the lossless-aware companion to recovery liveness.
+//     Every pause must eventually be released — a link still paused at run
+//     end, continuously for longer than the grace window, means the resume
+//     path is broken (lost resume, dead asserting port, or a deadlock the
+//     cycle detector should also have caught).
+// ---------------------------------------------------------------------------
+
+/// Every asserted pause is eventually released.
+#[derive(Default)]
+pub struct PauseLiveness {
+    refs: HashMap<u32, u64>,
+    since: HashMap<u32, Time>,
+}
+
+impl InvariantChecker for PauseLiveness {
+    fn name(&self) -> &'static str {
+        "pause-liveness"
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent, _spec: &NetSpec, out: &mut Vec<Violation>) {
+        let _ = out;
+        match *ev {
+            TraceEvent::PfcPause { t, link, .. } => {
+                let n = self.refs.entry(link).or_insert(0);
+                if *n == 0 {
+                    self.since.insert(link, t);
+                }
+                *n += 1;
+            }
+            TraceEvent::PfcResume { link, .. } => {
+                let n = self.refs.entry(link).or_insert(0);
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    self.since.remove(&link);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn at_end(&mut self, end: Time, spec: &NetSpec, out: &mut Vec<Violation>) {
+        if spec.pause_grace == 0 {
+            return;
+        }
+        for (&link, &t) in &self.since {
+            if self.refs.get(&link).copied().unwrap_or(0) > 0
+                && end.saturating_sub(t) > spec.pause_grace
+            {
+                out.push(Violation {
+                    invariant: "pause-liveness",
+                    t,
+                    flow: None,
+                    link: Some(link),
+                    detail: format!(
+                        "link continuously paused since {t}ns, never released by {end}ns \
+                         (grace {}ns)",
+                        spec.pause_grace
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Suite plumbing
 // ---------------------------------------------------------------------------
 
@@ -766,7 +1114,9 @@ pub struct InvariantSuite {
 }
 
 impl InvariantSuite {
-    /// The standard stack-wide suite: all ten invariants.
+    /// The standard stack-wide suite: all fourteen invariants. The four
+    /// PFC checkers are always armed — on a lossy fabric no pause events
+    /// exist, so they are trivially silent.
     pub fn standard(spec: NetSpec) -> Self {
         InvariantSuite::with_checkers(
             spec,
@@ -781,6 +1131,10 @@ impl InvariantSuite {
                 Box::<RecoveryLiveness>::default(),
                 Box::<OutcomeSoundness>::default(),
                 Box::<WatchdogLiveness>::default(),
+                Box::<PauseDiscipline>::default(),
+                Box::<PfcStormDetector>::default(),
+                Box::<PfcDeadlockDetector>::default(),
+                Box::<PauseLiveness>::default(),
             ],
         )
     }
@@ -895,6 +1249,9 @@ mod tests {
             max_nacks_per_block: 8,
             require_outcome: false,
             stall_horizon: 1_000_000,
+            pfc_storm_window: 1_000_000,
+            pfc_storm_duty: 0.5,
+            pause_grace: 1_000_000,
         }
     }
 
@@ -1234,6 +1591,250 @@ mod tests {
             ecn: false,
             rtt: 2_000,
             done: false,
+        });
+        assert!(s.finalize(10_000_000).violations.is_empty());
+    }
+
+    #[test]
+    fn pause_discipline_flags_hol_and_orphan_resume() {
+        // Dequeue while paused: HOL blocking violated.
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<PauseDiscipline>::default()]);
+        feed(
+            &mut s,
+            &[
+                TraceEvent::PfcPause {
+                    t: 10,
+                    link: 3,
+                    by: 7,
+                    depth: 1,
+                },
+                TraceEvent::Dequeue {
+                    t: 20,
+                    link: 3,
+                    flow: 0,
+                    seq: 0,
+                },
+            ],
+        );
+        let r = s.finalize(100);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].detail.contains("HOL"), "{r:?}");
+
+        // Resume with no outstanding pause from that port.
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<PauseDiscipline>::default()]);
+        s.on_event(&TraceEvent::PfcResume {
+            t: 10,
+            link: 3,
+            by: 9,
+        });
+        assert_eq!(s.finalize(100).violations.len(), 1);
+
+        // Balanced pause/resume with a post-resume dequeue: clean.
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<PauseDiscipline>::default()]);
+        feed(
+            &mut s,
+            &[
+                TraceEvent::PfcPause {
+                    t: 10,
+                    link: 3,
+                    by: 7,
+                    depth: 1,
+                },
+                TraceEvent::PfcResume {
+                    t: 20,
+                    link: 3,
+                    by: 7,
+                },
+                TraceEvent::Dequeue {
+                    t: 30,
+                    link: 3,
+                    flow: 0,
+                    seq: 0,
+                },
+            ],
+        );
+        assert!(s.finalize(100).violations.is_empty());
+    }
+
+    #[test]
+    fn storm_detector_fires_on_high_duty_cycle() {
+        // Window 1ms, duty threshold 50%. Pause link 5 for 0.8ms of the
+        // first millisecond (with rising tree depth): storming.
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<PfcStormDetector>::default()]);
+        feed(
+            &mut s,
+            &[
+                TraceEvent::PfcPause {
+                    t: 0,
+                    link: 5,
+                    by: 2,
+                    depth: 1,
+                },
+                TraceEvent::PfcResume {
+                    t: 400_000,
+                    link: 5,
+                    by: 2,
+                },
+                TraceEvent::PfcPause {
+                    t: 500_000,
+                    link: 5,
+                    by: 2,
+                    depth: 3,
+                },
+                TraceEvent::PfcResume {
+                    t: 900_000,
+                    link: 5,
+                    by: 2,
+                },
+            ],
+        );
+        let r = s.finalize(1_000_000);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "pfc-storm");
+        assert!(r.violations[0].detail.contains("depth 3"), "{r:?}");
+
+        // A brief pause (10% duty) stays silent.
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<PfcStormDetector>::default()]);
+        feed(
+            &mut s,
+            &[
+                TraceEvent::PfcPause {
+                    t: 0,
+                    link: 5,
+                    by: 2,
+                    depth: 1,
+                },
+                TraceEvent::PfcResume {
+                    t: 100_000,
+                    link: 5,
+                    by: 2,
+                },
+            ],
+        );
+        assert!(s.finalize(1_000_000).violations.is_empty());
+    }
+
+    #[test]
+    fn deadlock_detector_finds_planted_three_switch_cycle() {
+        // Three switches in a ring: egress port 10 (on switch A) pauses
+        // A's feeder 20 (an egress of switch B), whose congestion pauses
+        // B's feeder 30 (egress of C), which finally pauses 10 itself —
+        // the classic cyclic buffer dependency. Edges read "waits for".
+        let mut s =
+            InvariantSuite::with_checkers(spec(), vec![Box::<PfcDeadlockDetector>::default()]);
+        feed(
+            &mut s,
+            &[
+                TraceEvent::PfcPause {
+                    t: 10,
+                    link: 20,
+                    by: 10,
+                    depth: 1,
+                },
+                TraceEvent::PfcPause {
+                    t: 20,
+                    link: 30,
+                    by: 20,
+                    depth: 2,
+                },
+                TraceEvent::PfcPause {
+                    t: 30,
+                    link: 10,
+                    by: 30,
+                    depth: 3,
+                },
+            ],
+        );
+        let r = s.finalize(100);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "pfc-deadlock");
+        assert!(
+            r.violations[0].detail.contains("cyclic buffer dependency"),
+            "{r:?}"
+        );
+
+        // Same chain without closing the ring: a pause *tree* is legal.
+        let mut s =
+            InvariantSuite::with_checkers(spec(), vec![Box::<PfcDeadlockDetector>::default()]);
+        feed(
+            &mut s,
+            &[
+                TraceEvent::PfcPause {
+                    t: 10,
+                    link: 20,
+                    by: 10,
+                    depth: 1,
+                },
+                TraceEvent::PfcPause {
+                    t: 20,
+                    link: 30,
+                    by: 20,
+                    depth: 2,
+                },
+            ],
+        );
+        assert!(s.finalize(100).violations.is_empty());
+
+        // Releasing an edge breaks the would-be ring before it closes.
+        let mut s =
+            InvariantSuite::with_checkers(spec(), vec![Box::<PfcDeadlockDetector>::default()]);
+        feed(
+            &mut s,
+            &[
+                TraceEvent::PfcPause {
+                    t: 10,
+                    link: 20,
+                    by: 10,
+                    depth: 1,
+                },
+                TraceEvent::PfcPause {
+                    t: 20,
+                    link: 30,
+                    by: 20,
+                    depth: 2,
+                },
+                TraceEvent::PfcResume {
+                    t: 25,
+                    link: 20,
+                    by: 10,
+                },
+                TraceEvent::PfcPause {
+                    t: 30,
+                    link: 10,
+                    by: 30,
+                    depth: 3,
+                },
+            ],
+        );
+        assert!(s.finalize(100).violations.is_empty());
+    }
+
+    #[test]
+    fn unreleased_pause_breaks_pause_liveness() {
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<PauseLiveness>::default()]);
+        s.on_event(&TraceEvent::PfcPause {
+            t: 1_000,
+            link: 4,
+            by: 2,
+            depth: 1,
+        });
+        // Grace is 1ms; end the run 10ms later with the pause still open.
+        let r = s.finalize(10_000_000);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "pause-liveness");
+
+        // A released pause is clean no matter how long the run tail is.
+        let mut s = InvariantSuite::with_checkers(spec(), vec![Box::<PauseLiveness>::default()]);
+        s.on_event(&TraceEvent::PfcPause {
+            t: 1_000,
+            link: 4,
+            by: 2,
+            depth: 1,
+        });
+        s.on_event(&TraceEvent::PfcResume {
+            t: 2_000,
+            link: 4,
+            by: 2,
         });
         assert!(s.finalize(10_000_000).violations.is_empty());
     }

@@ -6,9 +6,11 @@
 //!    liveness properties — queue byte conservation, capacity bounds, cwnd
 //!    bounds, counter monotonicity, NACK discipline, UnoRC completion
 //!    soundness, RTT sanity, recovery liveness, terminal-outcome soundness,
-//!    and watchdog liveness — evaluated online from the `uno-trace` event
-//!    stream. Arming them is a tracer choice, so the simulator's hot paths
-//!    pay nothing when checking is off.
+//!    watchdog liveness, and four lossless-fabric checks (PFC pause
+//!    discipline, pause-storm detection, cyclic-buffer-dependency deadlock
+//!    detection, pause liveness) — evaluated online from the `uno-trace`
+//!    event stream. Arming them is a tracer choice, so the simulator's hot
+//!    paths pay nothing when checking is off.
 //! 2. **Differential oracles** ([`naive_rs`], [`fluid`]): an independent
 //!    O(n·k) Reed–Solomon reference checked byte-for-byte against
 //!    `uno-erasure`, and a fluid-model throughput bound checked against

@@ -12,7 +12,8 @@ use rand::{Rng, SeedableRng};
 use serde::Value;
 use uno::{CcKind, DegradationConfig, Experiment, ExperimentConfig, SchemeSpec};
 use uno_sim::{
-    FaultEntry, FaultKind, FaultSpec, FaultTarget, GilbertElliott, LinkId, Time, MILLIS, SECONDS,
+    FabricMode, FaultEntry, FaultKind, FaultSpec, FaultTarget, GilbertElliott, LinkId, PfcParams,
+    Time, MILLIS, SECONDS,
 };
 use uno_workloads::FlowSpec;
 
@@ -146,6 +147,13 @@ pub struct Scenario {
     /// Arm the test-only block-accounting off-by-one in the transport
     /// (used to prove the checkers catch a real protocol bug).
     pub inject_block_bug: bool,
+    /// Run on a lossless (PFC-enabled) fabric instead of the default lossy
+    /// one. Serialized only when set, so pre-PFC scenario files parse (and
+    /// hash) unchanged.
+    pub lossless: bool,
+    /// PFC XOFF threshold in permille of each port's queue capacity
+    /// (`0` keeps the topology default). Only meaningful with `lossless`.
+    pub pfc_xoff_permille: u32,
 }
 
 /// What a checked scenario run produced.
@@ -265,7 +273,22 @@ impl Scenario {
             faults,
             horizon: 10 * SECONDS,
             inject_block_bug: false,
+            lossless: false,
+            pfc_xoff_permille: 0,
         }
+    }
+
+    /// Generate a lossless-fabric scenario: the same workload and fault
+    /// machinery as [`Scenario::generate`], plus PFC arming with a
+    /// seed-varied XOFF threshold — so the fuzzer explores PFC thresholds ×
+    /// fault schedules × schemes.
+    pub fn generate_lossless(seed: u64, quick: bool) -> Scenario {
+        let mut sc = Scenario::generate(seed, quick);
+        let mut rng =
+            SmallRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ 0x0070_6663);
+        sc.lossless = true;
+        sc.pfc_xoff_permille = [350, 500, 650][rng.gen_range(0..3usize)];
+        sc
     }
 
     // -- JSON encoding (hand-rolled over the in-tree Value model) ----------
@@ -351,7 +374,7 @@ impl Scenario {
                 ]),
             })
             .collect();
-        obj(vec![
+        let mut fields = vec![
             ("seed", Value::U64(self.seed)),
             ("scheme", Value::U64(self.scheme as u64)),
             (
@@ -361,9 +384,19 @@ impl Scenario {
             ("queue_kib", Value::U64(self.queue_kib as u64)),
             ("horizon", Value::U64(self.horizon)),
             ("inject_block_bug", Value::Bool(self.inject_block_bug)),
-            ("flows", Value::Array(flows)),
-            ("faults", Value::Array(faults)),
-        ])
+        ];
+        // Lossless knobs appear only when armed: lossy scenario JSON (the
+        // whole pre-PFC corpus) round-trips byte-identically.
+        if self.lossless {
+            fields.push(("lossless", Value::Bool(true)));
+            fields.push((
+                "pfc_xoff_permille",
+                Value::U64(self.pfc_xoff_permille as u64),
+            ));
+        }
+        fields.push(("flows", Value::Array(flows)));
+        fields.push(("faults", Value::Array(faults)));
+        obj(fields)
     }
 
     /// Canonical single-line JSON (hashing, logging).
@@ -442,6 +475,12 @@ impl Scenario {
             faults,
             horizon: num(v, "horizon")?,
             inject_block_bug: boolean(v, "inject_block_bug")?,
+            // Absent in pre-PFC files: default lossy.
+            lossless: matches!(v.get("lossless"), Some(Value::Bool(true))),
+            pfc_xoff_permille: v
+                .get("pfc_xoff_permille")
+                .and_then(|x| x.as_f64())
+                .map_or(0, |f| f as u32),
         })
     }
 
@@ -499,6 +538,16 @@ fn prepare_scenario(sc: &Scenario) -> (Experiment, Vec<FlowSpec>, bool) {
     let mut cfg = ExperimentConfig::quick(scheme, sc.seed);
     cfg.topo.queue_bytes = (sc.queue_kib.max(64) as u64) << 10;
     cfg.faults.block_accounting_off_by_one = sc.inject_block_bug;
+    if sc.lossless {
+        cfg.topo.fabric = FabricMode::Lossless;
+        if sc.pfc_xoff_permille > 0 {
+            let xoff = (sc.pfc_xoff_permille.clamp(50, 950) as f64) / 1000.0;
+            cfg.topo.pfc = PfcParams {
+                xoff_frac: xoff,
+                xon_frac: 0.7 * xoff,
+            };
+        }
+    }
     // A fault that never heals can starve a flow forever; arm the stall
     // watchdog and bounded retries so every flow still reaches a definite
     // outcome, and hold the run to that (weaker) expectation instead of
@@ -605,6 +654,12 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
             max_nacks_per_block: 8,
             require_outcome: permanent,
             stall_horizon: 3 * SECONDS,
+            // PFC detectors are always armed; on a lossy fabric they see no
+            // pause events and stay silent. Storm threshold: >90% pause
+            // duty over any 10ms window is spreading, not flow control.
+            pfc_storm_window: 10 * MILLIS,
+            pfc_storm_duty: 0.9,
+            pause_grace: SECONDS,
         }
     };
     let armed = ArmedChecker::new(net_spec);
@@ -890,6 +945,8 @@ mod tests {
             ],
             horizon: 10 * SECONDS,
             inject_block_bug: false,
+            lossless: false,
+            pfc_xoff_permille: 0,
         };
         let back = Scenario::from_json(&sc.to_json_pretty()).unwrap();
         assert_eq!(sc, back);
@@ -928,6 +985,8 @@ mod tests {
             faults: (0..8).map(|idx| Fault::Asym { idx, at: MILLIS }).collect(),
             horizon: 10 * SECONDS,
             inject_block_bug: false,
+            lossless: false,
+            pfc_xoff_permille: 0,
         };
         let out = run_scenario(&sc);
         assert!(

@@ -111,6 +111,16 @@ pub struct NetSpec {
     /// progress before the watchdog-liveness checker declares the stall
     /// watchdog broken. `0` disables the check.
     pub stall_horizon: Time,
+    /// Sliding window over which the PFC-storm detector measures each
+    /// link's pause duty cycle. `0` disables the detector (lossy runs).
+    pub pfc_storm_window: Time,
+    /// Pause duty-cycle threshold in `[0, 1]`: a link paused for more than
+    /// this fraction of the storm window is declared storming.
+    pub pfc_storm_duty: f64,
+    /// How long a link may remain continuously PFC-paused past run end
+    /// before the pause-liveness checker declares the release path broken.
+    /// `0` disables the check.
+    pub pause_grace: Time,
 }
 
 impl NetSpec {

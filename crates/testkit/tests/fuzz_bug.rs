@@ -24,6 +24,8 @@ fn bug_scenario() -> Scenario {
         faults: vec![],
         horizon: 10_000 * MILLIS,
         inject_block_bug: true,
+        lossless: false,
+        pfc_xoff_permille: 0,
     }
 }
 

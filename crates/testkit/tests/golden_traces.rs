@@ -147,6 +147,30 @@ fn calendar_stress_cell() -> String {
     )
 }
 
+/// One lossless cell: a seed-derived PFC-enabled scenario through the
+/// scenario runner with a JSONL tracer. Pins the entire pause machinery —
+/// XOFF/XON crossings, pause-frame propagation timing, HOL blocking, and
+/// resume kicks — byte-for-byte, alongside the usual counters and FCTs.
+fn lossless_cell(seed: u64) -> String {
+    let sc = Scenario::generate_lossless(seed, true);
+    assert!(sc.lossless, "generator must arm PFC");
+    let buf = SharedBuf::default();
+    let tracer = Tracer::jsonl_writer(Box::new(buf.clone()), TraceConfig::all());
+    let run = run_scenario_traced(&sc, tracer);
+    assert!(
+        run.terminated > 0,
+        "lossless scenario must produce outcomes"
+    );
+    digest(
+        &buf.take(),
+        &[
+            ("counters", &run.counters),
+            ("fcts", &run.fcts.join("\n")),
+            ("sim_end", &run.sim_end.to_string()),
+        ],
+    )
+}
+
 /// Run every cell, returning `(name, digest)` pairs in a stable order.
 fn all_cells() -> Vec<(String, String)> {
     let mut out = Vec::new();
@@ -168,6 +192,9 @@ fn all_cells() -> Vec<(String, String)> {
         "scenario/calendar_overflow_flap_completes".to_string(),
         calendar_stress_cell(),
     ));
+    for seed in [3u64, 17, 29] {
+        out.push((format!("lossless/seed{seed}"), lossless_cell(seed)));
+    }
     out
 }
 

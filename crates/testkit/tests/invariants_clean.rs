@@ -69,6 +69,8 @@ fn stress(scheme: u8) -> Scenario {
         ],
         horizon: 10_000 * MILLIS,
         inject_block_bug: false,
+        lossless: false,
+        pfc_xoff_permille: 0,
     }
 }
 

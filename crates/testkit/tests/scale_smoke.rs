@@ -6,7 +6,7 @@
 //! outcome, and no protocol invariant may fire.
 
 use uno::{CcKind, Experiment, ExperimentConfig, SchemeSpec};
-use uno_sim::{SampleConfig, TopologyParams, MICROS, SECONDS};
+use uno_sim::{SampleConfig, TopologyParams, MICROS, MILLIS, SECONDS};
 use uno_testkit::{ArmedChecker, FlowNetInfo, NetSpec};
 use uno_workloads::FlowSpec;
 
@@ -102,6 +102,9 @@ fn incast_4k_hosts_with_telemetry_and_invariants() {
             max_nacks_per_block: 8,
             require_outcome: false,
             stall_horizon: 3 * SECONDS,
+            pfc_storm_window: 10 * MILLIS,
+            pfc_storm_duty: 0.9,
+            pause_grace: SECONDS,
         }
     };
     let armed = ArmedChecker::new(net_spec);

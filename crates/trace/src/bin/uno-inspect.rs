@@ -226,6 +226,25 @@ fn fmt_bps(n: u64) -> String {
     }
 }
 
+fn fmt_ns(n: u64) -> String {
+    match n {
+        n if n >= 1_000_000_000 => format!("{:.2} s", n as f64 / 1e9),
+        n if n >= 1_000_000 => format!("{:.2} ms", n as f64 / 1e6),
+        n if n >= 1_000 => format!("{:.1} µs", n as f64 / 1e3),
+        n => format!("{n} ns"),
+    }
+}
+
+/// The 0/1 pause-state series of one link, if it was ever paused.
+fn pause_state_of(telemetry: &Value, id: &str) -> Vec<(u64, u64)> {
+    series_group(telemetry, "links")
+        .into_iter()
+        .find(|&(i, _)| i == id)
+        .and_then(|(_, bundle)| bundle.get("paused"))
+        .map(parse_series)
+        .unwrap_or_default()
+}
+
 /// Top-`TOP` entries of a group by peak value of `key`, descending.
 fn top_series<'a>(telemetry: &'a Value, group: &str, key: &str) -> Vec<(&'a str, Vec<(u64, u64)>)> {
     let mut rows: Vec<(&str, Vec<(u64, u64)>)> = series_group(telemetry, group)
@@ -313,6 +332,26 @@ fn render_report(run: &Value, path: &str) -> String {
                     );
                 }
             }
+            // PFC pause timelines: only links that were actually paused
+            // carry the series, so lossy runs render nothing here.
+            let paused = top_series(t, "links", "paused_ns");
+            if !paused.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  pfc pause state (top {} by paused time):",
+                    paused.len()
+                );
+                for (id, ns) in &paused {
+                    let total = ns.last().map(|&(_, v)| v).unwrap_or(0);
+                    let state = pause_state_of(t, id);
+                    let _ = writeln!(
+                        out,
+                        "    link {id:>4} |{}| paused {}",
+                        timeline(&state, WIDTH),
+                        fmt_ns(total)
+                    );
+                }
+            }
             let down = t
                 .get("fault")
                 .map(|f| parse_series(f.get("links_down").unwrap_or(&Value::Null)));
@@ -393,25 +432,31 @@ fn render_diff(a: &Value, b: &Value, pa: &str, pb: &str) -> String {
             for (group, key, fmt) in [
                 ("links", "queue", fmt_bytes as fn(u64) -> String),
                 ("flows", "rate_bps", fmt_bps as fn(u64) -> String),
+                ("links", "paused_ns", fmt_ns as fn(u64) -> String),
             ] {
                 let ga = ta.map(|t| series_group(t, group)).unwrap_or_default();
                 let gb = tb.map(|t| series_group(t, group)).unwrap_or_default();
                 let mut ids: Vec<&str> = ga.iter().chain(gb.iter()).map(|&(id, _)| id).collect();
                 ids.sort_by_key(|id| id.parse::<u64>().unwrap_or(u64::MAX));
                 ids.dedup();
-                if ids.is_empty() {
-                    continue;
-                }
-                let _ = writeln!(out, "  {group}.{key} peaks:");
                 let peak = |g: &[(&str, &Value)], id: &str| {
                     g.iter()
                         .find(|&&(i, _)| i == id)
                         .and_then(|&(_, bundle)| bundle.get(key))
                         .map(|s| mean_max(&parse_series(s)).1)
                 };
-                for id in ids {
-                    let sa = peak(&ga, id);
-                    let sb = peak(&gb, id);
+                // Only ids with the series on at least one side: sparse
+                // series (pauses on a lossy run) drop out entirely.
+                let rows: Vec<(&str, Option<u64>, Option<u64>)> = ids
+                    .into_iter()
+                    .map(|id| (id, peak(&ga, id), peak(&gb, id)))
+                    .filter(|(_, sa, sb)| sa.is_some() || sb.is_some())
+                    .collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(out, "  {group}.{key} peaks:");
+                for (id, sa, sb) in rows {
                     let show = |v: Option<u64>| v.map_or("—".into(), &fmt);
                     let _ = writeln!(out, "    {:>6}: {:>12}  ->  {:>12}", id, show(sa), show(sb));
                 }
@@ -504,6 +549,19 @@ fn render_html(run: &Value, path: &str) -> String {
                 svg_series(&pts, 640, 80)
             );
         }
+        let paused = top_series(t, "links", "paused_ns");
+        if !paused.is_empty() {
+            let _ = writeln!(body, "<h2>pfc pause state</h2>");
+            for (id, ns) in paused {
+                let total = ns.last().map(|&(_, v)| v).unwrap_or(0);
+                let _ = writeln!(
+                    body,
+                    "<div class=\"row\"><span>link {id} ({})</span>{}</div>",
+                    fmt_ns(total),
+                    svg_series(&pause_state_of(t, id), 640, 40)
+                );
+            }
+        }
     }
     format!(
         "<!doctype html><html><head><meta charset=\"utf-8\"><title>uno-inspect</title>\
@@ -526,7 +584,11 @@ mod tests {
               "telemetry": {
                 "interval_ns": 1000, "ticks": 3,
                 "links": {"1": {"queue": [[0,0],[1000,500],[2000,100]],
-                                "phantom": [], "up": [[0,1],[1000,1],[2000,1]]}},
+                                "phantom": [], "up": [[0,1],[1000,1],[2000,1]]},
+                          "2": {"queue": [[0,0],[1000,900],[2000,900]],
+                                "phantom": [], "up": [[0,1],[1000,1],[2000,1]],
+                                "paused": [[0,0],[1000,1],[2000,0]],
+                                "paused_ns": [[0,0],[1000,400],[2000,1300]]}},
                 "flows": {"0": {"cwnd": [[0,100]], "rate_bps": [[1000,5000000]],
                                 "srtt_ns": [[0,900]], "outstanding": [[0,10]]}},
                 "fault": {"active": [], "links_down": []}
@@ -566,6 +628,25 @@ mod tests {
     }
 
     #[test]
+    fn pause_timelines_render_only_for_paused_links() {
+        let r = render_report(&fake_run(), "test.json");
+        assert!(r.contains("pfc pause state (top 1 by paused time):"));
+        assert!(r.contains("link    2") && r.contains("paused 1.3 µs"));
+        // Strip link 2 (the only paused link): the section must vanish so
+        // lossy-run reports are byte-identical to the pre-PFC renderer.
+        let mut lossy = fake_run();
+        if let Value::Object(run) = &mut lossy {
+            if let Some((_, Value::Object(t))) = run.iter_mut().find(|(k, _)| k == "telemetry") {
+                if let Some((_, Value::Object(links))) = t.iter_mut().find(|(k, _)| k == "links") {
+                    links.retain(|(k, _)| k != "2");
+                }
+            }
+        }
+        assert!(!render_report(&lossy, "test.json").contains("pfc pause"));
+        assert!(!render_html(&lossy, "test.json").contains("pfc pause"));
+    }
+
+    #[test]
     fn missing_sections_render_placeholders() {
         let run = serde_json::parse_value(r#"{"scheme":"Uno"}"#).unwrap();
         let r = render_report(&run, "x.json");
@@ -579,5 +660,7 @@ mod tests {
         assert!(h.starts_with("<!doctype html>"));
         assert!(h.contains("<svg"));
         assert!(h.contains("polyline"));
+        assert!(h.contains("<h2>pfc pause state</h2>"));
+        assert!(h.contains("link 2 (1.3 µs)"));
     }
 }

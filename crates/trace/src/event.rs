@@ -240,6 +240,30 @@ pub enum TraceEvent {
         /// verdict.
         aborted: bool,
     },
+    /// A PFC PAUSE took effect: egress port `by` crossed its XOFF threshold
+    /// and halted feeder link `link`. Carries no flow id.
+    PfcPause {
+        /// Simulation time (ns).
+        t: Time,
+        /// The feeder link being paused.
+        link: u32,
+        /// The congested egress port that asserted the pause.
+        by: u32,
+        /// Pause-tree depth of the assertion (1 = directly congested port,
+        /// +1 per level of upstream cascade).
+        depth: u32,
+    },
+    /// A PFC RESUME took effect: egress port `by` drained to its XON
+    /// threshold and released its hold on feeder link `link`. Carries no
+    /// flow id.
+    PfcResume {
+        /// Simulation time (ns).
+        t: Time,
+        /// The feeder link being released.
+        link: u32,
+        /// The egress port releasing its pause.
+        by: u32,
+    },
 }
 
 /// Float formatting identical to the JSON printer's: integral finite values
@@ -271,7 +295,9 @@ impl TraceEvent {
             | TraceEvent::FlowDone { t, .. }
             | TraceEvent::QueueClear { t, .. }
             | TraceEvent::FaultTransition { t, .. }
-            | TraceEvent::FlowFail { t, .. } => t,
+            | TraceEvent::FlowFail { t, .. }
+            | TraceEvent::PfcPause { t, .. }
+            | TraceEvent::PfcResume { t, .. } => t,
         }
     }
 
@@ -292,7 +318,10 @@ impl TraceEvent {
             | TraceEvent::QuickAdapt { flow, .. }
             | TraceEvent::FlowDone { flow, .. }
             | TraceEvent::FlowFail { flow, .. } => Some(flow),
-            TraceEvent::QueueClear { .. } | TraceEvent::FaultTransition { .. } => None,
+            TraceEvent::QueueClear { .. }
+            | TraceEvent::FaultTransition { .. }
+            | TraceEvent::PfcPause { .. }
+            | TraceEvent::PfcResume { .. } => None,
         }
     }
 
@@ -305,7 +334,9 @@ impl TraceEvent {
             | TraceEvent::Mark { link, .. }
             | TraceEvent::LinkLoss { link, .. }
             | TraceEvent::QueueClear { link, .. }
-            | TraceEvent::FaultTransition { link, .. } => Some(link),
+            | TraceEvent::FaultTransition { link, .. }
+            | TraceEvent::PfcPause { link, .. }
+            | TraceEvent::PfcResume { link, .. } => Some(link),
             _ => None,
         }
     }
@@ -318,7 +349,10 @@ impl TraceEvent {
             | TraceEvent::Drop { .. }
             | TraceEvent::Mark { .. }
             | TraceEvent::QueueClear { .. } => EventClass::Queue,
-            TraceEvent::LinkLoss { .. } | TraceEvent::FaultTransition { .. } => EventClass::Link,
+            TraceEvent::LinkLoss { .. }
+            | TraceEvent::FaultTransition { .. }
+            | TraceEvent::PfcPause { .. }
+            | TraceEvent::PfcResume { .. } => EventClass::Link,
             TraceEvent::Ack { .. }
             | TraceEvent::CwndChange { .. }
             | TraceEvent::EpochBoundary { .. }
@@ -348,6 +382,8 @@ impl TraceEvent {
             TraceEvent::QueueClear { .. } => "queue_clear",
             TraceEvent::FaultTransition { .. } => "fault",
             TraceEvent::FlowFail { .. } => "flow_fail",
+            TraceEvent::PfcPause { .. } => "pfc_pause",
+            TraceEvent::PfcResume { .. } => "pfc_resume",
         }
     }
 
@@ -452,6 +488,14 @@ impl TraceEvent {
             }
             TraceEvent::FlowFail { flow, aborted, .. } => {
                 let _ = write!(out, r#","flow":{flow},"aborted":{aborted}"#);
+            }
+            TraceEvent::PfcPause {
+                link, by, depth, ..
+            } => {
+                let _ = write!(out, r#","link":{link},"by":{by},"depth":{depth}"#);
+            }
+            TraceEvent::PfcResume { link, by, .. } => {
+                let _ = write!(out, r#","link":{link},"by":{by}"#);
             }
         }
         out.push('}');
@@ -589,6 +633,17 @@ impl TraceEvent {
                 flow: flw(v)?,
                 aborted: boolean(v, "aborted")?,
             },
+            "pfc_pause" => TraceEvent::PfcPause {
+                t,
+                link: num(v, "link")? as u32,
+                by: num(v, "by")? as u32,
+                depth: num(v, "depth")? as u32,
+            },
+            "pfc_resume" => TraceEvent::PfcResume {
+                t,
+                link: num(v, "link")? as u32,
+                by: num(v, "by")? as u32,
+            },
             other => return Err(format!("unknown event kind `{other}`")),
         })
     }
@@ -691,6 +746,17 @@ mod tests {
                 flow: 1,
                 aborted: true,
             },
+            TraceEvent::PfcPause {
+                t: 26,
+                link: 6,
+                by: 3,
+                depth: 2,
+            },
+            TraceEvent::PfcResume {
+                t: 27,
+                link: 6,
+                by: 3,
+            },
         ]
     }
 
@@ -709,6 +775,7 @@ mod tests {
         use EventClass::*;
         let want = [
             Queue, Queue, Queue, Queue, Link, Cc, Rc, Rc, Lb, Cc, Cc, Cc, Flow, Queue, Link, Flow,
+            Link, Link,
         ];
         for (ev, w) in samples().iter().zip(want) {
             assert_eq!(ev.class(), w, "{ev:?}");

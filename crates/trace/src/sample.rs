@@ -153,12 +153,23 @@ pub struct FlowSample {
 }
 
 /// Per-link series bundle: physical queue depth, phantom-queue occupancy
-/// and link up/down state.
+/// and link up/down state. The PFC pause series are allocated only once a
+/// link actually pauses, so lossy-fabric artifacts carry no pause keys and
+/// stay byte-identical to the pre-PFC format.
 #[derive(Clone, Debug)]
 struct LinkSeries {
     queue: Series,
     phantom: Series,
     up: Series,
+    pause: Option<PauseSeries>,
+}
+
+/// Pause-state series for a link that has been PFC-paused at least once:
+/// instantaneous paused state (0/1) and cumulative paused nanoseconds.
+#[derive(Clone, Debug)]
+struct PauseSeries {
+    paused: Series,
+    paused_ns: Series,
 }
 
 /// Per-flow series bundle plus the last `(time, delivered)` pair used to
@@ -231,10 +242,22 @@ impl Telemetry {
 
     /// Offer link `id`'s state at time `t`. The link's series are created
     /// on its first non-idle observation and recorded every tick after.
-    pub fn record_link(&mut self, id: u32, t: Time, queue_bytes: u64, phantom: u64, up: bool) {
+    /// `paused`/`paused_ns` carry the link's PFC pause state; a link that
+    /// never pauses (every link on a lossy fabric) records no pause series.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_link(
+        &mut self,
+        id: u32,
+        t: Time,
+        queue_bytes: u64,
+        phantom: u64,
+        up: bool,
+        paused: bool,
+        paused_ns: u64,
+    ) {
         let i = id as usize;
         if self.links.get(i).is_none_or(|s| s.is_none()) {
-            if queue_bytes == 0 && phantom == 0 && up {
+            if queue_bytes == 0 && phantom == 0 && up && !paused && paused_ns == 0 {
                 return; // idle link: no series yet
             }
             if i >= self.links.len() {
@@ -244,12 +267,23 @@ impl Telemetry {
                 queue: Series::new(self.interval, self.cap),
                 phantom: Series::new(self.interval, self.cap),
                 up: Series::new(self.interval, self.cap),
+                pause: None,
             });
         }
         let s = self.links[i].as_mut().expect("just inserted");
         s.queue.push(t, queue_bytes);
         s.phantom.push(t, phantom);
         s.up.push(t, up as u64);
+        if s.pause.is_none() && (paused || paused_ns > 0) {
+            s.pause = Some(PauseSeries {
+                paused: Series::new(self.interval, self.cap),
+                paused_ns: Series::new(self.interval, self.cap),
+            });
+        }
+        if let Some(p) = &mut s.pause {
+            p.paused.push(t, paused as u64);
+            p.paused_ns.push(t, paused_ns);
+        }
     }
 
     /// Record flow `id`'s transport snapshot at time `t`.
@@ -298,14 +332,16 @@ impl Telemetry {
                 .enumerate()
                 .filter_map(|(id, s)| s.as_ref().map(|s| (id, s)))
                 .map(|(id, s)| {
-                    (
-                        id.to_string(),
-                        Value::Object(vec![
-                            ("queue".into(), s.queue.to_value()),
-                            ("phantom".into(), s.phantom.to_value()),
-                            ("up".into(), s.up.to_value()),
-                        ]),
-                    )
+                    let mut fields = vec![
+                        ("queue".into(), s.queue.to_value()),
+                        ("phantom".into(), s.phantom.to_value()),
+                        ("up".into(), s.up.to_value()),
+                    ];
+                    if let Some(p) = &s.pause {
+                        fields.push(("paused".into(), p.paused.to_value()));
+                        fields.push(("paused_ns".into(), p.paused_ns.to_value()));
+                    }
+                    (id.to_string(), Value::Object(fields))
                 })
                 .collect(),
         );
@@ -394,7 +430,7 @@ mod tests {
     #[test]
     fn idle_links_record_nothing() {
         let mut t = Telemetry::new(SampleConfig::every(10));
-        t.record_link(3, 0, 0, 0, true);
+        t.record_link(3, 0, 0, 0, true, false, 0);
         assert!(t
             .to_value()
             .get("links")
@@ -402,7 +438,7 @@ mod tests {
             .as_object()
             .unwrap()
             .is_empty());
-        t.record_link(3, 10, 100, 0, true);
+        t.record_link(3, 10, 100, 0, true, false, 0);
         assert_eq!(
             t.to_value()
                 .get("links")
@@ -412,6 +448,21 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn pause_series_only_for_paused_links() {
+        let mut t = Telemetry::new(SampleConfig::every(10));
+        t.record_link(0, 0, 100, 0, true, false, 0);
+        t.record_link(1, 0, 100, 0, true, true, 0);
+        // A pause observation alone (empty queue) is non-idle.
+        t.record_link(2, 0, 0, 0, true, false, 55);
+        let v = t.to_value();
+        let links = v.get("links").unwrap();
+        assert!(links.get("0").unwrap().get("paused").is_none());
+        assert!(links.get("1").unwrap().get("paused").is_some());
+        assert!(links.get("1").unwrap().get("paused_ns").is_some());
+        assert!(links.get("2").unwrap().get("paused_ns").is_some());
     }
 
     #[test]
@@ -449,8 +500,16 @@ mod tests {
             let mut t = Telemetry::new(SampleConfig::every(10).with_capacity(16));
             for tick in 0..50u64 {
                 let now = tick * 10;
-                t.record_link(7, now, tick * 3, tick % 5, tick % 9 != 0);
-                t.record_link(2, now, tick, 0, true);
+                t.record_link(
+                    7,
+                    now,
+                    tick * 3,
+                    tick % 5,
+                    tick % 9 != 0,
+                    tick % 7 == 0,
+                    tick,
+                );
+                t.record_link(2, now, tick, 0, true, false, 0);
                 t.record_flow(
                     1,
                     now,

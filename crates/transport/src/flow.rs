@@ -20,7 +20,8 @@ use std::collections::VecDeque;
 
 use uno_erasure::EcParams;
 use uno_sim::{
-    Counters, Ctx, FlowLogic, FlowOutcome, FlowSample, NodeId, Packet, PacketKind, Time, TraceEvent,
+    Counters, Ctx, FlowLogic, FlowOutcome, FlowSample, NodeId, Packet, PacketKind, StallCause,
+    Time, TraceEvent,
 };
 
 use crate::cc::{AckEvent, CcAlgorithm};
@@ -883,7 +884,17 @@ impl MessageFlow {
                 self.trace_cc_deltas(before, ctx);
             }
             if self.stall_strikes >= 2 {
-                self.fail(FlowOutcome::Stalled, ctx);
+                // Classify the stall: on a lossless fabric, zero progress
+                // while our own NIC uplink is PFC-paused means the fabric
+                // itself refused our bytes (congestion spreading reached
+                // the source) — distinct from loss/blackhole congestion.
+                let uplink = ctx.topo.host_uplink(self.cfg.src);
+                let cause = if ctx.topo.links.paused(uplink) {
+                    StallCause::PfcBackpressure
+                } else {
+                    StallCause::Congestion
+                };
+                self.fail(FlowOutcome::Stalled { cause }, ctx);
                 return;
             }
         }

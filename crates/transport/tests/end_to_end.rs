@@ -319,7 +319,7 @@ fn add_degraded_inter_flow(sim: &mut Simulator, fc_tweak: impl FnOnce(&mut FlowC
 
 #[test]
 fn watchdog_stalls_flow_on_blackholed_reverse_path() {
-    use uno_sim::{FlowId, FlowOutcome};
+    use uno_sim::{FlowId, FlowOutcome, StallCause};
     // Asymmetric gray failure: data crosses the border, every ACK dies on
     // the way back. The stall watchdog must terminate the flow instead of
     // letting it retry until the experiment horizon.
@@ -334,7 +334,13 @@ fn watchdog_stalls_flow_on_blackholed_reverse_path() {
     );
     assert!(sim.fcts.is_empty(), "the flow cannot have completed");
     assert_eq!(sim.failures.len(), 1);
-    assert_eq!(sim.flow_outcome(FlowId(0)), Some(FlowOutcome::Stalled));
+    // On a lossy fabric the watchdog blames congestion, never PFC.
+    assert_eq!(
+        sim.flow_outcome(FlowId(0)),
+        Some(FlowOutcome::Stalled {
+            cause: StallCause::Congestion
+        })
+    );
     // The watchdog gave up long before the horizon.
     assert!(sim.now() < SECONDS, "stalled too late: {}", sim.now());
 }
