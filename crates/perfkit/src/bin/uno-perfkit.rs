@@ -170,9 +170,20 @@ fn run_compare(args: &[String]) {
         );
     }
     if failed {
+        // Name the baseline's provenance: most "regressions" in wall-clock
+        // rows are really hardware changes, and the first question a reader
+        // asks is what machine the committed numbers came from.
         eprintln!(
-            "[uno-perfkit] FAIL: regression beyond {:.0}%",
-            tolerance * 100.0
+            "[uno-perfkit] FAIL: regression beyond {:.0}% against baseline rev {} \
+             ({} mode, measured on a {}-core host; this host has {} cores). \
+             If the hardware changed, regenerate the baseline here with \
+             `uno-perfkit --{} --rev baseline` instead of chasing the numbers.",
+            tolerance * 100.0,
+            base.rev,
+            base.mode,
+            base.cores,
+            cur.cores,
+            base.mode,
         );
         std::process::exit(1);
     }

@@ -10,6 +10,10 @@
 //!   a successor a random delta later);
 //! * **incast step rate** — end-to-end engine events/sec on a Figure 8
 //!   style incast experiment (the meter the simulator itself maintains);
+//! * **LP engine rows** — the conservative parallel engine against the
+//!   serial one on a 3-site workload: the single-worker parity ratio is
+//!   gated (window/barrier overhead must stay bounded), the multi-worker
+//!   speedup is informational because it is bounded by the host's cores;
 //! * **fig08 slice** — wall-clock for a scheme × scenario FCT sweep run
 //!   sequentially and through the parallel [`SweepRunner`], plus the
 //!   resulting speedup.

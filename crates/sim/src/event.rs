@@ -204,10 +204,20 @@ impl EventQueue {
         self.next_seq += 1;
         let e = Entry { time, seq, event };
         self.len += 1;
-        if self.cursor_tick == Some(e.tick()) {
-            // Schedule-at-now (and anything else inside the cursor tick):
-            // straight into the min-heap, O(log n) regardless of how many
-            // events share the tick.
+        if self.cursor_tick.is_some_and(|ct| e.tick() <= ct) {
+            // Schedule-at-now (and anything else at or before the cursor
+            // tick): straight into the min-heap, O(log n) regardless of how
+            // many events share the tick. The at-or-*before* case matters:
+            // `peek_time` advances the cursor to the minimum *pending* tick
+            // without popping, and a caller may then legally push an
+            // earlier event (still at/after the floor) — the parallel
+            // engine does exactly this when it peeks every lane to size a
+            // window and then routes cross-lane messages in. Such an event
+            // must not be filed into a wheel bucket the cursor has already
+            // passed, or it would surface a whole lap late and pop out of
+            // order. In the cursor heap it keeps the invariant that the
+            // heap head is the global minimum (its tick stays ≤ every
+            // wheel/overflow tick).
             self.cursor.push(Reverse(e));
         } else if e.tick() >= self.cur_tick + NUM_BUCKETS as u64 {
             self.overflow.push(Reverse(e));
@@ -252,6 +262,11 @@ impl EventQueue {
         let tick = e.tick();
         debug_assert!(tick < self.cur_tick + NUM_BUCKETS as u64);
         debug_assert!(self.cursor_tick != Some(tick));
+        debug_assert!(
+            self.cursor_tick.is_none() || tick > self.cur_tick,
+            "wheel insert at tick {tick} behind the cursor tick {}",
+            self.cur_tick
+        );
         let idx = (tick & BUCKET_MASK) as usize;
         self.occupied[idx / 64] |= 1u64 << (idx % 64);
         self.buckets[idx].push(e);
@@ -445,6 +460,22 @@ mod tests {
         })
         .collect();
         assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_behind_a_peek_advanced_cursor_stays_ordered() {
+        // `peek_time` advances the cursor to the minimum pending tick
+        // without popping; a later push may land in an *earlier* tick while
+        // still respecting the floor (the parallel engine's peek-all-lanes
+        // → route-messages pattern). The earlier event must still pop
+        // first.
+        let mut q = EventQueue::new();
+        q.push(22_134, Event::Sample(1)); // tick 21
+        assert_eq!(q.peek_time(), Some(22_134)); // cursor now at tick 21
+        q.push(14_264, Event::Sample(0)); // tick 13, behind the cursor
+        assert_eq!(q.pop().unwrap().0, 14_264);
+        assert_eq!(q.pop().unwrap().0, 22_134);
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Logical-process partitioning for conservative parallel DES.
+//!
+//! A single run is split into *lanes* (logical processes), each owning a
+//! disjoint slice of the topology's link state and its own calendar queue:
+//!
+//! * **Lane 0 — the host plane.** Every end host, the flow table, and all
+//!   transport callbacks. Flows never migrate, so transport state needs no
+//!   synchronization and the `FlowLogic` trait needs no `Send` bound (lane
+//!   0 always runs on the coordinating thread).
+//! * **Fabric lanes.** Switch state, split per pod ([`LpGranularity::PerPod`])
+//!   or per DC ([`LpGranularity::PerDc`]). Per-pod keeps each DC's
+//!   core+border switches in one extra lane per DC, since core switches
+//!   belong to no pod.
+//!
+//! A link is *interior* to a lane when both its transmit side (owned by
+//! `from(l)`'s lane) and receive side (owned by `to(l)`'s lane) fall in the
+//! same lane, and a *boundary* link otherwise. Packets crossing a boundary
+//! become timestamped messages exchanged at window barriers; the minimum
+//! propagation delay over boundary links is the engine's lookahead — every
+//! cross-lane message carries a timestamp at least one lookahead beyond
+//! the window floor, which is exactly what makes a conservative window
+//! safe to run without inter-lane communication.
+
+use crate::ids::{LinkId, NodeId};
+use crate::time::Time;
+use crate::topology::{NodeKind, Topology};
+
+/// How the fabric is cut into logical processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LpGranularity {
+    /// Per-DC for multi-DC topologies (the cut is the high-latency WAN
+    /// border, maximizing lookahead), per-pod for single-DC ones.
+    #[default]
+    Auto,
+    /// One lane per (dc, pod) for Edge+Agg switches plus one lane per DC
+    /// for its Core+Border switches. Finest cut; lookahead is the
+    /// intra-fabric link delay.
+    PerPod,
+    /// One lane per DC (all of its switches). Lookahead is still the
+    /// intra-fabric delay — host↔edge links cross into lane 0.
+    PerDc,
+}
+
+/// Parallel-engine configuration carried by the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LpConfig {
+    /// Worker parallelism. 1 runs every lane inline on the coordinator
+    /// thread (same windowed engine, no threads); N > 1 adds persistent
+    /// worker threads for the fabric lanes. Results are identical for
+    /// every value — worker count only changes wall-clock time.
+    pub jobs: usize,
+    /// How to cut the fabric.
+    pub granularity: LpGranularity,
+}
+
+/// The computed partition: lane assignment for every node and both sides
+/// of every link, dense per-lane slot indices for the extracted link
+/// state, the boundary set, and the lookahead.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Resolved granularity (never `Auto`).
+    pub granularity: LpGranularity,
+    /// Total number of lanes, including lane 0 (the host plane).
+    pub n_lanes: usize,
+    /// Owning lane of each node, indexed by `NodeId`.
+    pub lane_of_node: Vec<u16>,
+    /// Owning lane of each link's transmit side (= lane of `from(l)`).
+    pub tx_lane: Vec<u16>,
+    /// Owning lane of each link's receive side (= lane of `to(l)`).
+    pub rx_lane: Vec<u16>,
+    /// Dense index of the link's tx state within its owning lane.
+    pub tx_slot: Vec<u32>,
+    /// Dense index of the link's rx state within its owning lane.
+    pub rx_slot: Vec<u32>,
+    /// Links whose tx and rx sides live in different lanes.
+    pub boundary: Vec<LinkId>,
+    /// Minimum propagation delay over boundary links: the conservative
+    /// window length.
+    pub lookahead: Time,
+}
+
+impl LpGranularity {
+    /// Resolve `Auto` against a topology.
+    pub fn resolve(self, topo: &Topology) -> LpGranularity {
+        match self {
+            LpGranularity::Auto => {
+                if topo.params.dcs > 1 {
+                    LpGranularity::PerDc
+                } else {
+                    LpGranularity::PerPod
+                }
+            }
+            g => g,
+        }
+    }
+}
+
+/// Lane of a switch under the resolved granularity. Pods are `0..k` per
+/// DC; per-pod mode appends one core/border lane per DC after its pods.
+fn switch_lane(kind: &NodeKind, g: LpGranularity, k: usize) -> u16 {
+    let dc = kind.dc() as usize;
+    let lane = match g {
+        LpGranularity::PerDc => 1 + dc,
+        LpGranularity::PerPod => match *kind {
+            NodeKind::Edge { pod, .. } | NodeKind::Agg { pod, .. } => {
+                1 + dc * (k + 1) + pod as usize
+            }
+            NodeKind::Core { .. } | NodeKind::Border { .. } => 1 + dc * (k + 1) + k,
+            NodeKind::Host(_) => unreachable!("hosts are lane 0"),
+        },
+        LpGranularity::Auto => unreachable!("resolve() before switch_lane()"),
+    };
+    lane as u16
+}
+
+/// Cut `topo` into lanes under `granularity` (resolving `Auto`).
+pub fn partition(topo: &Topology, granularity: LpGranularity) -> Partition {
+    let g = granularity.resolve(topo);
+    let k = topo.params.k;
+    let dcs = topo.params.dcs;
+    let n_lanes = match g {
+        LpGranularity::PerDc => 1 + dcs,
+        LpGranularity::PerPod => 1 + dcs * (k + 1),
+        LpGranularity::Auto => unreachable!(),
+    };
+
+    let lane_of_node: Vec<u16> = topo
+        .nodes
+        .iter()
+        .map(|n| {
+            if n.kind.is_host() {
+                0
+            } else {
+                switch_lane(&n.kind, g, k)
+            }
+        })
+        .collect();
+
+    let n_links = topo.links.len();
+    let mut tx_lane = Vec::with_capacity(n_links);
+    let mut rx_lane = Vec::with_capacity(n_links);
+    let mut tx_slot = Vec::with_capacity(n_links);
+    let mut rx_slot = Vec::with_capacity(n_links);
+    let mut tx_counts = vec![0u32; n_lanes];
+    let mut rx_counts = vec![0u32; n_lanes];
+    let mut boundary = Vec::new();
+    let mut lookahead = Time::MAX;
+    for l in topo.links.ids() {
+        let tl = lane_of_node[topo.links.from(l).index()];
+        let rl = lane_of_node[topo.links.to(l).index()];
+        tx_lane.push(tl);
+        rx_lane.push(rl);
+        tx_slot.push(tx_counts[tl as usize]);
+        rx_slot.push(rx_counts[rl as usize]);
+        tx_counts[tl as usize] += 1;
+        rx_counts[rl as usize] += 1;
+        if tl != rl {
+            boundary.push(l);
+            lookahead = lookahead.min(topo.links.delay(l));
+        }
+    }
+    debug_assert!(
+        !boundary.is_empty() && lookahead > 0,
+        "a fat-tree always cuts host↔edge links across lanes"
+    );
+
+    Partition {
+        granularity: g,
+        n_lanes,
+        lane_of_node,
+        tx_lane,
+        rx_lane,
+        tx_slot,
+        rx_slot,
+        boundary,
+        lookahead,
+    }
+}
+
+impl Partition {
+    /// Lane owning node `n`.
+    #[inline]
+    pub fn lane(&self, n: NodeId) -> u16 {
+        self.lane_of_node[n.index()]
+    }
+
+    /// `(lane, slot)` of link `l`'s transmit-side state.
+    #[inline]
+    pub fn tx(&self, l: LinkId) -> (u16, u32) {
+        (self.tx_lane[l.index()], self.tx_slot[l.index()])
+    }
+
+    /// `(lane, slot)` of link `l`'s receive-side state.
+    #[inline]
+    pub fn rx(&self, l: LinkId) -> (u16, u32) {
+        (self.rx_lane[l.index()], self.rx_slot[l.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyParams;
+
+    #[test]
+    fn auto_resolves_by_dc_count() {
+        let multi = Topology::build(TopologyParams::small());
+        assert_eq!(
+            LpGranularity::Auto.resolve(&multi),
+            LpGranularity::PerDc,
+            "small() is 2-DC"
+        );
+        let mut p = TopologyParams::small();
+        p.dcs = 1;
+        p.border_links = 0;
+        let single = Topology::build(p);
+        assert_eq!(LpGranularity::Auto.resolve(&single), LpGranularity::PerPod);
+    }
+
+    #[test]
+    fn per_dc_partition_covers_small_topology() {
+        let topo = Topology::build(TopologyParams::small());
+        let part = partition(&topo, LpGranularity::PerDc);
+        assert_eq!(part.n_lanes, 1 + topo.params.dcs);
+        // Hosts in lane 0, switches in 1 + dc.
+        for n in &topo.nodes {
+            let lane = part.lane(n.id);
+            if n.kind.is_host() {
+                assert_eq!(lane, 0);
+            } else {
+                assert_eq!(lane as usize, 1 + n.kind.dc() as usize);
+            }
+        }
+        // Host↔edge links are always boundary; the WAN hop is boundary in
+        // per-DC mode; intra-fabric links are interior.
+        assert!(!part.boundary.is_empty());
+        assert!(part.lookahead > 0);
+        let min_delay = part
+            .boundary
+            .iter()
+            .map(|&l| topo.links.delay(l))
+            .min()
+            .unwrap();
+        assert_eq!(part.lookahead, min_delay);
+    }
+
+    #[test]
+    fn slots_are_dense_and_disjoint_per_lane() {
+        let topo = Topology::build(TopologyParams::small());
+        for g in [LpGranularity::PerPod, LpGranularity::PerDc] {
+            let part = partition(&topo, g);
+            let mut tx_seen = vec![Vec::new(); part.n_lanes];
+            let mut rx_seen = vec![Vec::new(); part.n_lanes];
+            for l in topo.links.ids() {
+                let (tl, ts) = part.tx(l);
+                let (rl, rs) = part.rx(l);
+                tx_seen[tl as usize].push(ts);
+                rx_seen[rl as usize].push(rs);
+            }
+            for lane in 0..part.n_lanes {
+                // Slots assigned in link-id order are exactly 0..count.
+                assert_eq!(
+                    tx_seen[lane],
+                    (0..tx_seen[lane].len() as u32).collect::<Vec<_>>()
+                );
+                assert_eq!(
+                    rx_seen[lane],
+                    (0..rx_seen[lane].len() as u32).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,1505 @@
+//! Conservative parallel DES: pod/DC logical processes inside one run.
+//!
+//! [`Simulator::run_until`] delegates here when a parallel configuration is
+//! installed ([`Simulator::set_lp_jobs`]). The topology is cut into *lanes*
+//! by [`crate::lp::partition`]: lane 0 owns every host, the flow table and
+//! all transport callbacks (so [`crate::engine::FlowLogic`] needs no `Send`
+//! bound and always runs on the coordinating thread); fabric lanes own
+//! disjoint slices of switch link state. Each lane has its own calendar
+//! queue and its own deterministic RNG stream, and executes *conservative
+//! windows*: with `L` the minimum propagation delay over boundary links
+//! (the lookahead), every event a lane processes at time `t` can only
+//! influence another lane at `t + L` or later, so all lanes can safely run
+//! `[t0, t0 + L)` without communicating. Cross-lane packets and PFC frames
+//! become timestamped messages collected in per-lane outboxes and routed
+//! into destination queues at the window barrier.
+//!
+//! Control-plane events — faults, link up/down, samplers, telemetry — run
+//! serialized on the coordinator *between* windows, at their exact
+//! timestamps: a window never extends past the next pending control event,
+//! and at equal times control runs before lane work (the canonical
+//! control-before-lane rule).
+//!
+//! # Determinism contract
+//!
+//! The parallel engine is **worker-count independent**: for a given seed
+//! and granularity, `jobs = 1` and `jobs = N` produce byte-identical
+//! results — FCTs, counters, traces, telemetry, everything. Worker count
+//! only changes wall-clock time. This holds because lane state is
+//! partitioned (no shared mutable state inside a window; the control
+//! columns are read-only behind a lock), each lane's RNG stream is a pure
+//! function of `(seed, lane)`, window boundaries are computed from event
+//! timestamps alone, and every merge point (outbox routing, trace
+//! flushing) uses a canonical lane order.
+//!
+//! The parallel engine is **not** byte-identical to the serial engine: the
+//! serial engine consumes one global RNG in global event order (RED draws,
+//! loss processes, jitter), which no partitioned execution can reproduce
+//! without replaying the serial order. `lp_jobs ≥ 1` is therefore a
+//! distinct — equally deterministic — universe, validated by its own
+//! golden digests; `lp = None` (the default) leaves the serial path
+//! untouched.
+
+use std::sync::RwLock;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uno_trace::{Profiler, TraceEvent, Tracer};
+
+use crate::engine::{
+    Action, Ctx, FailRecord, FctRecord, FlowOutcome, Heartbeat, QueueSampler, Simulator,
+};
+use crate::event::{Event, EventQueue};
+use crate::fault::{exp_dwell, FaultKind, FaultPlane, LinkHealth};
+use crate::ids::{FlowId, LinkId};
+use crate::lp::{partition, LpConfig, LpGranularity, Partition};
+use crate::packet::Packet;
+use crate::queue::EnqueueOutcome;
+use crate::tables::{CtlCols, FlowTable, RxLinkState, TxLinkState};
+use crate::time::{serialization_time, Time};
+use crate::topology::Topology;
+
+/// Derive lane `lane`'s RNG seed from the simulator seed (SplitMix64
+/// finalizer). Within-lane draw order is worker-count independent, so one
+/// stream per lane is all the determinism contract needs.
+pub(crate) fn lane_seed(seed: u64, lane: u64) -> u64 {
+    let mut z = seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Read-only state shared by every lane during a window. `ctl` (link
+/// up/epoch/health) is written only by the coordinator's serialized
+/// control steps, never inside a window.
+struct Shared<'t> {
+    topo: &'t Topology,
+    part: &'t Partition,
+    ctl: RwLock<CtlCols>,
+    tracing: bool,
+}
+
+/// One logical process: a calendar queue, an RNG stream, and the link
+/// state slices it owns. `Send` — fabric lanes ship through channels to
+/// persistent workers; lane 0 is embedded in [`HostLane`] and never leaves
+/// the coordinator thread.
+struct LaneCore {
+    id: u16,
+    events: EventQueue,
+    now: Time,
+    rng: SmallRng,
+    /// Tx-side state of links whose `from` node this lane owns, in
+    /// link-id order (= partition slot order).
+    tx: Vec<TxLinkState>,
+    /// Rx-side state of links whose `to` node this lane owns.
+    rx: Vec<RxLinkState>,
+    /// Cross-lane messages generated this window: `(time, dest lane,
+    /// event)`, routed at the barrier in lane order.
+    outbox: Vec<(Time, u16, Event)>,
+    /// Trace events buffered this window, merged into the real tracer at
+    /// the barrier (time order, lane id breaking ties).
+    trace_buf: Vec<TraceEvent>,
+    events_processed: u64,
+}
+
+impl LaneCore {
+    /// Process every local event strictly before `end_excl` (fabric lanes).
+    fn run_window(&mut self, end_excl: Time, sh: &Shared) {
+        let ctl = sh.ctl.read().expect("ctl lock");
+        while let Some(t) = self.events.peek_time() {
+            if t >= end_excl {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked");
+            debug_assert!(
+                t >= self.now,
+                "lane {} time went backwards: {t} < {} on {ev:?}",
+                self.id,
+                self.now
+            );
+            self.now = t;
+            let deliver = self.dispatch(ev, sh, &ctl);
+            debug_assert!(deliver.is_none(), "host delivery on a fabric lane");
+            self.events_processed += 1;
+        }
+    }
+
+    /// Handle one lane event. Returns a packet to deliver to a local host
+    /// (lane 0 only; fabric lanes always get `None`).
+    fn dispatch(&mut self, ev: Event, sh: &Shared, ctl: &CtlCols) -> Option<Packet> {
+        match ev {
+            Event::Arrive(link, pkt, epoch) => self.handle_arrive(link, pkt, epoch, sh, ctl),
+            Event::LinkFree(link) => {
+                let ts = self.tx_slot(link, sh);
+                self.tx[ts].busy = false;
+                if ctl.is_up(link) && !self.tx[ts].queue.is_empty() {
+                    self.start_transmit(link, sh, ctl);
+                }
+                None
+            }
+            Event::PfcPause { link, by, depth } => {
+                let ts = self.tx_slot(link, sh);
+                self.tx[ts].apply_pause(self.now, depth);
+                if sh.tracing {
+                    self.trace_buf.push(TraceEvent::PfcPause {
+                        t: self.now,
+                        link: link.0,
+                        by: by.0,
+                        depth,
+                    });
+                }
+                None
+            }
+            Event::PfcResume { link, by } => {
+                let ts = self.tx_slot(link, sh);
+                let released = self.tx[ts].release_pause(self.now);
+                if sh.tracing {
+                    self.trace_buf.push(TraceEvent::PfcResume {
+                        t: self.now,
+                        link: link.0,
+                        by: by.0,
+                    });
+                }
+                if released && ctl.is_up(link) && !self.tx[ts].busy && !self.tx[ts].queue.is_empty()
+                {
+                    self.start_transmit(link, sh, ctl);
+                }
+                None
+            }
+            ev => unreachable!("control event {ev:?} routed to lane {}", self.id),
+        }
+    }
+
+    #[inline]
+    fn tx_slot(&self, link: LinkId, sh: &Shared) -> usize {
+        let (lane, slot) = sh.part.tx(link);
+        debug_assert_eq!(lane, self.id, "tx state of {link:?} not owned here");
+        slot as usize
+    }
+
+    fn handle_arrive(
+        &mut self,
+        link: LinkId,
+        pkt: Packet,
+        epoch: u32,
+        sh: &Shared,
+        ctl: &CtlCols,
+    ) -> Option<Packet> {
+        let (rl, rs) = sh.part.rx(link);
+        debug_assert_eq!(rl, self.id, "rx state of {link:?} not owned here");
+        let rs = rs as usize;
+        if !ctl.is_up(link) || epoch != ctl.epoch(link) {
+            self.rx[rs].lost_packets += 1;
+            if sh.tracing {
+                self.trace_buf.push(TraceEvent::LinkLoss {
+                    t: self.now,
+                    link: link.0,
+                    flow: pkt.flow.0,
+                    seq: pkt.seq,
+                });
+            }
+            return None;
+        }
+        if let Some(loss) = &mut self.rx[rs].loss {
+            if loss.drops(&mut self.rng) {
+                self.rx[rs].lost_packets += 1;
+                if sh.tracing {
+                    self.trace_buf.push(TraceEvent::LinkLoss {
+                        t: self.now,
+                        link: link.0,
+                        flow: pkt.flow.0,
+                        seq: pkt.seq,
+                    });
+                }
+                return None;
+            }
+        }
+        let gray = ctl.health(link).gray_loss;
+        if gray > 0.0 && self.rng.gen::<f64>() < gray {
+            self.rx[rs].lost_packets += 1;
+            if sh.tracing {
+                self.trace_buf.push(TraceEvent::LinkLoss {
+                    t: self.now,
+                    link: link.0,
+                    flow: pkt.flow.0,
+                    seq: pkt.seq,
+                });
+            }
+            return None;
+        }
+        let node = sh.topo.links.to(link);
+        if sh.topo.nodes[node.index()].kind.is_host() {
+            if pkt.dst == node {
+                return Some(pkt);
+            }
+            // Misrouted artifact; drop silently (serial engine does too).
+            None
+        } else {
+            if let Some(out) = sh.topo.route(node, &pkt) {
+                self.enqueue_on(out, pkt, sh, ctl);
+            }
+            None
+        }
+    }
+
+    /// Enqueue `pkt` on `link`'s egress queue, kicking transmission if
+    /// idle. Mirrors the serial engine on the lane-owned tx state.
+    fn enqueue_on(&mut self, link: LinkId, pkt: Packet, sh: &Shared, ctl: &CtlCols) {
+        let now = self.now;
+        let ts = self.tx_slot(link, sh);
+        if !ctl.is_up(link) {
+            self.tx[ts].lost_packets += 1;
+            if sh.tracing {
+                self.trace_buf.push(TraceEvent::LinkLoss {
+                    t: now,
+                    link: link.0,
+                    flow: pkt.flow.0,
+                    seq: pkt.seq,
+                });
+            }
+            return;
+        }
+        let (flow, seq, size) = (pkt.flow.0, pkt.seq, pkt.size);
+        let outcome = self.tx[ts].queue.try_enqueue(pkt, now, &mut self.rng);
+        let idle = !self.tx[ts].busy;
+        if sh.tracing {
+            let qlen = self.tx[ts].queue.bytes();
+            match outcome {
+                EnqueueOutcome::Enqueued { marked, phantom } => {
+                    self.trace_buf.push(TraceEvent::Enqueue {
+                        t: now,
+                        link: link.0,
+                        flow,
+                        seq,
+                        size,
+                        qlen,
+                    });
+                    if marked {
+                        self.trace_buf.push(TraceEvent::Mark {
+                            t: now,
+                            link: link.0,
+                            flow,
+                            seq,
+                            phantom,
+                        });
+                    }
+                }
+                EnqueueOutcome::Dropped => {
+                    self.trace_buf.push(TraceEvent::Drop {
+                        t: now,
+                        link: link.0,
+                        flow,
+                        seq,
+                        qlen,
+                    });
+                }
+            }
+        }
+        if outcome.is_enqueued() {
+            if self.tx[ts].queue.should_assert_pause() {
+                self.assert_pause(link, sh);
+            }
+            if idle {
+                self.start_transmit(link, sh, ctl);
+            }
+        }
+    }
+
+    /// Assert PFC pause from egress `link`; pause frames to feeder links
+    /// in other lanes go through the outbox (feeder boundary links have
+    /// delay ≥ lookahead, so the frames land beyond the window).
+    fn assert_pause(&mut self, link: LinkId, sh: &Shared) {
+        let ts = self.tx_slot(link, sh);
+        self.tx[ts].queue.note_pause();
+        let depth = if self.tx[ts].paused() {
+            self.tx[ts].pause_depth() + 1
+        } else {
+            1
+        };
+        let from = sh.topo.links.from(link);
+        let now = self.now;
+        for &f in sh.topo.fwd.feeders(from) {
+            let at = now + sh.topo.links.delay(f);
+            self.push_event(
+                at,
+                sh.part.tx(f).0,
+                Event::PfcPause {
+                    link: f,
+                    by: link,
+                    depth,
+                },
+            );
+        }
+    }
+
+    /// Release the pause asserted by egress `link` (resume frames travel
+    /// like pause frames, so per-feeder ordering is preserved).
+    fn release_pause_from(&mut self, link: LinkId, sh: &Shared) {
+        let ts = self.tx_slot(link, sh);
+        self.tx[ts].queue.note_resume();
+        let from = sh.topo.links.from(link);
+        let now = self.now;
+        for &f in sh.topo.fwd.feeders(from) {
+            let at = now + sh.topo.links.delay(f);
+            self.push_event(at, sh.part.tx(f).0, Event::PfcResume { link: f, by: link });
+        }
+    }
+
+    fn start_transmit(&mut self, link: LinkId, sh: &Shared, ctl: &CtlCols) {
+        debug_assert!(ctl.is_up(link));
+        let ts = self.tx_slot(link, sh);
+        if self.tx[ts].paused() {
+            return;
+        }
+        let Some(pkt) = self.tx[ts].queue.dequeue() else {
+            return;
+        };
+        let release_pause = self.tx[ts].queue.should_release_pause();
+        let health = *ctl.health(link);
+        let bps = if health.capacity_factor < 1.0 {
+            ((sh.topo.links.bps(link) as f64 * health.capacity_factor) as u64).max(1)
+        } else {
+            sh.topo.links.bps(link)
+        };
+        let ser = serialization_time(pkt.size as u64, bps);
+        self.tx[ts].busy = true;
+        self.tx[ts].note_tx(pkt.size as u64);
+        let mut delay = sh.topo.links.delay(link) + health.extra_delay;
+        if health.jitter > 0 {
+            delay += self.rng.gen_range(0..=health.jitter);
+        }
+        let epoch = ctl.epoch(link);
+        if sh.tracing {
+            self.trace_buf.push(TraceEvent::Dequeue {
+                t: self.now,
+                link: link.0,
+                flow: pkt.flow.0,
+                seq: pkt.seq,
+            });
+        }
+        // LinkFree is always tx-local; Arrive crosses to the rx owner.
+        self.events.push(self.now + ser, Event::LinkFree(link));
+        self.push_event(
+            self.now + ser + delay,
+            sh.part.rx(link).0,
+            Event::Arrive(link, pkt, epoch),
+        );
+        if release_pause {
+            self.release_pause_from(link, sh);
+        }
+    }
+
+    /// Schedule `ev` at `at` on lane `dest`: locally when `dest` is this
+    /// lane, into the outbox otherwise.
+    #[inline]
+    fn push_event(&mut self, at: Time, dest: u16, ev: Event) {
+        if dest == self.id {
+            self.events.push(at, ev);
+        } else {
+            self.outbox.push((at, dest, ev));
+        }
+    }
+}
+
+/// Which flow callback to invoke.
+enum Call {
+    Start,
+    Timer(u64),
+    Packet(Packet),
+}
+
+/// Lane 0: the host plane. Owns the flow table, completion/failure records
+/// and the transport callback machinery on top of an ordinary [`LaneCore`].
+/// Never crosses threads (`FlowLogic` has no `Send` bound).
+struct HostLane {
+    core: LaneCore,
+    flows: FlowTable,
+    terminated: usize,
+    fcts: Vec<FctRecord>,
+    failures: Vec<FailRecord>,
+    progress: Vec<Vec<(Time, u64)>>,
+    action_pool: Vec<Vec<Action>>,
+    /// Collector the flow callbacks emit into; drained into
+    /// `core.trace_buf` after every callback so callback traces interleave
+    /// with engine traces in emission order.
+    tracer: Tracer,
+    profiler: Profiler,
+    all_done: bool,
+}
+
+impl HostLane {
+    fn run_window(&mut self, end_excl: Time, sh: &Shared) {
+        if self.all_done {
+            return;
+        }
+        let ctl = sh.ctl.read().expect("ctl lock");
+        let n_flows = self.flows.len();
+        while let Some(t) = self.core.events.peek_time() {
+            if t >= end_excl {
+                break;
+            }
+            let (t, ev) = self.core.events.pop().expect("peeked");
+            debug_assert!(t >= self.core.now, "host time went backwards");
+            self.core.now = t;
+            match ev {
+                Event::FlowStart(flow) => self.call_flow(flow, sh, &ctl, Call::Start),
+                Event::FlowTimer { flow, token } => {
+                    self.call_flow(flow, sh, &ctl, Call::Timer(token))
+                }
+                ev => {
+                    if let Some(pkt) = self.core.dispatch(ev, sh, &ctl) {
+                        let flow = pkt.flow;
+                        self.call_flow(flow, sh, &ctl, Call::Packet(pkt));
+                    }
+                }
+            }
+            self.core.events_processed += 1;
+            if n_flows > 0 && self.terminated == n_flows {
+                self.all_done = true;
+                break;
+            }
+        }
+    }
+
+    /// Invoke a flow callback and apply its actions — the parallel mirror
+    /// of the serial engine's `call_flow`.
+    fn call_flow(&mut self, flow: FlowId, sh: &Shared, ctl: &CtlCols, call: Call) {
+        let i = flow.index();
+        if self.flows.is_done(i) {
+            return;
+        }
+        let Some(mut logic) = self.flows.take_logic(i) else {
+            return;
+        };
+        let mut actions = self.action_pool.pop().unwrap_or_default();
+        actions.clear();
+        self.profiler.enter("transport");
+        {
+            let mut ctx = Ctx::new(
+                self.core.now,
+                flow,
+                &mut self.core.rng,
+                sh.topo,
+                &mut self.tracer,
+                &mut self.profiler,
+                &mut actions,
+            );
+            match call {
+                Call::Start => logic.on_start(&mut ctx),
+                Call::Timer(token) => logic.on_timer(token, &mut ctx),
+                Call::Packet(pkt) => logic.on_packet(pkt, &mut ctx),
+            }
+        }
+        self.profiler.exit();
+        self.flows.put_logic(i, logic);
+        if sh.tracing {
+            // Merge callback traces before any engine traces the actions
+            // below generate, preserving emission order within the lane.
+            self.core.trace_buf.extend(self.tracer.drain_collected());
+        }
+        for action in actions.drain(..) {
+            match action {
+                Action::Send(pkt) => {
+                    let uplink = sh.topo.host_uplink(pkt.src);
+                    self.core.enqueue_on(uplink, pkt, sh, ctl);
+                }
+                Action::Timer { at, token } => {
+                    let at = at.max(self.core.now);
+                    self.core.events.push(at, Event::FlowTimer { flow, token });
+                }
+                Action::Complete => {
+                    if self.flows.mark_terminated(i, FlowOutcome::Completed) {
+                        self.terminated += 1;
+                        let (size, start, class) = {
+                            let m = self.flows.meta(i);
+                            (m.size, m.start, m.class)
+                        };
+                        self.fcts.push(FctRecord {
+                            flow,
+                            size,
+                            start,
+                            end: self.core.now,
+                            class,
+                        });
+                        if let Some(l) = self.flows.logic_mut(i) {
+                            l.on_terminated();
+                        }
+                        if sh.tracing {
+                            self.core.trace_buf.push(TraceEvent::FlowDone {
+                                t: self.core.now,
+                                flow: flow.0,
+                            });
+                        }
+                    }
+                }
+                Action::Fail(outcome) => {
+                    if self.flows.mark_terminated(i, outcome) {
+                        self.terminated += 1;
+                        let (size, start, class) = {
+                            let m = self.flows.meta(i);
+                            (m.size, m.start, m.class)
+                        };
+                        self.failures.push(FailRecord {
+                            flow,
+                            size,
+                            start,
+                            end: self.core.now,
+                            class,
+                            outcome,
+                        });
+                        if let Some(l) = self.flows.logic_mut(i) {
+                            l.on_terminated();
+                        }
+                        if sh.tracing {
+                            self.core.trace_buf.push(TraceEvent::FlowFail {
+                                t: self.core.now,
+                                flow: flow.0,
+                                aborted: outcome == FlowOutcome::Aborted,
+                            });
+                        }
+                    }
+                }
+                Action::Progress(bytes) => {
+                    if self.flows.records_progress(i) {
+                        self.progress[i].push((self.core.now, bytes));
+                    }
+                }
+            }
+        }
+        self.action_pool.push(actions);
+    }
+}
+
+/// Coordinator-owned state: the control event queue plus everything that
+/// must run serialized (fault plane, samplers, telemetry, the real tracer,
+/// the heartbeat) and the control-plane RNG (fault dwell draws).
+struct Coord {
+    control: EventQueue,
+    now: Time,
+    rng: SmallRng,
+    fault: FaultPlane,
+    samplers: Vec<QueueSampler>,
+    telemetry: Option<uno_trace::Telemetry>,
+    tracer: Tracer,
+    heartbeat: Option<Heartbeat>,
+    events_processed: u64,
+}
+
+/// How fabric lane windows execute.
+enum FabricRunner {
+    /// Every lane runs inline on the coordinator thread (`jobs = 1`).
+    Inline,
+    /// Lanes ship to persistent worker threads as `(index, lane, window
+    /// end)` jobs over bounded channels and come back at the barrier.
+    Threaded {
+        job_tx: crossbeam::channel::Sender<(usize, LaneCore, Time)>,
+        done_rx: crossbeam::channel::Receiver<(usize, LaneCore)>,
+    },
+}
+
+/// The assembled parallel engine for one `run_until` call.
+struct Engine<'a, 't> {
+    sh: &'a Shared<'t>,
+    coord: Coord,
+    host: HostLane,
+    /// Fabric lanes (lane id = index + 1). `None` only while a lane is out
+    /// at a worker mid-window.
+    fabric: Vec<Option<LaneCore>>,
+}
+
+impl Engine<'_, '_> {
+    /// The window loop: alternate serialized control batches and
+    /// conservative lane windows until `end`, the queues drain, or every
+    /// flow terminates.
+    fn run(&mut self, end: Time, runner: &mut FabricRunner) {
+        let lookahead = self.sh.part.lookahead;
+        debug_assert!(lookahead > 0, "zero lookahead cannot make progress");
+        loop {
+            if self.host.all_done {
+                break;
+            }
+            let t_ctl = self.coord.control.peek_time().filter(|&t| t <= end);
+            let t_lane = self.min_lane_peek().filter(|&t| t <= end);
+            let window_end = match (t_ctl, t_lane) {
+                (None, None) => break,
+                (Some(tc), None) => {
+                    self.control_batch(tc);
+                    continue;
+                }
+                (Some(tc), Some(tl)) if tc <= tl => {
+                    self.control_batch(tc);
+                    continue;
+                }
+                (tc, Some(tl)) => {
+                    let mut e = tl.saturating_add(lookahead);
+                    if let Some(tc) = tc {
+                        e = e.min(tc);
+                    }
+                    // Events at exactly `end` are in scope (`t <= end`).
+                    e.min(end.saturating_add(1))
+                }
+            };
+            match runner {
+                FabricRunner::Inline => {
+                    for slot in &mut self.fabric {
+                        slot.as_mut()
+                            .expect("lane at home")
+                            .run_window(window_end, self.sh);
+                    }
+                    self.host.run_window(window_end, self.sh);
+                }
+                FabricRunner::Threaded { job_tx, done_rx } => {
+                    let mut sent = 0usize;
+                    for (i, slot) in self.fabric.iter_mut().enumerate() {
+                        let has_work = slot
+                            .as_mut()
+                            .expect("lane at home")
+                            .events
+                            .peek_time()
+                            .is_some_and(|t| t < window_end);
+                        if !has_work {
+                            continue;
+                        }
+                        let lane = slot.take().expect("lane at home");
+                        if job_tx.send((i, lane, window_end)).is_err() {
+                            unreachable!("worker pool hung up mid-run");
+                        }
+                        sent += 1;
+                    }
+                    // The host window overlaps the fabric windows.
+                    self.host.run_window(window_end, self.sh);
+                    for _ in 0..sent {
+                        let (i, lane) = done_rx.recv().expect("worker alive");
+                        self.fabric[i] = Some(lane);
+                    }
+                }
+            }
+            self.barrier();
+        }
+        // Final drain so reassembly sees empty outboxes and trace buffers.
+        self.route_outboxes();
+        self.flush_traces();
+    }
+
+    /// Earliest pending lane event across the host plane and the fabric.
+    fn min_lane_peek(&mut self) -> Option<Time> {
+        let mut m = self.host.core.events.peek_time();
+        for slot in &mut self.fabric {
+            if let Some(t) = slot.as_mut().expect("lane at home").events.peek_time() {
+                m = Some(m.map_or(t, |x| x.min(t)));
+            }
+        }
+        m
+    }
+
+    /// Window barrier: route cross-lane messages, merge trace buffers into
+    /// the real tracer, tick the heartbeat.
+    fn barrier(&mut self) {
+        self.route_outboxes();
+        self.flush_traces();
+        self.heartbeat_tick();
+    }
+
+    /// Drain every lane's outbox into destination queues, in lane order
+    /// (host first) — push order sets the FIFO tie-break, so the merge
+    /// order is part of the determinism contract.
+    fn route_outboxes(&mut self) {
+        let mut scratch = std::mem::take(&mut self.host.core.outbox);
+        for (at, dest, ev) in scratch.drain(..) {
+            self.push_to_lane(dest, at, ev);
+        }
+        self.host.core.outbox = scratch;
+        for i in 0..self.fabric.len() {
+            let mut scratch =
+                std::mem::take(&mut self.fabric[i].as_mut().expect("lane at home").outbox);
+            for (at, dest, ev) in scratch.drain(..) {
+                self.push_to_lane(dest, at, ev);
+            }
+            self.fabric[i].as_mut().expect("lane at home").outbox = scratch;
+        }
+    }
+
+    #[inline]
+    fn push_to_lane(&mut self, dest: u16, at: Time, ev: Event) {
+        let lane = if dest == 0 {
+            &mut self.host.core
+        } else {
+            self.fabric[dest as usize - 1]
+                .as_mut()
+                .expect("lane at home")
+        };
+        debug_assert!(
+            at >= lane.now,
+            "outbox message into lane {dest} at {at} behind its clock {}: {ev:?}",
+            lane.now
+        );
+        lane.events.push(at, ev);
+    }
+
+    /// Merge buffered lane traces into the real tracer: ascending time,
+    /// lane id breaking ties (each buffer is already time-sorted because a
+    /// lane processes events in time order). The tracer's own filter
+    /// applies at re-emission.
+    fn flush_traces(&mut self) {
+        if !self.sh.tracing {
+            return;
+        }
+        let mut bufs: Vec<&mut Vec<TraceEvent>> = Vec::with_capacity(1 + self.fabric.len());
+        bufs.push(&mut self.host.core.trace_buf);
+        for slot in &mut self.fabric {
+            bufs.push(&mut slot.as_mut().expect("lane at home").trace_buf);
+        }
+        let mut idx = vec![0usize; bufs.len()];
+        loop {
+            let mut best: Option<(Time, usize)> = None;
+            for (i, buf) in bufs.iter().enumerate() {
+                if let Some(ev) = buf.get(idx[i]) {
+                    let t = ev.t();
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            self.coord.tracer.emit(bufs[i][idx[i]]);
+            idx[i] += 1;
+        }
+        for buf in bufs {
+            buf.clear();
+        }
+    }
+
+    fn heartbeat_tick(&mut self) {
+        if self.coord.heartbeat.is_none() {
+            return;
+        }
+        let mut total = self.coord.events_processed + self.host.core.events_processed;
+        for slot in &self.fabric {
+            total += slot.as_ref().expect("lane at home").events_processed;
+        }
+        let now = self.coord.now.max(self.host.core.now);
+        let host = &self.host;
+        let fabric = &self.fabric;
+        let hb = self.coord.heartbeat.as_mut().expect("checked");
+        hb.maybe_emit(now, total, || {
+            let mut queued: u64 = host.core.tx.iter().map(|s| s.queue.bytes()).sum();
+            for slot in fabric {
+                queued += slot
+                    .as_ref()
+                    .expect("lane at home")
+                    .tx
+                    .iter()
+                    .map(|s| s.queue.bytes())
+                    .sum::<u64>();
+            }
+            queued
+        });
+    }
+
+    /// Run every control event scheduled at exactly `tc` (including ones a
+    /// handler pushes back at `tc`), then route and flush: at equal times
+    /// control precedes lane work.
+    fn control_batch(&mut self, tc: Time) {
+        let sh = self.sh;
+        self.coord.now = tc;
+        {
+            let mut ctl = sh.ctl.write().expect("ctl lock");
+            while self.coord.control.peek_time() == Some(tc) {
+                let (_, ev) = self.coord.control.pop().expect("peeked");
+                self.ctl_dispatch(ev, &mut ctl);
+                self.coord.events_processed += 1;
+            }
+        }
+        self.route_outboxes();
+        self.flush_traces();
+    }
+
+    fn ctl_dispatch(&mut self, ev: Event, ctl: &mut CtlCols) {
+        match ev {
+            Event::LinkDown(l) => self.ctl_take_link_down(l, ctl),
+            Event::LinkUp(l) => self.ctl_bring_link_up(l, ctl),
+            Event::Sample(idx) => self.ctl_sample(idx),
+            Event::Telemetry => self.ctl_telemetry_tick(ctl),
+            Event::FaultStart(idx) => self.ctl_fault_start(idx, ctl),
+            Event::FaultEnd(idx) => self.ctl_fault_end(idx, ctl),
+            Event::FaultFlap(idx) => self.ctl_fault_flap(idx, ctl),
+            ev => unreachable!("lane event {ev:?} in the control queue"),
+        }
+    }
+
+    /// Lane core owning lane id `lane` (0 = host plane).
+    fn lane_mut(&mut self, lane: u16) -> &mut LaneCore {
+        if lane == 0 {
+            &mut self.host.core
+        } else {
+            self.fabric[lane as usize - 1]
+                .as_mut()
+                .expect("lane at home")
+        }
+    }
+
+    /// Tx-side state of `l`, reaching into whichever lane owns it.
+    fn tx_mut(&mut self, l: LinkId) -> &mut TxLinkState {
+        let part = self.sh.part;
+        let (lane, slot) = part.tx(l);
+        &mut self.lane_mut(lane).tx[slot as usize]
+    }
+
+    fn ctl_take_link_down(&mut self, l: LinkId, ctl: &mut CtlCols) {
+        if ctl.is_up(l) {
+            ctl.bump_epoch(l);
+        }
+        ctl.set_up(l, false);
+        let now = self.coord.now;
+        let tracing = self.sh.tracing;
+        let st = self.tx_mut(l);
+        let purged_bytes = st.queue.bytes();
+        let dropped = st.queue.clear();
+        st.lost_packets += dropped as u64;
+        let release = st.queue.should_release_pause();
+        if dropped > 0 && tracing {
+            self.coord.tracer.emit(TraceEvent::QueueClear {
+                t: now,
+                link: l.0,
+                pkts: dropped as u64,
+                bytes: purged_bytes,
+            });
+        }
+        // A dead port must not keep its feeders paused.
+        if release {
+            self.ctl_release_pause_from(l);
+        }
+    }
+
+    /// Coordinator-side pause release: resume frames go straight into the
+    /// feeder owners' queues (no outbox needed — lanes are all at home
+    /// between windows).
+    fn ctl_release_pause_from(&mut self, l: LinkId) {
+        let part = self.sh.part;
+        let topo = self.sh.topo;
+        self.tx_mut(l).queue.note_resume();
+        let from = topo.links.from(l);
+        let now = self.coord.now;
+        for &f in topo.fwd.feeders(from) {
+            let at = now + topo.links.delay(f);
+            let dest = part.tx(f).0;
+            self.lane_mut(dest)
+                .events
+                .push(at, Event::PfcResume { link: f, by: l });
+        }
+    }
+
+    fn ctl_bring_link_up(&mut self, l: LinkId, ctl: &mut CtlCols) {
+        ctl.set_up(l, true);
+        let sh = self.sh;
+        let (lane, slot) = sh.part.tx(l);
+        let now = self.coord.now;
+        let core = self.lane_mut(lane);
+        // All lane events below `now` were processed in earlier windows,
+        // so advancing the lane clock for this kick is safe.
+        core.now = now;
+        if !core.tx[slot as usize].busy && !core.tx[slot as usize].queue.is_empty() {
+            core.start_transmit(l, sh, &*ctl);
+        }
+    }
+
+    fn ctl_sample(&mut self, idx: u32) {
+        let now = self.coord.now;
+        let link = self.coord.samplers[idx as usize].link;
+        let st = self.tx_mut(link);
+        let bytes = st.queue.bytes();
+        let phantom = st.queue.phantom.as_mut().map(|ph| ph.occupancy(now));
+        let s = &mut self.coord.samplers[idx as usize];
+        s.samples.push((now, bytes));
+        if let Some(p) = phantom {
+            s.phantom_samples.push((now, p));
+        }
+        let interval = s.interval;
+        self.coord.control.push(now + interval, Event::Sample(idx));
+    }
+
+    fn ctl_telemetry_tick(&mut self, ctl: &CtlCols) {
+        let Some(mut tel) = self.coord.telemetry.take() else {
+            return; // collector removed; let the event chain die out
+        };
+        let now = self.coord.now;
+        let n_links = self.sh.topo.links.len();
+        let mut links_down = 0u64;
+        for i in 0..n_links {
+            let l = LinkId::from(i);
+            let st = self.tx_mut(l);
+            let phantom = st.queue.phantom.as_mut().map_or(0, |ph| ph.occupancy(now));
+            let bytes = st.queue.bytes();
+            let paused = st.paused();
+            let paused_ns = st.paused_ns(now);
+            let up = ctl.is_up(l);
+            if !up {
+                links_down += 1;
+            }
+            tel.record_link(i as u32, now, bytes, phantom, up, paused, paused_ns);
+        }
+        for i in 0..self.host.flows.len() {
+            if let Some(sample) = self.host.flows.telemetry_sample(i) {
+                tel.record_flow(i as u32, now, sample);
+            }
+        }
+        let active = self.coord.fault.entries.iter().filter(|e| e.active).count() as u64;
+        tel.record_fault(now, active, links_down);
+        tel.tick();
+        let interval = tel.interval();
+        self.coord.control.push(now + interval, Event::Telemetry);
+        self.coord.telemetry = Some(tel);
+    }
+
+    fn ctl_note_fault_transition(&mut self, l: LinkId, up: bool) {
+        self.coord.fault.transitions += 1;
+        if !up {
+            self.coord.fault.downs += 1;
+        }
+        if self.sh.tracing {
+            self.coord.tracer.emit(TraceEvent::FaultTransition {
+                t: self.coord.now,
+                link: l.0,
+                up,
+            });
+        }
+    }
+
+    fn ctl_fault_start(&mut self, idx: u32, ctl: &mut CtlCols) {
+        let e = &mut self.coord.fault.entries[idx as usize];
+        e.active = true;
+        let kind = e.kind;
+        let links = e.links.clone();
+        match kind {
+            FaultKind::Down => {
+                for &l in &links {
+                    self.ctl_take_link_down(l, ctl);
+                    self.ctl_note_fault_transition(l, false);
+                }
+            }
+            FaultKind::GrayLoss { p } => {
+                for &l in &links {
+                    ctl.health_mut(l).gray_loss = p;
+                    self.ctl_note_fault_transition(l, false);
+                }
+            }
+            FaultKind::Degraded { factor } => {
+                for &l in &links {
+                    ctl.health_mut(l).capacity_factor = factor;
+                    self.ctl_note_fault_transition(l, false);
+                }
+            }
+            FaultKind::Delay { extra, jitter } => {
+                for &l in &links {
+                    let h = ctl.health_mut(l);
+                    h.extra_delay = extra;
+                    h.jitter = jitter;
+                    self.ctl_note_fault_transition(l, false);
+                }
+            }
+            FaultKind::Flapping { mtbf, .. } => {
+                self.coord.fault.entries[idx as usize].flap_up = true;
+                let dwell = exp_dwell(&mut self.coord.rng, mtbf);
+                let at = self.coord.now + dwell;
+                self.coord.control.push(at, Event::FaultFlap(idx));
+            }
+        }
+    }
+
+    fn ctl_fault_flap(&mut self, idx: u32, ctl: &mut CtlCols) {
+        let e = &mut self.coord.fault.entries[idx as usize];
+        if !e.active {
+            return; // the fault healed while this toggle was in flight
+        }
+        let FaultKind::Flapping { mtbf, mttr } = e.kind else {
+            return;
+        };
+        e.flap_up = !e.flap_up;
+        let up = e.flap_up;
+        let links = e.links.clone();
+        for &l in &links {
+            if up {
+                self.ctl_bring_link_up(l, ctl);
+            } else {
+                self.ctl_take_link_down(l, ctl);
+            }
+            self.ctl_note_fault_transition(l, up);
+        }
+        let dwell = exp_dwell(&mut self.coord.rng, if up { mtbf } else { mttr });
+        let at = self.coord.now + dwell;
+        self.coord.control.push(at, Event::FaultFlap(idx));
+    }
+
+    fn ctl_fault_end(&mut self, idx: u32, ctl: &mut CtlCols) {
+        let e = &mut self.coord.fault.entries[idx as usize];
+        if !e.active {
+            return;
+        }
+        e.active = false;
+        let kind = e.kind;
+        let was_up = e.flap_up;
+        let links = e.links.clone();
+        match kind {
+            FaultKind::Down => {
+                for &l in &links {
+                    self.ctl_bring_link_up(l, ctl);
+                    self.ctl_note_fault_transition(l, true);
+                }
+            }
+            FaultKind::GrayLoss { .. } | FaultKind::Degraded { .. } | FaultKind::Delay { .. } => {
+                for &l in &links {
+                    *ctl.health_mut(l) = LinkHealth::default();
+                    self.ctl_note_fault_transition(l, true);
+                }
+            }
+            FaultKind::Flapping { .. } => {
+                if !was_up {
+                    for &l in &links {
+                        self.ctl_bring_link_up(l, ctl);
+                        self.ctl_note_fault_transition(l, true);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Simulator {
+    /// Configure the conservative parallel engine. `jobs = 0` (the
+    /// default) disables it: [`Simulator::run_until`] runs the serial
+    /// engine unchanged. `jobs = 1` runs the windowed lane engine entirely
+    /// on the calling thread; `jobs = N > 1` adds up to `N - 1` persistent
+    /// worker threads for the fabric lanes. For a given seed, every
+    /// `jobs ≥ 1` value produces byte-identical results (see the module
+    /// docs for why the parallel universe differs from the serial one).
+    pub fn set_lp_jobs(&mut self, jobs: usize) {
+        self.lp = if jobs == 0 {
+            None
+        } else {
+            Some(LpConfig {
+                jobs,
+                granularity: LpGranularity::Auto,
+            })
+        };
+    }
+
+    /// Install (or clear) a full parallel-engine configuration, including
+    /// an explicit partition granularity.
+    pub fn set_lp(&mut self, cfg: Option<LpConfig>) {
+        self.lp = cfg;
+    }
+
+    /// The installed parallel configuration, if any.
+    pub fn lp_config(&self) -> Option<LpConfig> {
+        self.lp
+    }
+
+    /// The parallel `run_until`: decompose the simulator into lanes, run
+    /// the conservative window loop, reassemble. Byte-identical for every
+    /// worker count; see the module docs for the protocol.
+    pub(crate) fn run_until_lp(&mut self, end: Time) {
+        let cfg = self.lp.expect("run_until_lp without an LP config");
+        let wall_start = std::time::Instant::now();
+        let part = partition(&self.topo, cfg.granularity);
+        let n_lanes = part.n_lanes;
+        let tracing = self.tracer.enabled();
+
+        // --- Decompose: split link state and pending events by lane. ---
+        let n_links = self.topo.links.len();
+        let mut tx_states: Vec<Vec<TxLinkState>> = (0..n_lanes).map(|_| Vec::new()).collect();
+        let mut rx_states: Vec<Vec<RxLinkState>> = (0..n_lanes).map(|_| Vec::new()).collect();
+        for i in 0..n_links {
+            let l = LinkId::from(i);
+            let tl = part.tx(l).0 as usize;
+            let rl = part.rx(l).0 as usize;
+            tx_states[tl].push(self.topo.links.take_tx_state(l));
+            rx_states[rl].push(self.topo.links.take_rx_state(l));
+        }
+        let ctl_cols = self.topo.links.take_ctl_cols();
+
+        let mut control_q = EventQueue::new();
+        let mut lane_qs: Vec<EventQueue> = (0..n_lanes).map(|_| EventQueue::new()).collect();
+        while let Some((t, ev)) = self.events.pop() {
+            let dest: Option<u16> = match &ev {
+                Event::Arrive(l, ..) => Some(part.rx(*l).0),
+                Event::LinkFree(l) => Some(part.tx(*l).0),
+                Event::PfcPause { link, .. } | Event::PfcResume { link, .. } => {
+                    Some(part.tx(*link).0)
+                }
+                Event::FlowStart(_) | Event::FlowTimer { .. } => Some(0),
+                _ => None,
+            };
+            match dest {
+                Some(lane) => lane_qs[lane as usize].push(t, ev),
+                None => control_q.push(t, ev),
+            }
+        }
+
+        let entry_now = self.now;
+        let mut tx_it = tx_states.into_iter();
+        let mut rx_it = rx_states.into_iter();
+        let mut q_it = lane_qs.into_iter();
+        let mut make_core = |id: usize| LaneCore {
+            id: id as u16,
+            events: q_it.next().expect("lane queue"),
+            now: entry_now,
+            rng: SmallRng::seed_from_u64(lane_seed(self.seed, id as u64)),
+            tx: tx_it.next().expect("lane tx states"),
+            rx: rx_it.next().expect("lane rx states"),
+            outbox: Vec::new(),
+            trace_buf: Vec::new(),
+            events_processed: 0,
+        };
+        let host_core = make_core(0);
+        let fabric: Vec<Option<LaneCore>> = (1..n_lanes).map(|i| Some(make_core(i))).collect();
+
+        let host = HostLane {
+            core: host_core,
+            flows: std::mem::take(&mut self.flows),
+            terminated: self.terminated_flows,
+            fcts: std::mem::take(&mut self.fcts),
+            failures: std::mem::take(&mut self.failures),
+            progress: std::mem::take(&mut self.progress),
+            action_pool: std::mem::take(&mut self.action_pool),
+            tracer: if tracing {
+                Tracer::collector()
+            } else {
+                Tracer::disabled()
+            },
+            profiler: std::mem::replace(&mut self.profiler, Profiler::disabled()),
+            all_done: false,
+        };
+        let coord = Coord {
+            control: control_q,
+            now: entry_now,
+            rng: self.rng.clone(),
+            fault: std::mem::take(&mut self.fault),
+            samplers: std::mem::take(&mut self.samplers),
+            telemetry: self.telemetry.take(),
+            tracer: std::mem::replace(&mut self.tracer, Tracer::disabled()),
+            heartbeat: self.heartbeat.take(),
+            events_processed: 0,
+        };
+
+        let shared = Shared {
+            topo: &self.topo,
+            part: &part,
+            ctl: RwLock::new(ctl_cols),
+            tracing,
+        };
+        let mut engine = Engine {
+            sh: &shared,
+            coord,
+            host,
+            fabric,
+        };
+
+        // --- Run the window loop, inline or with persistent workers. ---
+        let n_fabric = n_lanes - 1;
+        if cfg.jobs > 1 && n_fabric > 0 {
+            let workers = (cfg.jobs - 1).min(n_fabric);
+            crossbeam::scope(|s| {
+                let (job_tx, job_rx) =
+                    crossbeam::channel::bounded::<(usize, LaneCore, Time)>(n_fabric);
+                let (done_tx, done_rx) = crossbeam::channel::bounded::<(usize, LaneCore)>(n_fabric);
+                for _ in 0..workers {
+                    let jrx = job_rx.clone();
+                    let dtx = done_tx.clone();
+                    let shr = &shared;
+                    s.spawn(move |_| {
+                        while let Ok((i, mut lane, window_end)) = jrx.recv() {
+                            lane.run_window(window_end, shr);
+                            if dtx.send((i, lane)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(job_rx);
+                drop(done_tx);
+                let mut runner = FabricRunner::Threaded { job_tx, done_rx };
+                engine.run(end, &mut runner);
+                // Dropping the runner closes the job channel; workers exit
+                // and the scope joins them.
+            })
+            .expect("parallel engine scope");
+        } else {
+            engine.run(end, &mut FabricRunner::Inline);
+        }
+
+        // --- Reassemble the simulator. ---
+        let Engine {
+            coord,
+            host,
+            fabric,
+            ..
+        } = engine;
+        let ctl_cols = shared.ctl.into_inner().expect("ctl lock");
+        let Coord {
+            control: mut control_q,
+            now: coord_now,
+            rng: coord_rng,
+            fault,
+            samplers,
+            telemetry,
+            tracer,
+            heartbeat,
+            events_processed: coord_processed,
+        } = coord;
+        let HostLane {
+            core: mut host_core,
+            flows,
+            terminated,
+            fcts,
+            failures,
+            progress,
+            action_pool,
+            profiler,
+            all_done,
+            ..
+        } = host;
+        let mut fabric_cores: Vec<LaneCore> = fabric
+            .into_iter()
+            .map(|s| s.expect("lane at home"))
+            .collect();
+
+        // Link state back into the table, pulling each side from its
+        // owning lane in slot (= link id) order.
+        let mut tx_iters: Vec<std::vec::IntoIter<TxLinkState>> = Vec::with_capacity(n_lanes);
+        let mut rx_iters: Vec<std::vec::IntoIter<RxLinkState>> = Vec::with_capacity(n_lanes);
+        tx_iters.push(std::mem::take(&mut host_core.tx).into_iter());
+        rx_iters.push(std::mem::take(&mut host_core.rx).into_iter());
+        for core in &mut fabric_cores {
+            tx_iters.push(std::mem::take(&mut core.tx).into_iter());
+            rx_iters.push(std::mem::take(&mut core.rx).into_iter());
+        }
+        for i in 0..n_links {
+            let l = LinkId::from(i);
+            let tl = part.tx(l).0 as usize;
+            let rl = part.rx(l).0 as usize;
+            self.topo
+                .links
+                .put_tx_state(l, tx_iters[tl].next().expect("tx slot"));
+            self.topo
+                .links
+                .put_rx_state(l, rx_iters[rl].next().expect("rx slot"));
+        }
+        self.topo.links.restore_ctl_cols(ctl_cols);
+
+        // Leftover events merge back into one queue. Stable sort keeps the
+        // collection order at equal times: control first, then the host
+        // plane, then fabric lanes in id order — the same canonical order
+        // the window protocol uses.
+        let mut leftover: Vec<(Time, Event)> = Vec::new();
+        while let Some(e) = control_q.pop() {
+            leftover.push(e);
+        }
+        while let Some(e) = host_core.events.pop() {
+            leftover.push(e);
+        }
+        for core in &mut fabric_cores {
+            while let Some(e) = core.events.pop() {
+                leftover.push(e);
+            }
+        }
+        leftover.sort_by_key(|&(t, _)| t);
+        self.events = EventQueue::new();
+        for (t, ev) in leftover {
+            self.events.push(t, ev);
+        }
+
+        let mut processed = coord_processed + host_core.events_processed;
+        let mut max_now = coord_now.max(host_core.now);
+        for core in &fabric_cores {
+            processed += core.events_processed;
+            max_now = max_now.max(core.now);
+        }
+        // All-flows-terminated stops mid-window like the serial engine
+        // stops mid-queue: the clock rests at the last processed event.
+        self.now = if all_done { max_now } else { max_now.max(end) };
+
+        self.flows = flows;
+        self.terminated_flows = terminated;
+        self.fcts = fcts;
+        self.failures = failures;
+        self.progress = progress;
+        self.action_pool = action_pool;
+        self.fault = fault;
+        self.samplers = samplers;
+        self.telemetry = telemetry;
+        self.tracer = tracer;
+        self.profiler = profiler;
+        self.heartbeat = heartbeat;
+        self.rng = coord_rng;
+        self.events_processed += processed;
+        self.meter.record(processed, wall_start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{FlowClass, FlowLogic, FlowMeta, NetworkStats};
+    use crate::ids::NodeId;
+    use crate::packet::PacketKind;
+    use crate::time::SECONDS;
+    use crate::topology::TopologyParams;
+
+    /// Minimal test transport (mirrors the engine's test Blaster):
+    /// fire-and-forget `n` packets, receiver ACKs each, sender completes
+    /// when all are acked.
+    struct Blaster {
+        src: NodeId,
+        dst: NodeId,
+        n: u64,
+        acked: u64,
+        mtu: u32,
+    }
+
+    impl FlowLogic for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for seq in 0..self.n {
+                let mut p = Packet::data(ctx.flow, seq, self.mtu, self.src, self.dst);
+                p.sent_at = ctx.now;
+                p.entropy = ctx.random_entropy();
+                ctx.send(p);
+            }
+        }
+
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+            match pkt.kind {
+                PacketKind::Data => {
+                    let e = ctx.random_entropy();
+                    ctx.send(Packet::ack_for(&pkt, 64, e));
+                }
+                PacketKind::Ack => {
+                    self.acked += 1;
+                    if self.acked == self.n {
+                        ctx.complete();
+                    }
+                }
+                PacketKind::Nack => {}
+            }
+        }
+
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
+    }
+
+    fn build_sim(seed: u64, lp_jobs: usize) -> Simulator {
+        let mut sim = Simulator::new(Topology::build(TopologyParams::small()), seed);
+        sim.set_lp_jobs(lp_jobs);
+        for f in 0..8u32 {
+            let (src, dst) = if f % 2 == 0 {
+                (sim.topo.host(0, f), sim.topo.host(0, 15 - f))
+            } else {
+                (sim.topo.host(0, f), sim.topo.host(1, f))
+            };
+            let class = if f % 2 == 0 {
+                FlowClass::Intra
+            } else {
+                FlowClass::Inter
+            };
+            sim.add_flow(
+                FlowMeta {
+                    src,
+                    dst,
+                    size: 20 * 4096,
+                    start: (f as Time) * 500,
+                    class,
+                },
+                Box::new(Blaster {
+                    src,
+                    dst,
+                    n: 20,
+                    acked: 0,
+                    mtu: 4096,
+                }),
+            );
+        }
+        sim
+    }
+
+    fn fingerprint(sim: &Simulator) -> (Vec<(u32, Time, Time)>, NetworkStats, u64, Time) {
+        (
+            sim.fcts
+                .iter()
+                .map(|r| (r.flow.0, r.start, r.end))
+                .collect(),
+            sim.network_stats(),
+            sim.events_processed,
+            sim.now(),
+        )
+    }
+
+    #[test]
+    fn lp_engine_completes_all_flows() {
+        let mut sim = build_sim(7, 1);
+        assert!(sim.run_to_completion(SECONDS));
+        assert_eq!(sim.fcts.len(), 8);
+    }
+
+    #[test]
+    fn lp1_and_lp4_are_byte_identical() {
+        let mut a = build_sim(42, 1);
+        let mut b = build_sim(42, 4);
+        assert!(a.run_to_completion(SECONDS));
+        assert!(b.run_to_completion(SECONDS));
+        let fa = fingerprint(&a);
+        let fb = fingerprint(&b);
+        assert_eq!(fa.0, fb.0, "FCT records diverge between lp1 and lp4");
+        assert_eq!(format!("{:?}", fa.1), format!("{:?}", fb.1));
+        assert_eq!(fa.2, fb.2, "event counts diverge");
+        assert_eq!(fa.3, fb.3, "final clocks diverge");
+        let pa = a.per_link_stats();
+        let pb = b.per_link_stats();
+        assert_eq!(format!("{pa:?}"), format!("{pb:?}"));
+        assert_eq!(
+            format!("{:?}", a.counter_snapshot()),
+            format!("{:?}", b.counter_snapshot())
+        );
+    }
+
+    #[test]
+    fn lp_mode_is_deterministic_across_runs() {
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                let mut sim = build_sim(99, 2);
+                sim.run_to_completion(SECONDS);
+                fingerprint(&sim)
+            })
+            .collect();
+        assert_eq!(runs[0].0, runs[1].0);
+        assert_eq!(runs[0].2, runs[1].2);
+    }
+
+    #[test]
+    fn per_pod_and_per_dc_both_complete() {
+        for g in [LpGranularity::PerPod, LpGranularity::PerDc] {
+            let mut sim = build_sim(5, 2);
+            sim.set_lp(Some(LpConfig {
+                jobs: 2,
+                granularity: g,
+            }));
+            assert!(sim.run_to_completion(SECONDS), "granularity {g:?}");
+            assert_eq!(sim.fcts.len(), 8);
+        }
+    }
+
+    #[test]
+    fn lp_jobs_zero_restores_serial_path() {
+        let mut sim = build_sim(3, 4);
+        sim.set_lp_jobs(0);
+        assert!(sim.lp_config().is_none());
+        assert!(sim.run_to_completion(SECONDS));
+        assert_eq!(sim.fcts.len(), 8);
+    }
+
+    #[test]
+    fn lane_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..16).map(|l| lane_seed(0xDEAD_BEEF, l)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+}

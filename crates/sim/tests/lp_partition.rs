@@ -1,0 +1,143 @@
+//! Property tests for the logical-process partitioner (`uno_sim::lp`).
+//!
+//! The conservative parallel engine is only sound if the partition is: the
+//! lookahead argument needs every cross-lane link to carry at least one
+//! lookahead of propagation delay, and state decomposition/reassembly
+//! needs every link's tx/rx side to belong to exactly one lane with dense,
+//! collision-free slot indices. These properties are checked exhaustively
+//! over the k × dcs grid the experiment harness actually uses.
+
+use uno_sim::lp::{partition, LpGranularity};
+use uno_sim::{LinkId, Topology, TopologyParams};
+
+/// The grid: every fat-tree arity the harness builds × site counts from
+/// single-DC to the 5-site mesh. dcs = 1 has no border switches, so
+/// `border_links` must be 0 there.
+fn grid() -> Vec<Topology> {
+    let mut topos = Vec::new();
+    for k in [4usize, 8, 16, 32] {
+        for dcs in [1usize, 3, 4, 5] {
+            let border_links = if dcs > 1 { 2 } else { 0 };
+            topos.push(Topology::build(TopologyParams::multi_dc(
+                dcs,
+                k,
+                border_links,
+            )));
+        }
+    }
+    topos
+}
+
+fn check_partition(topo: &Topology, g: LpGranularity) {
+    let part = partition(topo, g);
+    let k = topo.params.k;
+    let dcs = topo.params.dcs;
+    let label = format!("k={k} dcs={dcs} {g:?}");
+
+    // Lane-count formula and granularity resolution.
+    let resolved = g.resolve(topo);
+    assert_eq!(part.granularity, resolved, "{label}");
+    let expect_lanes = match resolved {
+        LpGranularity::PerDc => 1 + dcs,
+        LpGranularity::PerPod => 1 + dcs * (k + 1),
+        LpGranularity::Auto => unreachable!("resolve() never returns Auto"),
+    };
+    assert_eq!(part.n_lanes, expect_lanes, "{label}");
+
+    // Every host lives in lane 0; every switch in a fabric lane.
+    for n in &topo.nodes {
+        let lane = part.lane(n.id);
+        if n.kind.is_host() {
+            assert_eq!(lane, 0, "{label}: host {:?} not in lane 0", n.id);
+        } else {
+            assert!(
+                (1..part.n_lanes as u16).contains(&lane),
+                "{label}: switch {:?} in lane {lane}",
+                n.id
+            );
+        }
+    }
+
+    // Each link side is owned by its endpoint's lane; a link is interior
+    // to exactly one lane or declared boundary — never both, never
+    // neither.
+    let boundary: std::collections::HashSet<LinkId> = part.boundary.iter().copied().collect();
+    assert_eq!(boundary.len(), part.boundary.len(), "{label}: dup boundary");
+    let mut tx_slots_seen = vec![std::collections::HashSet::new(); part.n_lanes];
+    let mut rx_slots_seen = vec![std::collections::HashSet::new(); part.n_lanes];
+    for l in topo.links.ids() {
+        let (tl, ts) = part.tx(l);
+        let (rl, rs) = part.rx(l);
+        assert_eq!(tl, part.lane(topo.links.from(l)), "{label}: tx owner");
+        assert_eq!(rl, part.lane(topo.links.to(l)), "{label}: rx owner");
+        assert_eq!(
+            tl != rl,
+            boundary.contains(&l),
+            "{label}: link {l:?} boundary classification"
+        );
+        // Boundary links must carry at least one lookahead of delay — the
+        // conservative window's soundness condition.
+        if tl != rl {
+            assert!(
+                topo.links.delay(l) >= part.lookahead,
+                "{label}: boundary link {l:?} delay {} < lookahead {}",
+                topo.links.delay(l),
+                part.lookahead
+            );
+        }
+        assert!(
+            tx_slots_seen[tl as usize].insert(ts),
+            "{label}: tx slot collision"
+        );
+        assert!(
+            rx_slots_seen[rl as usize].insert(rs),
+            "{label}: rx slot collision"
+        );
+    }
+    // Slots are dense: exactly 0..count per lane.
+    for lane in 0..part.n_lanes {
+        for set in [&tx_slots_seen[lane], &rx_slots_seen[lane]] {
+            for s in 0..set.len() as u32 {
+                assert!(set.contains(&s), "{label}: lane {lane} slot {s} missing");
+            }
+        }
+    }
+
+    // A fat-tree always cuts host↔edge links across lanes, so a boundary
+    // exists and the lookahead is a real positive delay equal to the
+    // boundary minimum.
+    assert!(!part.boundary.is_empty(), "{label}: no boundary");
+    assert!(part.lookahead > 0, "{label}: zero lookahead");
+    let min_boundary = part
+        .boundary
+        .iter()
+        .map(|&l| topo.links.delay(l))
+        .min()
+        .expect("non-empty boundary");
+    assert_eq!(part.lookahead, min_boundary, "{label}: lookahead not tight");
+}
+
+#[test]
+fn partition_properties_hold_across_the_grid() {
+    for topo in grid() {
+        for g in [
+            LpGranularity::Auto,
+            LpGranularity::PerPod,
+            LpGranularity::PerDc,
+        ] {
+            check_partition(&topo, g);
+        }
+    }
+}
+
+#[test]
+fn auto_picks_per_dc_only_for_multi_dc() {
+    for topo in grid() {
+        let expect = if topo.params.dcs > 1 {
+            LpGranularity::PerDc
+        } else {
+            LpGranularity::PerPod
+        };
+        assert_eq!(LpGranularity::Auto.resolve(&topo), expect);
+    }
+}

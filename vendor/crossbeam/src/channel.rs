@@ -1,0 +1,254 @@
+//! Bounded multi-producer multi-consumer channel on `Mutex` + `Condvar`.
+//!
+//! Mirrors the slice of `crossbeam_channel` this workspace needs:
+//! `bounded(cap)`, cloneable `Sender`/`Receiver`, blocking `send`/`recv`
+//! that error out once the other side has fully disconnected, and a
+//! non-blocking `try_recv`. Not lock-free — the parallel engine exchanges
+//! a handful of messages per conservative window, so contention is
+//! negligible next to the window work itself.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Sending half. Cloning adds a producer; `send` blocks while full.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Receiving half. Cloning adds a consumer; `recv` blocks while empty.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The message could not be delivered because every receiver is gone.
+/// Carries the undelivered value back to the caller.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+/// The channel is empty and every sender is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Reasons `try_recv` returned no message.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message buffered right now; senders still exist.
+    Empty,
+    /// No message buffered and every sender has disconnected.
+    Disconnected,
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+/// Create a bounded channel holding at most `cap` messages (`cap` ≥ 1 is
+/// enforced so a full buffer can always drain).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Block until there is room, then enqueue. Errors (returning the
+    /// value) if every `Receiver` has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.buf.len() < st.cap {
+                st.buf.push_back(value);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.chan.not_full.wait(st).unwrap();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives. Errors once the buffer is empty and
+    /// every `Sender` has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.chan.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.state.lock().unwrap();
+        if let Some(v) = st.buf.pop_front() {
+            self.chan.not_full.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().receivers += 1;
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake blocked receivers so they observe disconnection.
+            drop(st);
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_roundtrip() {
+        let (tx, rx) = bounded::<usize>(8);
+        let mut handles = Vec::new();
+        for w in 0..3 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    tx.send(w * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let got = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let rx = rx.clone();
+                let got = &got;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        got.lock().unwrap().push(v);
+                    }
+                });
+            }
+            drop(rx);
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = got.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got.len(), 150);
+        got.dedup();
+        assert_eq!(got.len(), 150);
+    }
+}

@@ -1,6 +1,13 @@
-//! Minimal offline stand-in for the `crossbeam::scope` API, implemented on
-//! `std::thread::scope`. Only the surface used by this workspace: spawn
-//! scoped worker threads whose closures receive the scope handle.
+//! Minimal offline stand-in for the `crossbeam` APIs used by this
+//! workspace, implemented on `std`. Two surfaces:
+//!
+//! - [`scope`]: scoped worker threads whose closures receive the scope
+//!   handle (backed by `std::thread::scope`).
+//! - [`channel`]: bounded MPMC channels (`Mutex` + `Condvar`), used by the
+//!   parallel-DES engine to ship lane jobs to persistent workers and
+//!   collect them back at window barriers.
+
+pub mod channel;
 
 /// Scope handle passed to [`scope`]'s closure and to spawned closures.
 #[derive(Clone, Copy)]
