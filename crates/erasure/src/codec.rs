@@ -5,9 +5,29 @@
 //! with an MDS code — so a block is recoverable from *any* `x` of its `n`
 //! packets. This module is the real byte-level codec; the simulator relies
 //! on its recoverability semantics.
+//!
+//! Two API layers share the same math and produce identical bytes:
+//!
+//! * the original allocating calls ([`ReedSolomon::encode`],
+//!   [`ReedSolomon::reconstruct`], [`ReedSolomon::encode_message`]) — easy
+//!   to use, fresh `Vec`s per call;
+//! * the pooled calls ([`ReedSolomon::encode_into`],
+//!   [`ReedSolomon::reconstruct_with`], [`ReedSolomon::encode_message_with`],
+//!   [`ReedSolomon::decode_message_with`]) — caller-owned
+//!   [`ShardPool`]/[`CodecScratch`] buffers, zero heap allocations at steady
+//!   state (enforced by `tests/zero_alloc.rs`).
+//!
+//! `reconstruct` additionally memoizes decoding matrices: the inverse of the
+//! generator submatrix depends only on *which* shards survived, so it is
+//! cached per erasure pattern (keyed by the present-shard bitmap) and each
+//! pattern pays for Gauss–Jordan inversion once per codec instance.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::gf256 as gf;
 use crate::matrix::Matrix;
+use crate::pool::{CodecScratch, ShardPool};
 
 /// Errors returned by the codec.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -75,15 +95,36 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Bitmap over shard indices `0..256`: the cache key for decoding matrices.
+/// Bit `i` set means shard `i` is among the `x` survivors used for decoding.
+type InvKey = [u64; 4];
+
 /// A systematic `(x, y)` Reed–Solomon code: `x` data shards, `y` parity
 /// shards, tolerating any `y` erasures. The paper's default is `(8, 2)`
 /// (20 % overhead).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ReedSolomon {
     data_shards: usize,
     parity_shards: usize,
     /// The `y × x` Cauchy parity matrix.
     parity_matrix: Matrix,
+    /// Decoding matrices memoized per erasure pattern. The inverse of the
+    /// generator submatrix depends only on which `x` shards decode uses, so
+    /// repeated loss patterns (the common case: a lossy path erases the
+    /// same positions block after block) skip Gauss–Jordan entirely.
+    inv_cache: Mutex<HashMap<InvKey, Matrix>>,
+}
+
+impl Clone for ReedSolomon {
+    fn clone(&self) -> Self {
+        // The cache is warm state, not identity: a clone starts cold.
+        ReedSolomon {
+            data_shards: self.data_shards,
+            parity_shards: self.parity_shards,
+            parity_matrix: self.parity_matrix.clone(),
+            inv_cache: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl ReedSolomon {
@@ -112,6 +153,7 @@ impl ReedSolomon {
             data_shards,
             parity_shards,
             parity_matrix: Matrix::cauchy(parity_shards, data_shards),
+            inv_cache: Mutex::new(HashMap::new()),
         })
     }
 
@@ -136,8 +178,28 @@ impl ReedSolomon {
         self.parity_shards as f64 / self.data_shards as f64
     }
 
+    /// Number of distinct erasure patterns whose decoding matrix is cached.
+    pub fn cached_inversions(&self) -> usize {
+        self.inv_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
     /// Compute parity shards for `data` (all shards must be equal length).
     pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, CodecError> {
+        let mut parity = vec![Vec::new(); self.parity_shards];
+        self.encode_into(data, &mut parity)?;
+        Ok(parity)
+    }
+
+    /// Compute parity shards for `data` into caller-owned buffers.
+    ///
+    /// `parity` must have `y` entries; each is resized to the data shard
+    /// length (allocation-free when its capacity already suffices — e.g.
+    /// buffers from a warmed [`ShardPool`]). Byte-identical to
+    /// [`ReedSolomon::encode`].
+    pub fn encode_into(&self, data: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<(), CodecError> {
         if data.len() != self.data_shards {
             return Err(CodecError::WrongShardCount {
                 got: data.len(),
@@ -148,13 +210,26 @@ impl ReedSolomon {
         if data.iter().any(|d| d.len() != len) {
             return Err(CodecError::ShardSizeMismatch);
         }
-        let mut parity = vec![vec![0u8; len]; self.parity_shards];
+        if parity.len() != self.parity_shards {
+            return Err(CodecError::WrongShardCount {
+                got: parity.len(),
+                expected: self.parity_shards,
+            });
+        }
         for (i, out) in parity.iter_mut().enumerate() {
+            out.clear();
+            out.resize(len, 0);
             for (j, shard) in data.iter().enumerate() {
-                gf::mul_acc(out, shard, self.parity_matrix[(i, j)]);
+                // First row term overwrites (skips the zeroing pass);
+                // the rest XOR-accumulate. Whole-shard batch kernels.
+                if j == 0 {
+                    gf::mul_slice(out, shard, self.parity_matrix[(i, 0)]);
+                } else {
+                    gf::mul_acc(out, shard, self.parity_matrix[(i, j)]);
+                }
             }
         }
-        Ok(parity)
+        Ok(())
     }
 
     /// Reconstruct missing shards in place.
@@ -163,6 +238,22 @@ impl ReedSolomon {
     /// erasure. On success every slot is `Some` and the first `x` slots hold
     /// the original data.
     pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodecError> {
+        let mut scratch = CodecScratch::new();
+        let mut pool = ShardPool::new();
+        self.reconstruct_with(shards, &mut scratch, &mut pool)
+    }
+
+    /// [`ReedSolomon::reconstruct`] with caller-owned scratch and buffer
+    /// pool: recovered shards are taken from `pool`, index bookkeeping lives
+    /// in `scratch`, and on a decoding-matrix cache hit the call performs no
+    /// heap allocation. Byte-identical to `reconstruct`.
+    pub fn reconstruct_with(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        scratch: &mut CodecScratch,
+        pool: &mut ShardPool,
+    ) -> Result<(), CodecError> {
+        let x = self.data_shards;
         let n = self.total_shards();
         if shards.len() != n {
             return Err(CodecError::WrongShardCount {
@@ -170,71 +261,78 @@ impl ReedSolomon {
                 expected: n,
             });
         }
-        let present: Vec<usize> = (0..n).filter(|&i| shards[i].is_some()).collect();
-        if present.len() < self.data_shards {
+        scratch.present.clear();
+        scratch
+            .present
+            .extend((0..n).filter(|&i| shards[i].is_some()));
+        if scratch.present.len() < x {
             return Err(CodecError::NotEnoughShards {
-                have: present.len(),
-                need: self.data_shards,
+                have: scratch.present.len(),
+                need: x,
             });
         }
-        if present.len() == n {
+        if scratch.present.len() == n {
             return Ok(()); // nothing missing
         }
-        let len = shards[present[0]].as_ref().unwrap().len();
-        if present
+        let len = shards[scratch.present[0]].as_ref().unwrap().len();
+        if scratch
+            .present
             .iter()
             .any(|&i| shards[i].as_ref().unwrap().len() != len)
         {
             return Err(CodecError::ShardSizeMismatch);
         }
 
-        // Build the x×x submatrix of the generator corresponding to the
-        // first x present shards, invert it, and recover the data shards.
-        let rows: Vec<Vec<u8>> = present
-            .iter()
-            .take(self.data_shards)
-            .map(|&i| self.generator_row(i))
-            .collect();
-        let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
-        let sub = Matrix::from_rows(&row_refs);
-        let inv = sub
-            .inverse()
-            .expect("Cauchy generator submatrices are always invertible");
+        // Decode from the first x present shards. The inverse of the
+        // corresponding generator submatrix depends only on that index set,
+        // so look it up by bitmap and invert only on first sight.
+        let mut key: InvKey = [0; 4];
+        for &i in scratch.present.iter().take(x) {
+            key[i / 64] |= 1 << (i % 64);
+        }
+        let mut cache = self.inv_cache.lock().unwrap_or_else(|e| e.into_inner());
+        let inv = cache.entry(key).or_insert_with(|| {
+            let rows: Vec<Vec<u8>> = scratch
+                .present
+                .iter()
+                .take(x)
+                .map(|&i| self.generator_row(i))
+                .collect();
+            let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+            Matrix::from_rows(&row_refs)
+                .inverse()
+                .expect("Cauchy generator submatrices are always invertible")
+        });
 
-        // data[j] = sum_k inv[j][k] * received[k].
-        let received: Vec<&Vec<u8>> = present
-            .iter()
-            .take(self.data_shards)
-            .map(|&i| shards[i].as_ref().unwrap())
-            .collect();
-        let mut recovered_data: Vec<Option<Vec<u8>>> = vec![None; self.data_shards];
-        for j in 0..self.data_shards {
+        // data[j] = sum_k inv[j][k] * received[k]. Missing slots are filled
+        // as they are computed; `present` only names originally-present
+        // shards, so later recoveries never read a just-filled slot.
+        for j in 0..x {
             if shards[j].is_some() {
                 continue; // data shard already present
             }
-            let mut out = vec![0u8; len];
-            for (k, r) in received.iter().enumerate() {
-                gf::mul_acc(&mut out, r, inv[(j, k)]);
+            let mut out = pool.take(len);
+            for (k, &pi) in scratch.present.iter().take(x).enumerate() {
+                gf::mul_acc(&mut out, shards[pi].as_ref().unwrap(), inv[(j, k)]);
             }
-            recovered_data[j] = Some(out);
+            shards[j] = Some(out);
         }
-        for j in 0..self.data_shards {
-            if let Some(d) = recovered_data[j].take() {
-                shards[j] = Some(d);
-            }
-        }
+        drop(cache);
+
         // Re-encode any missing parity from the (now complete) data.
-        if shards[self.data_shards..].iter().any(|s| s.is_none()) {
-            let data_refs: Vec<&[u8]> = shards[..self.data_shards]
-                .iter()
-                .map(|s| s.as_ref().unwrap().as_slice())
-                .collect();
-            let parity = self.encode(&data_refs)?;
-            for (i, p) in parity.into_iter().enumerate() {
-                if shards[self.data_shards + i].is_none() {
-                    shards[self.data_shards + i] = Some(p);
-                }
+        for i in 0..self.parity_shards {
+            if shards[x + i].is_some() {
+                continue;
             }
+            let mut out = pool.take(len);
+            for (j, shard) in shards.iter().take(x).enumerate() {
+                gf::mul_acc(
+                    &mut out,
+                    shard.as_ref().unwrap(),
+                    self.parity_matrix[(i, j)],
+                );
+            }
+            shards[x + i] = Some(out);
         }
         Ok(())
     }
@@ -280,27 +378,67 @@ impl ReedSolomon {
     /// shards. The message is zero-padded to a whole number of blocks.
     /// Returns, per block, the `x + y` shards.
     pub fn encode_message(&self, msg: &[u8], shard_len: usize) -> Vec<Vec<Vec<u8>>> {
+        let mut pool = ShardPool::new();
+        let mut blocks = Vec::new();
+        self.encode_message_with(msg, shard_len, &mut pool, &mut blocks);
+        blocks
+    }
+
+    /// [`ReedSolomon::encode_message`] reusing caller-owned buffers: shard
+    /// buffers come from (and excess ones return to) `pool`, and the
+    /// `blocks` structure is resized in place rather than rebuilt. Encoding
+    /// same-shaped messages back to back is allocation-free after the first
+    /// call. Byte-identical output.
+    pub fn encode_message_with(
+        &self,
+        msg: &[u8],
+        shard_len: usize,
+        pool: &mut ShardPool,
+        blocks: &mut Vec<Vec<Vec<u8>>>,
+    ) {
         assert!(shard_len > 0);
-        let block_bytes = shard_len * self.data_shards;
+        let x = self.data_shards;
+        let n = self.total_shards();
+        let block_bytes = shard_len * x;
         let nblocks = msg.len().div_ceil(block_bytes).max(1);
-        let mut blocks = Vec::with_capacity(nblocks);
-        for b in 0..nblocks {
-            let mut shards: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
-            for s in 0..self.data_shards {
+        while blocks.len() > nblocks {
+            let mut b = blocks.pop().unwrap();
+            for s in b.drain(..) {
+                pool.put(s);
+            }
+        }
+        while blocks.len() < nblocks {
+            blocks.push(Vec::with_capacity(n));
+        }
+        for (b, block) in blocks.iter_mut().enumerate() {
+            while block.len() > n {
+                pool.put(block.pop().unwrap());
+            }
+            while block.len() < n {
+                block.push(pool.take(shard_len));
+            }
+            for (s, shard) in block.iter_mut().enumerate().take(x) {
+                shard.clear();
+                shard.resize(shard_len, 0);
                 let start = b * block_bytes + s * shard_len;
-                let mut shard = vec![0u8; shard_len];
                 if start < msg.len() {
                     let end = (start + shard_len).min(msg.len());
                     shard[..end - start].copy_from_slice(&msg[start..end]);
                 }
-                shards.push(shard);
             }
-            let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
-            let parity = self.encode(&refs).expect("shards are uniform");
-            shards.extend(parity);
-            blocks.push(shards);
+            let (data, parity) = block.split_at_mut(x);
+            for (i, out) in parity.iter_mut().enumerate() {
+                out.clear();
+                out.resize(shard_len, 0);
+                for (j, shard) in data.iter().enumerate() {
+                    if j == 0 {
+                        gf::mul_slice(out, shard, self.parity_matrix[(i, 0)]);
+                    } else {
+                        gf::mul_acc(out, shard, self.parity_matrix[(i, j)]);
+                    }
+                }
+            }
         }
-        blocks
     }
 
     /// Reassemble a message of `msg_len` bytes from blocks of shard slots
@@ -310,15 +448,34 @@ impl ReedSolomon {
         blocks: &mut [Vec<Option<Vec<u8>>>],
         msg_len: usize,
     ) -> Result<Vec<u8>, CodecError> {
+        let mut scratch = CodecScratch::new();
+        let mut pool = ShardPool::new();
         let mut out = Vec::with_capacity(msg_len);
+        self.decode_message_with(blocks, msg_len, &mut scratch, &mut pool, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ReedSolomon::decode_message`] into a caller-owned output buffer,
+    /// with pooled reconstruction. `out` is cleared and refilled; its
+    /// capacity (like the pool's) persists across calls, so steady-state
+    /// decoding allocates nothing.
+    pub fn decode_message_with(
+        &self,
+        blocks: &mut [Vec<Option<Vec<u8>>>],
+        msg_len: usize,
+        scratch: &mut CodecScratch,
+        pool: &mut ShardPool,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        out.clear();
         for block in blocks.iter_mut() {
-            self.reconstruct(block)?;
+            self.reconstruct_with(block, scratch, pool)?;
             for shard in block.iter().take(self.data_shards) {
                 out.extend_from_slice(shard.as_ref().unwrap());
             }
         }
         out.truncate(msg_len);
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -480,5 +637,109 @@ mod tests {
         blocks[0][1] = None;
         let decoded = rs.decode_message(&mut blocks, msg.len()).unwrap();
         assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let rs = ReedSolomon::new(8, 2);
+        let data = sample_data(8, 100);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let expect = rs.encode(&refs).unwrap();
+        let mut pool = ShardPool::new();
+        let mut parity: Vec<Vec<u8>> = (0..2).map(|_| pool.take(100)).collect();
+        rs.encode_into(&refs, &mut parity).unwrap();
+        assert_eq!(parity, expect);
+        // And with dirty reused buffers of the wrong size.
+        for p in &mut parity {
+            p.clear();
+            p.resize(7, 0xAA);
+        }
+        rs.encode_into(&refs, &mut parity).unwrap();
+        assert_eq!(parity, expect);
+    }
+
+    #[test]
+    fn encode_into_validates_parity_slots() {
+        let rs = ReedSolomon::new(3, 2);
+        let data = sample_data(3, 8);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let mut one = vec![Vec::new()];
+        assert_eq!(
+            rs.encode_into(&refs, &mut one),
+            Err(CodecError::WrongShardCount {
+                got: 1,
+                expected: 2
+            })
+        );
+    }
+
+    #[test]
+    fn reconstruct_with_matches_reconstruct_and_caches() {
+        let rs = ReedSolomon::new(8, 2);
+        let data = sample_data(8, 48);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        let mut scratch = CodecScratch::new();
+        let mut pool = ShardPool::new();
+        assert_eq!(rs.cached_inversions(), 0);
+        for round in 0..3 {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[1] = None;
+            shards[9] = None;
+            rs.reconstruct_with(&mut shards, &mut scratch, &mut pool)
+                .unwrap();
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.as_ref().unwrap(), &full[i], "round {round}, shard {i}");
+            }
+            // Recycle the recovered shards like a transport loop would.
+            for s in shards.into_iter().flatten() {
+                pool.put(s);
+            }
+        }
+        // Same erasure pattern every round: exactly one cached inversion.
+        assert_eq!(rs.cached_inversions(), 1);
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        rs.reconstruct_with(&mut shards, &mut scratch, &mut pool)
+            .unwrap();
+        assert_eq!(rs.cached_inversions(), 2);
+    }
+
+    #[test]
+    fn clone_starts_with_cold_cache() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = sample_data(4, 8);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        shards[2] = None;
+        rs.reconstruct(&mut shards).unwrap();
+        assert_eq!(rs.cached_inversions(), 1);
+        let clone = rs.clone();
+        assert_eq!(clone.cached_inversions(), 0);
+    }
+
+    #[test]
+    fn encode_message_with_matches_encode_message() {
+        let rs = ReedSolomon::new(8, 2);
+        let msg: Vec<u8> = (0..5_000u32).map(|i| (i * 17 % 256) as u8).collect();
+        let expect = rs.encode_message(&msg, 96);
+        let mut pool = ShardPool::new();
+        let mut blocks = Vec::new();
+        rs.encode_message_with(&msg, 96, &mut pool, &mut blocks);
+        assert_eq!(blocks, expect);
+        // Re-encode a shorter message into the same structure: excess
+        // buffers flow back to the pool and the output still matches.
+        let short = &msg[..500];
+        let expect_short = rs.encode_message(short, 96);
+        rs.encode_message_with(short, 96, &mut pool, &mut blocks);
+        assert_eq!(blocks, expect_short);
+        assert!(pool.idle() > 0, "shrinking must recycle shard buffers");
     }
 }

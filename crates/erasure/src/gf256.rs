@@ -1,5 +1,22 @@
 //! Arithmetic in GF(2^8) with the AES/RS-standard reduction polynomial
-//! x^8 + x^4 + x^3 + x^2 + 1 (0x11D), via exp/log tables.
+//! x^8 + x^4 + x^3 + x^2 + 1 (0x11D), via exp/log tables — plus the batch
+//! slice kernels the codec's hot path runs on.
+//!
+//! # Batch layout
+//!
+//! The slice kernels ([`mul_acc`], [`mul_slice`]) no longer build a 256-entry
+//! product row per call. Multiplication by a fixed coefficient `c` is a
+//! GF(2)-linear map, so `c·b = c·(b_lo) ⊕ c·(b_hi << 4)`: one 16-entry table
+//! for the low nibble and one for the high nibble cover every byte value.
+//! Both tables for all 256 coefficients are precomputed at compile time
+//! (8 KiB total, [`SPLIT`]), and a single coefficient's working set is 32
+//! bytes — it lives in registers for the whole slice.
+//!
+//! The split layout is exactly the shape vector shuffles want: on x86-64 the
+//! kernels use `pshufb` (SSSE3) or `vpshufb` (AVX2) behind runtime feature
+//! detection, processing 16/32 bytes per step. Everywhere else (and for
+//! slice tails) a scalar split-table loop runs the same math. All paths are
+//! byte-identical by construction and pinned to scalar [`mul`] by tests.
 
 /// Reduction polynomial (without the x^8 term) for table generation.
 const POLY: u16 = 0x11D;
@@ -37,6 +54,54 @@ pub const fn build_tables() -> Tables {
 }
 
 static TABLES: Tables = build_tables();
+
+/// Split low/high-nibble product tables for every coefficient:
+/// `lo[c][i] = c·i` and `hi[c][i] = c·(i << 4)` for `i` in `0..16`, so
+/// `c·b = lo[c][b & 15] ^ hi[c][b >> 4]`.
+pub struct SplitTables {
+    /// Low-nibble products.
+    pub lo: [[u8; 16]; 256],
+    /// High-nibble products.
+    pub hi: [[u8; 16]; 256],
+}
+
+/// Carry-less (Russian-peasant) multiply, const-evaluable; table builds
+/// only — the runtime paths all go through the tables it fills.
+const fn const_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= (POLY & 0xFF) as u8;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Build the split-nibble tables at compile time.
+pub const fn build_split_tables() -> SplitTables {
+    let mut lo = [[0u8; 16]; 256];
+    let mut hi = [[0u8; 16]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut i = 0usize;
+        while i < 16 {
+            lo[c][i] = const_mul(c as u8, i as u8);
+            hi[c][i] = const_mul(c as u8, (i << 4) as u8);
+            i += 1;
+        }
+        c += 1;
+    }
+    SplitTables { lo, hi }
+}
+
+/// The precomputed split tables (8 KiB; a single coefficient uses 32 bytes).
+pub static SPLIT: SplitTables = build_split_tables();
 
 /// Add in GF(2^8) (XOR).
 #[inline(always)]
@@ -89,29 +154,21 @@ pub fn pow(a: u8, n: u32) -> u8 {
     t.exp[e as usize]
 }
 
+// ---------------------------------------------------------------------------
+// Batch slice kernels
+// ---------------------------------------------------------------------------
+
 /// `dst[i] ^= c * src[i]` — the hot kernel of encode and decode.
 ///
-/// Specialized for `c == 1` (plain XOR) which the systematic identity rows
-/// hit; the general path uses a per-call 256-entry product row so the inner
-/// loop is a single lookup + xor.
+/// Specialized for `c == 0` (no-op) and `c == 1` (plain XOR, which the
+/// systematic identity rows hit); the general path runs the split-nibble
+/// batch kernel (see module docs).
 pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
     assert_eq!(dst.len(), src.len());
     match c {
         0 => {}
-        1 => {
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= s;
-            }
-        }
-        _ => {
-            let mut row = [0u8; 256];
-            for (i, r) in row.iter_mut().enumerate() {
-                *r = mul(c, i as u8);
-            }
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= row[*s as usize];
-            }
-        }
+        1 => xor_slice(dst, src),
+        _ => mul_nibbles(dst, src, c, true),
     }
 }
 
@@ -121,16 +178,104 @@ pub fn mul_slice(dst: &mut [u8], src: &[u8], c: u8) {
     match c {
         0 => dst.fill(0),
         1 => dst.copy_from_slice(src),
-        _ => {
-            let mut row = [0u8; 256];
-            for (i, r) in row.iter_mut().enumerate() {
-                *r = mul(c, i as u8);
-            }
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d = row[*s as usize];
-            }
+        _ => mul_nibbles(dst, src, c, false),
+    }
+}
+
+/// `dst[i] ^= src[i]`, shaped so LLVM autovectorizes (both slices are plain
+/// `u8` runs with equal, asserted lengths).
+#[inline]
+fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Dispatch the general-coefficient kernel: widest available vector unit
+/// first, scalar split-table loop as the universal fallback. `acc` selects
+/// XOR-accumulate (`dst ^= c·src`) over overwrite (`dst = c·src`).
+#[inline]
+fn mul_nibbles(dst: &mut [u8], src: &[u8], c: u8, acc: bool) {
+    let lo = &SPLIT.lo[c as usize];
+    let hi = &SPLIT.hi[c as usize];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { mul_nibbles_avx2(dst, src, lo, hi, acc) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            // SAFETY: SSSE3 support was just verified at runtime.
+            unsafe { mul_nibbles_ssse3(dst, src, lo, hi, acc) };
+            return;
         }
     }
+    mul_nibbles_scalar(dst, src, lo, hi, acc);
+}
+
+/// Scalar split-table kernel (also the tail loop for the vector paths).
+#[inline]
+fn mul_nibbles_scalar(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16], acc: bool) {
+    if acc {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= lo[(s & 0x0F) as usize] ^ hi[(s >> 4) as usize];
+        }
+    } else {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = lo[(s & 0x0F) as usize] ^ hi[(s >> 4) as usize];
+        }
+    }
+}
+
+/// AVX2 kernel: 32 bytes per step via two `vpshufb` nibble lookups.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mul_nibbles_avx2(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16], acc: bool) {
+    use std::arch::x86_64::*;
+    let lo_v = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr() as *const __m128i));
+    let hi_v = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr() as *const __m128i));
+    let mask = _mm256_set1_epi8(0x0F);
+    let chunks = src.len() / 32;
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    for i in 0..chunks {
+        let s = _mm256_loadu_si256(sp.add(i * 32) as *const __m256i);
+        let l = _mm256_shuffle_epi8(lo_v, _mm256_and_si256(s, mask));
+        let h = _mm256_shuffle_epi8(hi_v, _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask));
+        let mut p = _mm256_xor_si256(l, h);
+        if acc {
+            p = _mm256_xor_si256(p, _mm256_loadu_si256(dp.add(i * 32) as *const __m256i));
+        }
+        _mm256_storeu_si256(dp.add(i * 32) as *mut __m256i, p);
+    }
+    let done = chunks * 32;
+    mul_nibbles_scalar(&mut dst[done..], &src[done..], lo, hi, acc);
+}
+
+/// SSSE3 kernel: 16 bytes per step via two `pshufb` nibble lookups.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "ssse3")]
+unsafe fn mul_nibbles_ssse3(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16], acc: bool) {
+    use std::arch::x86_64::*;
+    let lo_v = _mm_loadu_si128(lo.as_ptr() as *const __m128i);
+    let hi_v = _mm_loadu_si128(hi.as_ptr() as *const __m128i);
+    let mask = _mm_set1_epi8(0x0F);
+    let chunks = src.len() / 16;
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    for i in 0..chunks {
+        let s = _mm_loadu_si128(sp.add(i * 16) as *const __m128i);
+        let l = _mm_shuffle_epi8(lo_v, _mm_and_si128(s, mask));
+        let h = _mm_shuffle_epi8(hi_v, _mm_and_si128(_mm_srli_epi64::<4>(s), mask));
+        let mut p = _mm_xor_si128(l, h);
+        if acc {
+            p = _mm_xor_si128(p, _mm_loadu_si128(dp.add(i * 16) as *const __m128i));
+        }
+        _mm_storeu_si128(dp.add(i * 16) as *mut __m128i, p);
+    }
+    let done = chunks * 16;
+    mul_nibbles_scalar(&mut dst[done..], &src[done..], lo, hi, acc);
 }
 
 #[cfg(test)]
@@ -218,6 +363,19 @@ mod tests {
             for n in 0..20u32 {
                 assert_eq!(pow(a, n), acc, "a={a} n={n}");
                 acc = mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn split_tables_cover_every_product() {
+        // The split decomposition must reproduce the full 256x256 product
+        // table: c*b = lo[c][b & 15] ^ hi[c][b >> 4].
+        for c in 0..=255u8 {
+            for b in 0..=255u8 {
+                let split = SPLIT.lo[c as usize][(b & 0x0F) as usize]
+                    ^ SPLIT.hi[c as usize][(b >> 4) as usize];
+                assert_eq!(split, mul(c, b), "c={c} b={b}");
             }
         }
     }

@@ -33,9 +33,11 @@
 pub mod codec;
 pub mod gf256;
 pub mod matrix;
+pub mod pool;
 
 pub use codec::{CodecError, ReedSolomon};
 pub use matrix::Matrix;
+pub use pool::{CodecScratch, ShardPool};
 
 /// Block geometry parameters `(x, y)` shared with the simulator layers.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

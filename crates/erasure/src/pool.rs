@@ -1,0 +1,150 @@
+//! Caller-owned shard buffers and decode scratch.
+//!
+//! The codec's original API allocates a fresh `Vec<u8>` per shard per call,
+//! which dominates encode cost at small shard sizes and puts the allocator
+//! on the per-block hot path. [`ShardPool`] mirrors the sim engine's action
+//! free-list: buffers are taken for encode/decode output and put back when
+//! the block is consumed, so a warmed-up pool serves every subsequent block
+//! without touching the heap. [`CodecScratch`] holds the small index vectors
+//! `reconstruct` needs between calls for the same reason.
+//!
+//! Both types are plain owned values — no interior mutability, no
+//! thread-local magic — so call sites stay explicit about buffer lifetime,
+//! and the zero-allocation property is testable with a counting allocator
+//! (see `tests/zero_alloc.rs`).
+
+/// Cap on pooled buffers; beyond this, [`ShardPool::put`] drops instead of
+/// retaining, bounding worst-case memory to `MAX_POOLED` shards.
+const MAX_POOLED: usize = 4096;
+
+/// A free-list of reusable shard buffers.
+///
+/// [`take`](ShardPool::take) hands out a zeroed buffer of the requested
+/// length, reusing a returned buffer's capacity when one is available;
+/// [`put`](ShardPool::put) returns a buffer for reuse. After warm-up at a
+/// fixed shard length, `take`/`put` cycles perform no heap allocation.
+#[derive(Default, Debug)]
+pub struct ShardPool {
+    free: Vec<Vec<u8>>,
+    takes: u64,
+    misses: u64,
+}
+
+impl ShardPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A pool pre-warmed with `count` buffers of `len` bytes capacity.
+    pub fn with_capacity(count: usize, len: usize) -> Self {
+        let mut p = Self::new();
+        for _ in 0..count.min(MAX_POOLED) {
+            p.free.push(Vec::with_capacity(len));
+        }
+        p
+    }
+
+    /// Take a zeroed buffer of exactly `len` bytes. Reuses a pooled buffer
+    /// when one exists (allocation-free when its capacity suffices).
+    pub fn take(&mut self, len: usize) -> Vec<u8> {
+        self.takes += 1;
+        let mut v = match self.free.pop() {
+            Some(v) => v,
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        v.clear();
+        v.resize(len, 0);
+        v
+    }
+
+    /// Return a buffer to the pool for reuse. Buffers beyond the pool cap
+    /// are dropped.
+    pub fn put(&mut self, v: Vec<u8>) {
+        if self.free.len() < MAX_POOLED {
+            self.free.push(v);
+        }
+    }
+
+    /// Buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// `(takes, misses)` counters: a miss is a `take` that had to allocate a
+    /// new buffer because the pool was empty.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.takes, self.misses)
+    }
+}
+
+/// Reusable index scratch for [`crate::ReedSolomon::reconstruct_with`].
+///
+/// Holds the present-shard index list (and whatever future bookkeeping the
+/// decode path needs) so repeated reconstructions reuse its capacity instead
+/// of allocating per call.
+#[derive(Default, Debug)]
+pub struct CodecScratch {
+    /// Indices of present shards, in ascending order. Valid only during a
+    /// `reconstruct_with` call; reused (cleared) across calls.
+    pub(crate) present: Vec<usize>,
+}
+
+impl CodecScratch {
+    /// Fresh scratch with no reserved capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroes_and_reuses() {
+        let mut pool = ShardPool::new();
+        let mut a = pool.take(8);
+        assert_eq!(a, vec![0u8; 8]);
+        a.copy_from_slice(&[0xAA; 8]);
+        let cap = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.take(8);
+        assert_eq!(b, vec![0u8; 8], "reused buffer must come back zeroed");
+        assert_eq!(b.capacity(), cap, "capacity is retained across reuse");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn stats_count_misses() {
+        let mut pool = ShardPool::new();
+        let a = pool.take(4); // miss
+        pool.put(a);
+        let _b = pool.take(4); // hit
+        assert_eq!(pool.stats(), (2, 1));
+    }
+
+    #[test]
+    fn prewarmed_pool_never_misses() {
+        let mut pool = ShardPool::with_capacity(3, 16);
+        assert_eq!(pool.idle(), 3);
+        let a = pool.take(16);
+        let b = pool.take(16);
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.stats(), (2, 0));
+    }
+
+    #[test]
+    fn pool_cap_bounds_retention() {
+        let mut pool = ShardPool::new();
+        for _ in 0..(MAX_POOLED + 10) {
+            pool.put(Vec::new());
+        }
+        assert_eq!(pool.idle(), MAX_POOLED);
+    }
+}

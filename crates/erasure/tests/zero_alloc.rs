@@ -1,0 +1,143 @@
+//! Regression wall for the pooled codec path: after warm-up, a full
+//! encode → erase → decode round-trip must perform **zero** heap
+//! allocations. A counting `#[global_allocator]` makes the property
+//! directly measurable; any future change that sneaks a per-block `Vec`
+//! back into the hot path fails this test immediately.
+//!
+//! This file deliberately contains a single `#[test]` so no concurrent test
+//! thread can perturb the allocation counter mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use uno_erasure::{CodecScratch, ReedSolomon, ShardPool};
+
+/// Counts every allocation entry point; frees are uncounted (the property
+/// under test is "no new memory requested", not "no memory released").
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const SHARD_LEN: usize = 256;
+const ERASED: [usize; 2] = [1, 9]; // one data, one parity — stable pattern
+
+/// One full round trip over reusable state. Encoded shards are swapped into
+/// the receive slots (capacities travel both ways), two shards per block are
+/// "lost" back into the pool, and decode recovers them from the pool.
+#[allow(clippy::too_many_arguments)]
+fn round_trip(
+    rs: &ReedSolomon,
+    msg: &[u8],
+    pool: &mut ShardPool,
+    scratch: &mut CodecScratch,
+    blocks: &mut Vec<Vec<Vec<u8>>>,
+    rx: &mut Vec<Vec<Option<Vec<u8>>>>,
+    out: &mut Vec<u8>,
+) {
+    let n = rs.total_shards();
+    rs.encode_message_with(msg, SHARD_LEN, pool, blocks);
+
+    // Deliver: move each encoded shard into its receive slot, handing the
+    // slot's previous buffer back to the encoder side (swap keeps both
+    // capacities alive — nothing is dropped, nothing is allocated).
+    while rx.len() < blocks.len() {
+        rx.push(vec![None; n]);
+    }
+    rx.truncate(blocks.len());
+    for (block, slots) in blocks.iter_mut().zip(rx.iter_mut()) {
+        for (shard, slot) in block.iter_mut().zip(slots.iter_mut()) {
+            if let Some(old) = slot.as_mut() {
+                std::mem::swap(old, shard);
+            } else {
+                *slot = Some(std::mem::take(shard));
+            }
+        }
+        for &e in &ERASED {
+            if let Some(lost) = slots[e].take() {
+                pool.put(lost);
+            }
+        }
+    }
+
+    rs.decode_message_with(rx, msg.len(), scratch, pool, out)
+        .expect("round trip must decode");
+    assert_eq!(out.as_slice(), msg, "decode corrupted the message");
+}
+
+#[test]
+fn warm_round_trip_allocates_nothing() {
+    let rs = ReedSolomon::new(8, 2);
+    let msg: Vec<u8> = (0..40_000u32).map(|i| (i * 37 % 251) as u8).collect();
+    let mut pool = ShardPool::new();
+    let mut scratch = CodecScratch::new();
+    let mut blocks: Vec<Vec<Vec<u8>>> = Vec::new();
+    let mut rx: Vec<Vec<Option<Vec<u8>>>> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
+
+    // Warm-up: buffers, pool, scratch, output capacity, and the decoding
+    // matrix cache all reach steady state.
+    for _ in 0..3 {
+        round_trip(
+            &rs,
+            &msg,
+            &mut pool,
+            &mut scratch,
+            &mut blocks,
+            &mut rx,
+            &mut out,
+        );
+    }
+    assert_eq!(rs.cached_inversions(), 1, "one stable erasure pattern");
+
+    // Measured steady state: not a single allocation across full
+    // encode → erase → decode round trips.
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for round in 0..5 {
+        round_trip(
+            &rs,
+            &msg,
+            &mut pool,
+            &mut scratch,
+            &mut blocks,
+            &mut rx,
+            &mut out,
+        );
+        let after = ALLOC_CALLS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "round {round} allocated {} time(s) after warm-up",
+            after - before
+        );
+    }
+
+    // The pool really was exercised (losses flowed through it), and no
+    // take ever missed after the warm-up phase established capacity.
+    let (takes, misses) = pool.stats();
+    assert!(takes > 0, "decode must draw recovered shards from the pool");
+    assert!(
+        misses < takes,
+        "steady state must reuse pooled buffers, not allocate fresh ones"
+    );
+}

@@ -10,6 +10,7 @@
 //! uno-fuzz --seed 1337 --full                   # one big scenario
 //! uno-fuzz --seed-range 0..50 --lossless        # PFC-armed lossless fabrics
 //! uno-fuzz --seed-range 0..50 --lp-jobs 4       # parallel-engine differential
+//! uno-fuzz --seed-range 0..500 --erasure        # codec vs naive-RS oracle
 //! uno-fuzz --replay results/repro_ab12cd.json   # rerun a reproducer
 //! ```
 //!
@@ -23,11 +24,23 @@
 //! single worker and requires the two outcomes to match exactly. That is
 //! the engine's worker-count-independence contract checked over the whole
 //! fuzz corpus, on top of the usual invariant suite.
+//!
+//! `--erasure` switches from full-stack scenarios to codec differential
+//! cases: each seed becomes a random `(data, parity, shard_len, erasure
+//! pattern)` tuple run through every production erasure path — batch
+//! encode, pooled encode, plain/pooled/cached reconstruct, and indexed
+//! reconstruction from a shuffled survivor set — against the naive
+//! GF(2^8) oracle byte-for-byte. Mismatches shrink to minimal cases and
+//! are written as `erasure_<hash>.json`, the prefix the regression-corpus
+//! test dispatches on once a fixed reproducer is committed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use uno_testkit::{run_scenario, shrink, write_repro, Outcome, Scenario};
+use uno_testkit::{
+    run_erasure_case, run_scenario, shrink, shrink_erasure_case, write_erasure_repro, write_repro,
+    ErasureCase, Outcome, Scenario,
+};
 
 struct Args {
     seeds: std::ops::Range<u64>,
@@ -35,6 +48,7 @@ struct Args {
     replay: Option<PathBuf>,
     inject_block_bug: bool,
     lossless: bool,
+    erasure: bool,
     lp_jobs: usize,
     no_shrink: bool,
     out: PathBuf,
@@ -48,6 +62,7 @@ fn parse_args() -> Args {
         replay: None,
         inject_block_bug: false,
         lossless: false,
+        erasure: false,
         lp_jobs: 0,
         no_shrink: false,
         out: PathBuf::from("results"),
@@ -70,6 +85,7 @@ fn parse_args() -> Args {
             "--replay" => args.replay = Some(PathBuf::from(it.next().expect("--replay FILE"))),
             "--inject-block-bug" => args.inject_block_bug = true,
             "--lossless" => args.lossless = true,
+            "--erasure" => args.erasure = true,
             "--lp-jobs" => {
                 args.lp_jobs = it.next().and_then(|s| s.parse().ok()).expect("--lp-jobs N");
             }
@@ -80,13 +96,50 @@ fn parse_args() -> Args {
                 eprintln!(
                     "unknown flag {other}\nusage: uno-fuzz [--seed-range A..B] [--seed N] \
                      [--quick|--full] [--replay FILE] [--inject-block-bug] [--lossless] \
-                     [--lp-jobs N] [--no-shrink] [--out DIR] [--verbose]"
+                     [--erasure] [--lp-jobs N] [--no-shrink] [--out DIR] [--verbose]"
                 );
                 std::process::exit(2);
             }
         }
     }
     args
+}
+
+/// Run one erasure differential case, report, and (on mismatch) shrink +
+/// write an `erasure_<hash>.json` reproducer. Returns true when every
+/// production path agreed with the naive oracle byte-for-byte.
+fn handle_erasure(case: &ErasureCase, args: &Args) -> bool {
+    let mismatch = run_erasure_case(case);
+    if args.verbose || mismatch.is_some() {
+        println!(
+            "seed {}: {} (({},{}) len {} erased {:?})",
+            case.seed,
+            if mismatch.is_some() { "FAIL" } else { "ok" },
+            case.data,
+            case.parity,
+            case.shard_len,
+            case.erased,
+        );
+    }
+    let Some(why) = mismatch else {
+        return true;
+    };
+    println!("  {why}");
+    let final_case = if args.no_shrink {
+        case.clone()
+    } else {
+        let r = shrink_erasure_case(case, 200);
+        println!(
+            "  shrunk in {} steps / {} runs: ({},{}) len {} erased {:?}",
+            r.steps, r.runs, r.case.data, r.case.parity, r.case.shard_len, r.case.erased
+        );
+        r.case
+    };
+    match write_erasure_repro(&final_case, &args.out) {
+        Ok(path) => println!("  reproducer written to {}", path.display()),
+        Err(e) => eprintln!("  could not write reproducer: {e}"),
+    }
+    false
 }
 
 /// Run one scenario, report, and (on failure) shrink + write a reproducer.
@@ -172,6 +225,17 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        // Erasure reproducers are self-describing (`"kind": "erasure_case"`),
+        // so replay dispatches on content, not filename.
+        if let Ok(case) = ErasureCase::from_json(&text) {
+            println!("replaying erasure case {}", path.display());
+            return if handle_erasure(&case, &args) {
+                println!("replay: codec and oracle agree");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
         let sc = match Scenario::from_json(&text) {
             Ok(sc) => sc,
             Err(e) => {
@@ -189,6 +253,32 @@ fn main() -> ExitCode {
     }
 
     let total = args.seeds.end.saturating_sub(args.seeds.start);
+
+    if args.erasure {
+        println!(
+            "uno-fuzz: {} {} erasure case(s), seeds {}..{}",
+            total,
+            if args.quick { "quick" } else { "full" },
+            args.seeds.start,
+            args.seeds.end
+        );
+        let mut failures = 0u64;
+        for (i, seed) in args.seeds.clone().enumerate() {
+            let case = ErasureCase::generate(seed, args.quick);
+            if !handle_erasure(&case, &args) {
+                failures += 1;
+            } else if !args.verbose && (i + 1) % 100 == 0 {
+                println!("  ... {}/{} cases done", i + 1, total);
+            }
+        }
+        println!("uno-fuzz: {total} erasure case(s), {failures} mismatch(es)");
+        return if failures == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     let lp_note = if args.lp_jobs > 0 {
         format!(" lp-jobs={}", args.lp_jobs)
     } else {

@@ -15,16 +15,18 @@
 //!    O(n·k) Reed–Solomon reference checked byte-for-byte against
 //!    `uno-erasure`, and a fluid-model throughput bound checked against
 //!    steady-state runs of every congestion-control scheme.
-//! 3. **Fault-injection fuzzing** ([`scenario`], [`shrink`], the
-//!    `uno-fuzz` binary): seed-derived random topology/workload/fault
-//!    scenarios run on the full stack with all invariants armed; failures
-//!    are greedily shrunk to minimal reproducers written to
-//!    `results/repro_<hash>.json` and replayable via committed regression
-//!    files.
+//! 3. **Fault-injection fuzzing** ([`scenario`], [`shrink`],
+//!    [`erasure_fuzz`], the `uno-fuzz` binary): seed-derived random
+//!    topology/workload/fault scenarios run on the full stack with all
+//!    invariants armed, plus `--erasure` codec cases differentially checked
+//!    against the naive oracle; failures are greedily shrunk to minimal
+//!    reproducers written to `results/` and replayable via committed
+//!    regression files.
 
 #![warn(missing_docs)]
 
 pub mod digest;
+pub mod erasure_fuzz;
 pub mod fluid;
 pub mod invariant;
 pub mod naive_rs;
@@ -33,6 +35,10 @@ pub mod shrink;
 pub mod spec;
 
 pub use digest::{sha256_hex, Sha256};
+pub use erasure_fuzz::{
+    erasure_case_hash, run_erasure_case, shrink_erasure_case, write_erasure_repro, ErasureCase,
+    ErasureShrinkResult,
+};
 pub use fluid::{incast_check, FluidCheck};
 pub use invariant::{ArmedChecker, CheckReport, InvariantChecker, InvariantSuite, Violation};
 pub use naive_rs::NaiveReedSolomon;

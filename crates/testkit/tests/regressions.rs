@@ -1,10 +1,13 @@
 //! Replay the committed regression corpus. Every file under
-//! `crates/testkit/regressions/` is a scenario JSON (the same format
-//! `uno-fuzz` writes for shrunken reproducers); each must run clean with
-//! the full invariant suite armed. When a fuzz failure is fixed, its
-//! reproducer moves here so the fix can never silently regress.
+//! `crates/testkit/regressions/` is a reproducer in the format `uno-fuzz`
+//! writes for shrunken failures, and each must run clean. Files named
+//! `erasure_*.json` are codec differential cases (replayed through every
+//! production erasure path against the naive oracle); everything else is a
+//! full-stack scenario run with the complete invariant suite armed. When a
+//! fuzz failure is fixed, its reproducer moves here so the fix can never
+//! silently regress.
 
-use uno_testkit::{run_scenario, Scenario};
+use uno_testkit::{run_erasure_case, run_scenario, ErasureCase, Scenario};
 
 #[test]
 fn regression_corpus_is_clean() {
@@ -17,17 +20,31 @@ fn regression_corpus_is_clean() {
     entries.sort();
     assert!(!entries.is_empty(), "regression corpus is empty");
 
+    let mut scenarios = 0usize;
+    let mut erasure_cases = 0usize;
     for path in entries {
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         let text = std::fs::read_to_string(&path).unwrap();
-        let sc =
-            Scenario::from_json(&text).unwrap_or_else(|e| panic!("{name}: failed to parse: {e}"));
-        let out = run_scenario(&sc);
-        assert!(
-            !out.failed(),
-            "{name}: {} violation(s), first: {:?}",
-            out.violations.len(),
-            out.violations.first()
-        );
+        if name.starts_with("erasure_") {
+            let case = ErasureCase::from_json(&text)
+                .unwrap_or_else(|e| panic!("{name}: failed to parse: {e}"));
+            if let Some(why) = run_erasure_case(&case) {
+                panic!("{name}: codec/oracle mismatch: {why}");
+            }
+            erasure_cases += 1;
+        } else {
+            let sc = Scenario::from_json(&text)
+                .unwrap_or_else(|e| panic!("{name}: failed to parse: {e}"));
+            let out = run_scenario(&sc);
+            assert!(
+                !out.failed(),
+                "{name}: {} violation(s), first: {:?}",
+                out.violations.len(),
+                out.violations.first()
+            );
+            scenarios += 1;
+        }
     }
+    assert!(scenarios > 0, "corpus must keep full-stack scenarios");
+    assert!(erasure_cases > 0, "corpus must keep erasure cases");
 }

@@ -176,6 +176,13 @@ pub struct MessageFlow {
     // Completion accounting.
     blocks_done: u64,
     block_acked: Vec<u16>,
+    /// Per-block "settled" latch set by [`MessageFlow::finish_block`]: once a
+    /// block's packets are all retired from the in-flight/retransmission
+    /// pipeline, later duplicate block-complete ACKs and stale NACKs for it
+    /// skip the O(block) per-sequence scans entirely. Every state change the
+    /// scans would make is already done, so the skip is behavior-identical —
+    /// it only batches the work down to once per block.
+    block_settled: Vec<bool>,
     acked_data: u64,
     // RTO (lazy single timer).
     rto_deadline: Time,
@@ -250,6 +257,7 @@ impl MessageFlow {
             completed: false,
             blocks_done: 0,
             block_acked: vec![0; nblocks as usize],
+            block_settled: vec![false; nblocks as usize],
             acked_data: 0,
             rto_deadline: 0,
             rto_pending: false,
@@ -769,6 +777,11 @@ impl MessageFlow {
     /// Mark EC block `b` fully settled at the sender (receiver decoded it):
     /// drop its packets from the in-flight/retransmission pipeline.
     fn finish_block(&mut self, b: u64) {
+        if self.block_settled[b as usize] {
+            // Already fully retired: every packet is acked and the block is
+            // counted. Duplicate block-complete ACKs land here at O(1).
+            return;
+        }
         let needed = self.block_data_count(b) as u16;
         // Count the block at most once, even when the off-by-one fault made
         // the ACK path count it early at `needed - 1`.
@@ -789,6 +802,7 @@ impl MessageFlow {
                 // Stale rtx-queue entries are dropped lazily by the pump.
             }
         }
+        self.block_settled[b as usize] = true;
     }
 
     fn on_nack(&mut self, pkt: Packet, ctx: &mut Ctx) {
@@ -796,22 +810,28 @@ impl MessageFlow {
         if self.cfg.ec.is_none() || b >= self.nblocks {
             return;
         }
-        for seq in self.block_seqs(b) {
-            let s = &mut self.st[seq as usize];
-            // Never-sent packets will go out in order anyway.
-            if !s.valid || !s.ever_sent || s.acked || s.queued_rtx {
-                continue;
+        // A settled block has every packet acked, so the scan below would be
+        // a pure no-op: skip it and fall through to the (rate-limited)
+        // re-routing reaction, which must still run to keep the load
+        // balancer's decision stream — and hence the RNG stream — intact.
+        if !self.block_settled[b as usize] {
+            for seq in self.block_seqs(b) {
+                let s = &mut self.st[seq as usize];
+                // Never-sent packets will go out in order anyway.
+                if !s.valid || !s.ever_sent || s.acked || s.queued_rtx {
+                    continue;
+                }
+                // Don't duplicate packets that are plausibly still in flight.
+                if s.outstanding && ctx.now.saturating_sub(s.sent_at) < self.cfg.base_rtt {
+                    continue;
+                }
+                if s.outstanding {
+                    s.outstanding = false;
+                    self.inflight = self.inflight.saturating_sub(s.size as u64);
+                }
+                s.queued_rtx = true;
+                self.rtx_queue.push_back(seq);
             }
-            // Don't duplicate packets that are plausibly still in flight.
-            if s.outstanding && ctx.now.saturating_sub(s.sent_at) < self.cfg.base_rtt {
-                continue;
-            }
-            if s.outstanding {
-                s.outstanding = false;
-                self.inflight = self.inflight.saturating_sub(s.size as u64);
-            }
-            s.queued_rtx = true;
-            self.rtx_queue.push_back(seq);
         }
         let before = if ctx.tracing() {
             Some(self.cc_snapshot())
@@ -1027,6 +1047,7 @@ impl FlowLogic for MessageFlow {
         self.rtx_queue = VecDeque::new();
         self.sent_fifo = VecDeque::new();
         self.block_acked = Vec::new();
+        self.block_settled = Vec::new();
         self.rx_bitmap = Vec::new();
         self.rx_block_count = Vec::new();
         self.rx_block_done = Vec::new();
